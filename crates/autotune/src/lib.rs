@@ -1,0 +1,21 @@
+//! # autotune — MWD parameter search (paper Sec. II-A)
+//!
+//! "We use the auto-tuner in the Girih system to select the diamond tile
+//! size, the wavefront tile width, and the TG size in all dimensions to
+//! achieve the best performance. To shorten the auto-tuning process, the
+//! parameter search space is narrowed down to diamond tiles that fit
+//! within a predefined cache size range using a cache block size model."
+//!
+//! The same structure lives here: [`space`] enumerates `(Dw, BZ,
+//! TG shape, groups)` candidates, [`prune`] filters them with Eq. 11
+//! against the usable cache window, and [`tuner`] scores the survivors
+//! with a pluggable evaluator — simulator-backed for the paper-scale
+//! figures, wall-clock for native runs.
+
+pub mod prune;
+pub mod space;
+pub mod tuner;
+
+pub use prune::{cache_fit, CacheWindow};
+pub use space::{Candidate, SearchSpace};
+pub use tuner::{autotune, Evaluator, ModelEvaluator, NativeEvaluator, SimEvaluator, TuneResult};

@@ -1,0 +1,110 @@
+//! Cache-model pruning of the candidate space (Eq. 11).
+
+use crate::space::Candidate;
+use em_field::GridDims;
+use perf_models::{cache_block_bytes, MachineSpec};
+
+/// Acceptable range for the *total* resident cache-block footprint
+/// (all concurrent groups), as fractions of the machine's usable L3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheWindow {
+    pub lo_frac: f64,
+    pub hi_frac: f64,
+}
+
+impl Default for CacheWindow {
+    /// Keep candidates whose blocks use between 15% and 100% of the
+    /// usable half-L3: below that the diamonds are too small to create
+    /// reuse, above it they thrash.
+    fn default() -> Self {
+        CacheWindow { lo_frac: 0.15, hi_frac: 1.0 }
+    }
+}
+
+/// Total cache-block bytes demanded by a candidate: `groups` concurrent
+/// tiles, each of Eq. 11 size.
+pub fn total_block_bytes(cand: &Candidate, dims: GridDims) -> f64 {
+    cand.groups as f64 * cache_block_bytes(dims.nx, cand.dw, cand.bz)
+}
+
+/// True when the candidate's total block footprint fits the window.
+pub fn cache_fit(
+    cand: &Candidate,
+    dims: GridDims,
+    machine: &MachineSpec,
+    window: CacheWindow,
+) -> bool {
+    let usable = machine.usable_l3();
+    let total = total_block_bytes(cand, dims);
+    total >= window.lo_frac * usable && total <= window.hi_frac * usable
+}
+
+/// Partition candidates into (kept, pruned).
+pub fn prune(
+    cands: Vec<Candidate>,
+    dims: GridDims,
+    machine: &MachineSpec,
+    window: CacheWindow,
+) -> (Vec<Candidate>, usize) {
+    let before = cands.len();
+    let kept: Vec<Candidate> =
+        cands.into_iter().filter(|c| cache_fit(c, dims, machine, window)).collect();
+    let pruned = before - kept.len();
+    (kept, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwd_core::{MwdConfig, TgShape};
+
+    const HSW: MachineSpec = MachineSpec::HASWELL_E5_2699_V3;
+
+    #[test]
+    fn oversized_blocks_are_pruned() {
+        // 18 private Dw=16 blocks at Nx=480 vastly exceed 22.5 MiB.
+        let dims = GridDims::cubic(480);
+        let cand = MwdConfig::one_wd(16, 1, 18);
+        assert!(!cache_fit(&cand, dims, &HSW, CacheWindow::default()));
+    }
+
+    #[test]
+    fn shared_block_fits_where_private_do_not() {
+        // The Sec. III-C argument: one shared Dw=8/BZ=1 block fits, 18
+        // private ones do not.
+        let dims = GridDims::cubic(480);
+        let shared = MwdConfig { dw: 8, bz: 1, tg: TgShape { x: 3, z: 1, c: 6 }, groups: 1 };
+        let private = MwdConfig::one_wd(8, 1, 18);
+        let w = CacheWindow::default();
+        assert!(cache_fit(&shared, dims, &HSW, w));
+        assert!(!cache_fit(&private, dims, &HSW, w));
+    }
+
+    #[test]
+    fn window_bounds_are_inclusive_band() {
+        let dims = GridDims::cubic(480);
+        let cand = MwdConfig { dw: 8, bz: 1, tg: TgShape::SINGLE, groups: 1 };
+        let total = total_block_bytes(&cand, dims);
+        let usable = HSW.usable_l3();
+        // ~10.8 MiB of 22.5 MiB usable: ~48%.
+        let frac = total / usable;
+        assert!((0.4..0.6).contains(&frac), "got {frac}");
+        assert!(cache_fit(&cand, dims, &HSW, CacheWindow::default()));
+        // A window excluding it from below:
+        assert!(!cache_fit(&cand, dims, &HSW, CacheWindow { lo_frac: 0.6, hi_frac: 1.0 }));
+    }
+
+    #[test]
+    fn prune_reports_counts() {
+        let dims = GridDims::cubic(480);
+        let space = crate::space::SearchSpace::default_for(18);
+        let cands = space.candidates(dims, 18);
+        let n = cands.len();
+        let (kept, pruned) = prune(cands, dims, &HSW, CacheWindow::default());
+        assert_eq!(kept.len() + pruned, n);
+        assert!(!kept.is_empty(), "some candidate must fit the Haswell");
+        assert!(pruned > 0, "some candidate must be pruned");
+        // The paper's tuned full-chip configurations share cache blocks.
+        assert!(kept.iter().any(|c| c.tg.size() >= 6));
+    }
+}

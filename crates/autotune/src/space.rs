@@ -1,0 +1,101 @@
+//! Search-space enumeration.
+
+use em_field::GridDims;
+use mwd_core::{MwdConfig, TgShape};
+
+/// One tuning candidate (a full MWD configuration).
+pub type Candidate = MwdConfig;
+
+/// The tunable parameter ranges.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// Diamond widths (even, >= 2).
+    pub dw: Vec<usize>,
+    /// Wavefront block widths.
+    pub bz: Vec<usize>,
+    /// Thread-group sizes to consider (each must divide `threads`).
+    pub tg_sizes: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// The paper-style default space for a machine with `threads` threads:
+    /// Dw in {4, 8, ..}, BZ in {1..10}, TG sizes over the divisors of the
+    /// thread count.
+    pub fn default_for(threads: usize) -> Self {
+        SearchSpace {
+            dw: vec![2, 4, 8, 12, 16, 24, 32],
+            bz: vec![1, 2, 3, 4, 6, 9],
+            tg_sizes: (1..=threads).filter(|s| threads % s == 0).collect(),
+        }
+    }
+
+    /// All valid candidates for `dims` at `threads` total threads.
+    pub fn candidates(&self, dims: GridDims, threads: usize) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for &dw in &self.dw {
+            for &bz in &self.bz {
+                for &tg_size in &self.tg_sizes {
+                    if threads % tg_size != 0 {
+                        continue;
+                    }
+                    let groups = threads / tg_size;
+                    for tg in TgShape::enumerate(tg_size) {
+                        let cand = MwdConfig { dw, bz, tg, groups };
+                        if cand.validate(dims).is_ok() {
+                            out.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_covers_paper_parameters() {
+        let s = SearchSpace::default_for(18);
+        assert!(s.dw.contains(&4) && s.dw.contains(&16));
+        assert!(s.bz.contains(&1) && s.bz.contains(&6) && s.bz.contains(&9));
+        assert_eq!(s.tg_sizes, vec![1, 2, 3, 6, 9, 18]);
+    }
+
+    #[test]
+    fn candidates_are_valid_and_thread_exact() {
+        let dims = GridDims::cubic(64);
+        let s = SearchSpace::default_for(6);
+        let cands = s.candidates(dims, 6);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.validate(dims).is_ok());
+            assert_eq!(c.threads(), 6);
+        }
+        // Both extremes present: 6 independent 1WD groups and one 6-thread
+        // shared group.
+        assert!(cands.iter().any(|c| c.groups == 6 && c.tg.size() == 1));
+        assert!(cands.iter().any(|c| c.groups == 1 && c.tg.size() == 6));
+    }
+
+    #[test]
+    fn z_parallelism_respects_bz() {
+        let dims = GridDims::cubic(64);
+        let cands = SearchSpace::default_for(4).candidates(dims, 4);
+        for c in &cands {
+            assert!(c.tg.z <= c.bz, "invalid candidate {c:?}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let dims = GridDims::cubic(32);
+        let cands = SearchSpace::default_for(2).candidates(dims, 2);
+        let mut set = std::collections::HashSet::new();
+        for c in &cands {
+            assert!(set.insert(format!("{c:?}")), "duplicate {c:?}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Native engine comparison: naive sweep vs spatially blocked vs MWD
+//! (1WD and shared thread groups) on this host. The absolute numbers
+//! reflect the 2-core reproduction machine; the paper-scale comparison
+//! lives in the `figures` binary on the simulated Haswell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use em_field::{GridDims, State};
+use em_kernels::{run_naive, step_spatial_mt, SpatialConfig};
+use mwd_core::{run_mwd, MwdConfig, TgShape};
+
+const STEPS: usize = 4;
+
+fn filled(dims: GridDims) -> State {
+    let mut s = State::zeros(dims);
+    s.fields.fill_deterministic(3);
+    s.coeffs.fill_deterministic(4);
+    s
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let dims = GridDims::cubic(32);
+    let mut group = c.benchmark_group("engine_4steps");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((dims.cells() * STEPS) as u64));
+
+    group.bench_function("naive", |b| {
+        let proto = filled(dims);
+        b.iter_batched(
+            || proto.clone(),
+            |mut s| run_naive(&mut s, STEPS),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    for threads in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("spatial", threads), &threads, |b, &t| {
+            let proto = filled(dims);
+            let cfg = SpatialConfig::new(8, 32);
+            b.iter_batched(
+                || proto.clone(),
+                |mut s| {
+                    for _ in 0..STEPS {
+                        step_spatial_mt(&mut s, cfg, t);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+
+    for (label, cfg) in [
+        ("1wd_t1", MwdConfig::one_wd(4, 2, 1)),
+        ("1wd_t2", MwdConfig::one_wd(4, 2, 2)),
+        ("mwd_tg2", MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 1 }),
+        ("mwd_tg2x2", MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 1, c: 1 }, groups: 1 }),
+    ] {
+        group.bench_function(label, |b| {
+            let proto = filled(dims);
+            b.iter_batched(
+                || proto.clone(),
+                |mut s| run_mwd(&mut s, &cfg, STEPS).expect("valid config"),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench target for Fig. 5: times the code-balance measurement pipeline
+//! (tile plan + wavefront trace through the simulated Haswell L3) per
+//! diamond width. Run `cargo run -p em-bench --bin figures --release fig5`
+//! for the actual figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::figures::HSW;
+use em_bench::Scale;
+use mem_sim::simulate_mwd_engine;
+
+fn bench_fig5_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_point");
+    group.sample_size(10);
+    let sim = Scale::Tiny.grid(480);
+    for &dw in em_bench::paper::FIG5_DW {
+        group.bench_with_input(BenchmarkId::new("bz1", dw), &dw, |b, &dw| {
+            b.iter(|| simulate_mwd_engine(&HSW, sim, dw.max(4), dw, 1, 1, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_points);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench target for Fig. 6: times one thread-scaling point per engine
+//! (spatial / 1WD / MWD) at smoke scale. The figure itself is produced by
+//! `cargo run -p em-bench --bin figures --release fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::figures::{tune_point, HSW};
+use em_bench::Scale;
+use em_field::GridDims;
+use mem_sim::{simulate_mwd_engine, simulate_spatial_engine};
+
+fn bench_fig6_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_point");
+    group.sample_size(10);
+    let paper_dims = GridDims::cubic(384);
+    let sim = Scale::Tiny.grid(384);
+    for threads in [1usize, 6, 18] {
+        group.bench_with_input(BenchmarkId::new("spatial", threads), &threads, |b, &t| {
+            b.iter(|| simulate_spatial_engine(&HSW, sim, 1, t));
+        });
+        group.bench_with_input(BenchmarkId::new("one_wd", threads), &threads, |b, &t| {
+            let cfg = tune_point(paper_dims, t, Some(&[1]));
+            b.iter(|| simulate_mwd_engine(&HSW, sim, cfg.dw.max(4), cfg.dw, cfg.bz, cfg.groups, t));
+        });
+        group.bench_with_input(BenchmarkId::new("mwd", threads), &threads, |b, &t| {
+            let cfg = tune_point(paper_dims, t, None);
+            b.iter(|| simulate_mwd_engine(&HSW, sim, cfg.dw.max(4), cfg.dw, cfg.bz, cfg.groups, t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_points);
+criterion_main!(benches);

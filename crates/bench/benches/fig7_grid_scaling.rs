@@ -1,0 +1,30 @@
+//! Bench target for Fig. 7: times one full-socket grid-scaling point
+//! (tuning + traffic measurement) per grid side at smoke scale. The
+//! figure is produced by `cargo run -p em-bench --bin figures --release fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::figures::{tune_point, HSW};
+use em_bench::Scale;
+use em_field::GridDims;
+use mem_sim::simulate_mwd_engine;
+
+fn bench_fig7_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_point");
+    group.sample_size(10);
+    for n in [64usize, 256, 512] {
+        group.bench_with_input(BenchmarkId::new("tune", n), &n, |b, &n| {
+            b.iter(|| tune_point(GridDims::cubic(n), 18, None));
+        });
+        group.bench_with_input(BenchmarkId::new("tune_and_measure", n), &n, |b, &n| {
+            let sim = Scale::Tiny.grid(n);
+            b.iter(|| {
+                let cfg = tune_point(GridDims::cubic(n), 18, None);
+                simulate_mwd_engine(&HSW, sim, cfg.dw.max(4), cfg.dw, cfg.bz, cfg.groups, 18)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7_points);
+criterion_main!(benches);

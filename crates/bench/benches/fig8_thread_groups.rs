@@ -1,0 +1,28 @@
+//! Bench target for Fig. 8: times one thread-group-size point
+//! ({1,6,18}WD) at smoke scale. The figure is produced by
+//! `cargo run -p em-bench --bin figures --release fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_bench::figures::{tune_point, HSW};
+use em_bench::Scale;
+use em_field::GridDims;
+use mem_sim::simulate_mwd_engine;
+
+fn bench_fig8_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_point");
+    group.sample_size(10);
+    let paper_dims = GridDims::cubic(256);
+    let sim = Scale::Tiny.grid(256);
+    for tg in [1usize, 6, 18] {
+        group.bench_with_input(BenchmarkId::new("tgsize", tg), &tg, |b, &tg| {
+            let cfg = tune_point(paper_dims, 18, Some(&[tg]));
+            b.iter(|| {
+                simulate_mwd_engine(&HSW, sim, cfg.dw.max(4), cfg.dw, cfg.bz, cfg.groups, 18)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8_points);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Infrastructure microbenchmarks: the spin barrier, the FIFO tile
+//! queue, plan construction, and the cache-simulator throughput that
+//! bounds figure-regeneration time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mem_sim::{ArrayId, LruCache, RowCacheSim};
+use mwd_core::{DiamondWidth, ReadyQueue, SpinBarrier, TilePlan};
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier");
+    group.bench_function("wait_2_threads", |b| {
+        let bar = SpinBarrier::new(2);
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        for _ in 0..iters {
+                            bar.wait();
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        });
+    });
+    group.finish();
+}
+
+fn bench_queue_and_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    for (ny, nt) in [(64usize, 32usize), (256, 64)] {
+        group.bench_with_input(
+            BenchmarkId::new("plan_build", format!("{ny}x{nt}")),
+            &(ny, nt),
+            |b, &(ny, nt)| {
+                let dw = DiamondWidth::new(8).unwrap();
+                b.iter(|| TilePlan::build(dw, ny, nt));
+            },
+        );
+    }
+    let plan = TilePlan::build(DiamondWidth::new(8).unwrap(), 256, 64);
+    group.throughput(Throughput::Elements(plan.tiles.len() as u64));
+    group.bench_function("queue_drain", |b| {
+        b.iter(|| {
+            let q = ReadyQueue::new(&plan);
+            let mut n = 0;
+            while let Some(t) = q.try_pop() {
+                q.complete(t);
+                n += 1;
+            }
+            assert_eq!(n, plan.tiles.len());
+        });
+    });
+    group.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("lru_access_100k", |b| {
+        b.iter(|| {
+            let mut lru = LruCache::new(4096);
+            let mut k = 1u64;
+            for _ in 0..100_000 {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+                lru.access(k >> 50, k & 1 == 0);
+            }
+            lru.misses
+        });
+    });
+    group.bench_function("rowsim_access_100k", |b| {
+        b.iter(|| {
+            let mut sim = RowCacheSim::new(1 << 22, 4096);
+            for i in 0..100_000usize {
+                sim.access(ArrayId((i % 40) as u8), i % 97, i % 53, i % 7 == 0);
+            }
+            sim.mem.total()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier, bench_queue_and_plan, bench_cache_sim);
+criterion_main!(benches);

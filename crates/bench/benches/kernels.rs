@@ -1,0 +1,51 @@
+//! Microbenchmarks of the THIIM component kernels (the loop bodies of
+//! paper Listings 1 and 2) and of full reference sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use em_field::{Component, GridDims, State};
+use em_kernels::{step_naive, step_spatial, update_component_row, RawGrid, SpatialConfig};
+
+fn filled(dims: GridDims) -> State {
+    let mut s = State::zeros(dims);
+    s.fields.fill_deterministic(1);
+    s.coeffs.fill_deterministic(2);
+    s
+}
+
+fn bench_row_kernels(c: &mut Criterion) {
+    let dims = GridDims::new(256, 8, 8);
+    let state = filled(dims);
+    let g = RawGrid::new(&state);
+    let mut group = c.benchmark_group("row_kernel");
+    group.throughput(Throughput::Elements(dims.nx as u64));
+    // Listing 1 type (z shift + source) vs Listing 2 type (x shift).
+    for comp in [Component::Hyx, Component::Hzy, Component::Hzx] {
+        group.bench_with_input(BenchmarkId::from_parameter(comp.name()), &comp, |b, &comp| {
+            b.iter(|| unsafe {
+                update_component_row(&g, comp, 4, 4, 0..dims.nx);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_step");
+    for n in [16usize, 32, 48] {
+        let dims = GridDims::cubic(n);
+        group.throughput(Throughput::Elements(dims.cells() as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            let mut s = filled(dims);
+            b.iter(|| step_naive(&mut s));
+        });
+        group.bench_with_input(BenchmarkId::new("spatial", n), &n, |b, _| {
+            let mut s = filled(dims);
+            let cfg = SpatialConfig::new((n / 4).max(1), n);
+            b.iter(|| step_spatial(&mut s, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_kernels, bench_sweeps);
+criterion_main!(benches);

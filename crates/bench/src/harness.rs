@@ -1,0 +1,117 @@
+//! Output plumbing: CSV files under `results/`, simple aligned tables and
+//! ASCII sparkline charts for the terminal.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory for CSV outputs; created on demand.
+pub fn results_dir() -> PathBuf {
+    let candidates = ["results", "../results", "../../results"];
+    for c in candidates {
+        let p = Path::new(c);
+        if p.is_dir() {
+            return p.to_path_buf();
+        }
+    }
+    let p = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// Write a CSV file with a header row.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.join(","));
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Render an aligned text table.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut s = String::new();
+    let line = |s: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(s, "{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8));
+        }
+        s.push('\n');
+    };
+    line(&mut s, &header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    s.push_str(&"-".repeat(total));
+    s.push('\n');
+    for r in rows {
+        line(&mut s, r);
+    }
+    s
+}
+
+/// A one-line ASCII profile of a series (for quick shape checks).
+pub fn sparkline(label: &str, values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    let body: String = values
+        .iter()
+        .map(|&v| GLYPHS[(((v - min) / span) * 7.0).round() as usize])
+        .collect();
+    format!("{label:<22} {body}  [{min:.1} .. {max:.1}]")
+}
+
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "longer"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("longer"));
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline("test", &[0.0, 1.0, 2.0, 3.0]);
+        assert!(s.contains('▁') && s.contains('█'));
+        assert!(s.contains("[0.0 .. 3.0]"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "test_harness.csv",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(body, "x,y\n1,2\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,12 @@
+//! # em-bench — benchmark and figure-regeneration harness
+//!
+//! One generator per table/figure of the paper's evaluation (Sec. III-IV),
+//! shared between the `figures` binary, the Criterion benches and the
+//! integration smoke tests. Results are written to `results/*.csv` and
+//! printed with the paper's reference shapes alongside.
+
+pub mod figures;
+pub mod harness;
+pub mod paper;
+
+pub use figures::{fig5, fig6, fig7, fig8, sect3, shapes, thin_domain, validate, Scale};

@@ -1,0 +1,78 @@
+//! Reference values digitized from the paper's figures, used to check
+//! that regenerated series reproduce the published *shapes* (who wins, by
+//! what factor, where the crossovers fall). Absolute numbers on the
+//! simulated substrate are not expected to match the authors' testbed
+//! exactly.
+
+/// Fig. 6a (thread scaling at 384^3), approximate MLUP/s at selected
+/// thread counts: `(threads, spatial, one_wd, mwd)`.
+pub const FIG6A_PERF: &[(usize, f64, f64, f64)] = &[
+    (1, 10.0, 10.0, 9.5),
+    (6, 40.0, 55.0, 52.0),
+    (10, 41.0, 78.0, 82.0),
+    (12, 41.0, 80.0, 95.0),
+    (18, 41.0, 65.0, 130.0),
+];
+
+/// Fig. 6b, memory bandwidth GB/s at 18 threads.
+pub const FIG6B_BW_18: (f64, f64, f64) = (50.0, 48.0, 25.0); // spatial, 1WD, MWD
+
+/// Fig. 7a (grid scaling, full socket), `(n, spatial, one_wd, mwd)`.
+pub const FIG7A_PERF: &[(usize, f64, f64, f64)] = &[
+    (64, 75.0, 150.0, 160.0),
+    (128, 45.0, 110.0, 135.0),
+    (256, 41.0, 80.0, 130.0),
+    (384, 41.0, 65.0, 130.0),
+    (512, 40.0, 55.0, 125.0),
+];
+
+/// Paper's headline claims (Abstract / Sec. IV).
+pub struct Claims {
+    pub speedup_lo: f64,
+    pub speedup_hi: f64,
+    pub bandwidth_saving_lo: f64,
+    pub bandwidth_saving_hi: f64,
+    pub spatial_saturation_mlups: f64,
+    pub spatial_saturation_threads: usize,
+    pub one_wd_saturation_threads: usize,
+    pub mwd_full_chip_efficiency: f64,
+}
+
+pub const CLAIMS: Claims = Claims {
+    speedup_lo: 3.0,
+    speedup_hi: 4.0,
+    bandwidth_saving_lo: 0.38,
+    bandwidth_saving_hi: 0.80,
+    spatial_saturation_mlups: 41.0,
+    spatial_saturation_threads: 6,
+    one_wd_saturation_threads: 10,
+    mwd_full_chip_efficiency: 0.75,
+};
+
+/// Fig. 8: the thread-group sizes compared by the paper.
+pub const FIG8_TG_SIZES: &[usize] = &[1, 2, 3, 6, 9, 18];
+
+/// Fig. 5 parameters: diamond widths and wavefront widths tested.
+pub const FIG5_DW: &[usize] = &[4, 8, 12, 16];
+pub const FIG5_BZ: &[usize] = &[1, 6, 9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_series_are_well_formed() {
+        assert!(FIG6A_PERF.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(FIG7A_PERF.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(CLAIMS.speedup_lo < CLAIMS.speedup_hi);
+    }
+
+    #[test]
+    fn claims_match_models() {
+        // Cross-check claims against the analytic models, independent of
+        // any simulation.
+        let hsw = perf_models::MachineSpec::HASWELL_E5_2699_V3;
+        let sp = perf_models::perf_mlups(&hsw, 18, perf_models::code_balance_spatial());
+        assert!((sp.mlups - CLAIMS.spatial_saturation_mlups).abs() < 1.0);
+    }
+}

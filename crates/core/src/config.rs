@@ -1,0 +1,232 @@
+//! MWD run configuration: diamond width, wavefront width, and the
+//! multi-dimensional thread-group shape.
+
+use crate::diamond::DiamondWidth;
+use crate::wavefront::WavefrontSpec;
+use em_field::GridDims;
+
+/// Intra-tile parallelization shape of one thread group (TG).
+///
+/// The paper's multi-dimensional intra-tile parallelization splits a
+/// tile's work three ways (Sec. II-B):
+/// - `x`: threads take contiguous chunks of the contiguous dimension,
+/// - `z`: threads take sub-slabs of each row's wavefront window,
+/// - `c`: threads take subsets of the six field components (1/2/3/6-way).
+///
+/// The y (diamond) dimension is deliberately *not* split: the odd E-row
+/// widths make it impossible to load-balance (Sec. II-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TgShape {
+    pub x: usize,
+    pub z: usize,
+    pub c: usize,
+}
+
+impl TgShape {
+    /// A single-thread group (the 1WD configuration).
+    pub const SINGLE: TgShape = TgShape { x: 1, z: 1, c: 1 };
+
+    pub fn new(x: usize, z: usize, c: usize) -> Result<Self, String> {
+        let s = TgShape { x, z, c };
+        s.validate()?;
+        Ok(s)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.x == 0 || self.z == 0 {
+            return Err(format!("TG shape must be positive, got {self:?}"));
+        }
+        if ![1, 2, 3, 6].contains(&self.c) {
+            return Err(format!(
+                "component parallelism must be 1, 2, 3 or 6 (six components), got {}",
+                self.c
+            ));
+        }
+        Ok(())
+    }
+
+    /// Threads per group.
+    pub fn size(&self) -> usize {
+        self.x * self.z * self.c
+    }
+
+    /// Decompose a member id `0..size()` into `(ix, iz, ic)` coordinates.
+    pub fn coords(&self, member: usize) -> (usize, usize, usize) {
+        debug_assert!(member < self.size());
+        let ic = member % self.c;
+        let iz = (member / self.c) % self.z;
+        let ix = member / (self.c * self.z);
+        (ix, iz, ic)
+    }
+
+    /// All factorizations `x*z*c = size` with valid `c`, used by the
+    /// auto-tuner's search space.
+    pub fn enumerate(size: usize) -> Vec<TgShape> {
+        let mut out = Vec::new();
+        for c in [1usize, 2, 3, 6] {
+            if size % c != 0 {
+                continue;
+            }
+            let xz = size / c;
+            for x in 1..=xz {
+                if xz % x == 0 {
+                    out.push(TgShape { x, z: xz / x, c });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Full MWD configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MwdConfig {
+    pub dw: usize,
+    pub bz: usize,
+    pub tg: TgShape,
+    /// Number of concurrently running thread groups.
+    pub groups: usize,
+}
+
+impl MwdConfig {
+    /// The 1WD configuration: `threads` groups of one thread each.
+    pub fn one_wd(dw: usize, bz: usize, threads: usize) -> Self {
+        MwdConfig { dw, bz, tg: TgShape::SINGLE, groups: threads }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.groups * self.tg.size()
+    }
+
+    pub fn diamond(&self) -> Result<DiamondWidth, String> {
+        DiamondWidth::new(self.dw)
+    }
+
+    pub fn wavefront(&self) -> Result<WavefrontSpec, String> {
+        WavefrontSpec::new(self.bz)
+    }
+
+    pub fn validate(&self, dims: GridDims) -> Result<(), String> {
+        dims.validate()?;
+        self.diamond()?;
+        self.wavefront()?;
+        self.tg.validate()?;
+        if self.groups == 0 {
+            return Err("need at least one thread group".into());
+        }
+        if self.tg.z > self.bz {
+            return Err(format!(
+                "z-parallelism {} exceeds wavefront window BZ={}: threads would idle",
+                self.tg.z, self.bz
+            ));
+        }
+        if self.tg.x > dims.nx {
+            return Err(format!("x-parallelism {} exceeds Nx={}", self.tg.x, dims.nx));
+        }
+        Ok(())
+    }
+}
+
+/// Balanced split of `range` into `parts`, returning part `i`.
+/// First `len % parts` chunks get one extra element.
+pub fn split_range(range: std::ops::Range<usize>, parts: usize, i: usize) -> std::ops::Range<usize> {
+    debug_assert!(i < parts);
+    let len = range.end.saturating_sub(range.start);
+    let base = len / parts;
+    let extra = len % parts;
+    let start = range.start + i * base + i.min(extra);
+    let end = start + base + usize::from(i < extra);
+    start..end.min(range.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_size_and_coords_roundtrip() {
+        let tg = TgShape::new(2, 3, 3).unwrap();
+        assert_eq!(tg.size(), 18);
+        let mut seen = std::collections::HashSet::new();
+        for m in 0..tg.size() {
+            let (ix, iz, ic) = tg.coords(m);
+            assert!(ix < 2 && iz < 3 && ic < 3);
+            assert!(seen.insert((ix, iz, ic)), "coords must be unique");
+        }
+        assert_eq!(seen.len(), 18);
+    }
+
+    #[test]
+    fn invalid_component_parallelism_rejected() {
+        assert!(TgShape::new(1, 1, 4).is_err());
+        assert!(TgShape::new(1, 1, 5).is_err());
+        for c in [1, 2, 3, 6] {
+            assert!(TgShape::new(1, 1, c).is_ok());
+        }
+    }
+
+    #[test]
+    fn enumerate_covers_paper_tg_sizes() {
+        // 18 threads on the Haswell: shapes like (1,3,6), (3,1,6), (1,6,3)...
+        let shapes = TgShape::enumerate(18);
+        assert!(shapes.contains(&TgShape { x: 1, z: 3, c: 6 }));
+        assert!(shapes.contains(&TgShape { x: 3, z: 2, c: 3 }));
+        assert!(shapes.contains(&TgShape { x: 18, z: 1, c: 1 }));
+        for s in &shapes {
+            assert_eq!(s.size(), 18);
+            assert!(s.validate().is_ok());
+        }
+        // 6 threads: 1x1x6, 1x2x3, 2x1x3, 1x3x2, ..., 6x1x1
+        let six = TgShape::enumerate(6);
+        assert!(six.contains(&TgShape { x: 1, z: 1, c: 6 }));
+        assert!(six.contains(&TgShape { x: 6, z: 1, c: 1 }));
+    }
+
+    #[test]
+    fn config_validation_catches_mismatches() {
+        let dims = GridDims::cubic(16);
+        let ok = MwdConfig { dw: 4, bz: 4, tg: TgShape::new(2, 2, 3).unwrap(), groups: 1 };
+        assert!(ok.validate(dims).is_ok());
+        let bad_dw = MwdConfig { dw: 5, ..ok };
+        assert!(bad_dw.validate(dims).is_err());
+        let bad_z = MwdConfig { tg: TgShape { x: 1, z: 8, c: 1 }, bz: 4, ..ok };
+        assert!(bad_z.validate(dims).is_err());
+        let bad_groups = MwdConfig { groups: 0, ..ok };
+        assert!(bad_groups.validate(dims).is_err());
+        let bad_x = MwdConfig { tg: TgShape { x: 32, z: 1, c: 1 }, ..ok };
+        assert!(bad_x.validate(dims).is_err());
+    }
+
+    #[test]
+    fn one_wd_is_single_thread_groups() {
+        let cfg = MwdConfig::one_wd(8, 2, 6);
+        assert_eq!(cfg.threads(), 6);
+        assert_eq!(cfg.tg.size(), 1);
+        assert_eq!(cfg.groups, 6);
+    }
+
+    #[test]
+    fn split_range_is_a_partition() {
+        for (len, parts) in [(10usize, 3usize), (7, 7), (5, 2), (12, 4), (3, 6), (0, 2)] {
+            let mut covered = vec![0; len];
+            for i in 0..parts {
+                for j in split_range(0..len, parts, i) {
+                    covered[j] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "len={len} parts={parts}");
+            // Balance: sizes differ by at most 1.
+            let sizes: Vec<usize> =
+                (0..parts).map(|i| split_range(0..len, parts, i).len()).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "unbalanced split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn split_range_with_offset() {
+        let r = split_range(5..15, 3, 1);
+        assert_eq!(r, 9..12);
+    }
+}

@@ -1,0 +1,448 @@
+//! The MWD execution engine: thread groups cooperatively updating diamond
+//! tiles from the shared FIFO queue, with multi-dimensional intra-tile
+//! parallelization (x chunks x z sub-windows x component subsets).
+//!
+//! # Safety argument (referenced by every `unsafe` block below)
+//!
+//! Writes: a (tile, row, position) work item writes component arrays of
+//! `row.kind` at cells `(x, y, z)` with `y` in the row's clipped interval
+//! and `z` in the row's wavefront window. Within the item, group members
+//! write disjoint `(component, z-chunk, x-chunk)` triples by construction
+//! of `TgShape::coords` + `split_range`. Across items:
+//!
+//! - rows within one tile are separated by the group's [`SpinBarrier`]
+//!   (release/acquire), and the wavefront windows make successive rows'
+//!   read sets land in already-completed cells
+//!   (`wavefront::tests::wavefront_satisfies_z_dependencies_exactly`);
+//! - concurrently running tiles never overlap in writes, and never write
+//!   what another in-flight tile reads (`TilePlan` antichain disjointness,
+//!   verified by `tiling` tests and the plan validator);
+//! - a completed tile's writes are published to dependent tiles through
+//!   the queue's mutex (release on `complete`, acquire on `pop`) and the
+//!   group's publish barrier.
+//!
+//! The end-to-end check is the bitwise oracle: for any configuration and
+//! thread count, `run_mwd` must produce exactly the bits of `step_naive`.
+
+use crate::barrier::SpinBarrier;
+use crate::config::{split_range, MwdConfig};
+use crate::queue::ReadyQueue;
+use crate::tiling::{Tile, TilePlan};
+use crate::wavefront::WavefrontSpec;
+use em_field::{Component, State};
+use em_kernels::update::update_component_rows_periodic_x;
+use em_kernels::{update_component_rows, RawGrid};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Boundary handling of the temporally blocked engines. Periodic x uses
+/// the loop-peeled kernels (the paper's outlook, Sec. VI): the wrap read
+/// stays within the current (y, z) row of the opposite field, so the
+/// diamond/wavefront dependency structure is untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MwdBoundary {
+    /// Homogeneous Dirichlet (zero halo) — the paper's benchmark mode.
+    #[default]
+    Dirichlet,
+    /// Periodic along x, Dirichlet along y/z.
+    PeriodicX,
+}
+
+/// Counters from one MWD run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Tiles executed (clipped diamonds).
+    pub tiles: usize,
+    /// Single-field cell updates performed (2 per LUP).
+    pub half_updates: usize,
+    /// Barrier crossings per thread (row/position synchronizations).
+    pub barriers: usize,
+    /// Thread count used.
+    pub threads: usize,
+}
+
+/// Run `nt` time steps of the THIIM update with MWD temporal blocking.
+///
+/// Builds the tile plan for `(ny, nt, dw)`, then lets
+/// `cfg.groups` thread groups of `cfg.tg.size()` threads each drain it.
+/// Any valid configuration yields results bit-identical to
+/// [`em_kernels::run_naive`].
+pub fn run_mwd(state: &mut State, cfg: &MwdConfig, nt: usize) -> Result<RunStats, String> {
+    run_mwd_bc(state, cfg, nt, MwdBoundary::Dirichlet)
+}
+
+/// [`run_mwd`] with an explicit boundary selection.
+pub fn run_mwd_bc(
+    state: &mut State,
+    cfg: &MwdConfig,
+    nt: usize,
+    boundary: MwdBoundary,
+) -> Result<RunStats, String> {
+    let dims = state.dims();
+    cfg.validate(dims)?;
+    if nt == 0 {
+        return Ok(RunStats { threads: cfg.threads(), ..RunStats::default() });
+    }
+    let plan = TilePlan::build(cfg.diamond()?, dims.ny, nt);
+    run_mwd_with_plan_bc(state, cfg, &plan, boundary)
+}
+
+/// Run a pre-built tile plan (the auto-tuner reuses plans across probes).
+pub fn run_mwd_with_plan(
+    state: &mut State,
+    cfg: &MwdConfig,
+    plan: &TilePlan,
+) -> Result<RunStats, String> {
+    run_mwd_with_plan_bc(state, cfg, plan, MwdBoundary::Dirichlet)
+}
+
+/// [`run_mwd_with_plan`] with an explicit boundary selection.
+pub fn run_mwd_with_plan_bc(
+    state: &mut State,
+    cfg: &MwdConfig,
+    plan: &TilePlan,
+    boundary: MwdBoundary,
+) -> Result<RunStats, String> {
+    let dims = state.dims();
+    cfg.validate(dims)?;
+    if plan.ny != dims.ny {
+        return Err(format!("plan ny={} does not match grid ny={}", plan.ny, dims.ny));
+    }
+    if plan.dw.get() != cfg.dw {
+        return Err(format!("plan dw={} does not match config dw={}", plan.dw.get(), cfg.dw));
+    }
+
+    let wf = cfg.wavefront()?;
+    let queue = ReadyQueue::new(plan);
+    let tg_size = cfg.tg.size();
+    let groups: Vec<GroupCtx> = (0..cfg.groups).map(|_| GroupCtx::new(tg_size)).collect();
+    let half_updates = AtomicUsize::new(0);
+    let barriers = AtomicUsize::new(0);
+    let tiles_run = AtomicUsize::new(0);
+
+    // Raw view shared by all workers; see the module-level safety argument.
+    let g = RawGrid::new(state);
+
+    std::thread::scope(|scope| {
+        for group in &groups {
+            for member in 0..tg_size {
+                let queue = &queue;
+                let g = g; // copy the raw view into the closure
+                let half_updates = &half_updates;
+                let barriers = &barriers;
+                let tiles_run = &tiles_run;
+                scope.spawn(move || {
+                    worker(
+                        &g, plan, cfg, wf, queue, group, member, boundary, half_updates,
+                        barriers, tiles_run,
+                    );
+                });
+            }
+        }
+    });
+
+    Ok(RunStats {
+        tiles: tiles_run.load(Ordering::Relaxed),
+        // Workers accumulate component-cell updates; six per field cell.
+        half_updates: half_updates.load(Ordering::Relaxed) / 6,
+        barriers: barriers.load(Ordering::Relaxed),
+        threads: cfg.threads(),
+    })
+}
+
+/// Sentinel published to a group's slot when the queue is drained.
+const SHUTDOWN: usize = usize::MAX;
+
+struct GroupCtx {
+    barrier: SpinBarrier,
+    /// Tile index + 1, or SHUTDOWN.
+    slot: AtomicUsize,
+}
+
+impl GroupCtx {
+    fn new(tg_size: usize) -> Self {
+        GroupCtx { barrier: SpinBarrier::new(tg_size), slot: AtomicUsize::new(0) }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    g: &RawGrid<'_>,
+    plan: &TilePlan,
+    cfg: &MwdConfig,
+    wf: WavefrontSpec,
+    queue: &ReadyQueue<'_>,
+    group: &GroupCtx,
+    member: usize,
+    boundary: MwdBoundary,
+    half_updates: &AtomicUsize,
+    barriers: &AtomicUsize,
+    tiles_run: &AtomicUsize,
+) {
+    let leader = member == 0;
+    let (ix, iz, ic) = cfg.tg.coords(member);
+    let mut my_barriers = 0usize;
+    let mut my_half = 0usize;
+    let mut my_tiles = 0usize;
+
+    loop {
+        if leader {
+            let next = queue.pop().map(|t| t + 1).unwrap_or(SHUTDOWN);
+            group.slot.store(next, Ordering::Release);
+        }
+        // Publish barrier: members learn the tile; pairs with the leader's
+        // release store and closes the previous tile's epoch.
+        group.barrier.wait();
+        my_barriers += 1;
+        let slot = group.slot.load(Ordering::Acquire);
+        if slot == SHUTDOWN {
+            break;
+        }
+        let tile = &plan.tiles[slot - 1];
+
+        my_half +=
+            execute_tile(g, tile, cfg, wf, group, boundary, &mut my_barriers, ix, iz, ic);
+
+        if leader {
+            queue.complete(slot - 1);
+            my_tiles += 1;
+        }
+    }
+
+    half_updates.fetch_add(my_half, Ordering::Relaxed);
+    barriers.fetch_add(my_barriers, Ordering::Relaxed);
+    tiles_run.fetch_add(my_tiles, Ordering::Relaxed);
+}
+
+/// Execute one tile cooperatively. Returns this member's cell updates.
+#[allow(clippy::too_many_arguments)]
+fn execute_tile(
+    g: &RawGrid<'_>,
+    tile: &Tile,
+    cfg: &MwdConfig,
+    wf: WavefrontSpec,
+    group: &GroupCtx,
+    boundary: MwdBoundary,
+    my_barriers: &mut usize,
+    ix: usize,
+    iz: usize,
+    ic: usize,
+) -> usize {
+    let dims = g.dims();
+    let max_lag = tile.max_lag();
+    let comps_per = 6 / cfg.tg.c;
+    let mut half = 0usize;
+
+    for p in wf.positions(dims.nz, max_lag) {
+        for row in &tile.rows {
+            let zwin = wf.window(p, row.lag, dims.nz);
+            if !zwin.is_empty() {
+                let my_z = split_range(zwin, cfg.tg.z, iz);
+                let my_x = split_range(0..dims.nx, cfg.tg.x, ix);
+                if !my_z.is_empty() && !my_x.is_empty() {
+                    let comps = Component::of(row.kind);
+                    for &comp in &comps[ic * comps_per..(ic + 1) * comps_per] {
+                        // SAFETY: module-level argument — disjoint
+                        // (component, z, x) split within the item; barriers
+                        // order items; the plan orders tiles. The periodic
+                        // wrap reads the same row of previous-row arrays,
+                        // preserving the argument unchanged.
+                        unsafe {
+                            match boundary {
+                                MwdBoundary::Dirichlet => update_component_rows(
+                                    g,
+                                    comp,
+                                    my_z.clone(),
+                                    row.y_range(),
+                                    my_x.clone(),
+                                ),
+                                MwdBoundary::PeriodicX => update_component_rows_periodic_x(
+                                    g,
+                                    comp,
+                                    my_z.clone(),
+                                    row.y_range(),
+                                    my_x.clone(),
+                                ),
+                            }
+                        };
+                    }
+                    // Count component-cell updates; 6 of them make one
+                    // single-field cell update.
+                    half += my_z.len() * row.y_range().len() * my_x.len() * comps_per;
+                }
+            }
+            // Row barrier: uniform across members (also for empty windows)
+            // so control flow never diverges.
+            group.barrier.wait();
+            *my_barriers += 1;
+        }
+    }
+    half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TgShape;
+    use em_field::GridDims;
+    use em_kernels::run_naive;
+
+    fn filled(dims: GridDims, seed: u64) -> State {
+        let mut s = State::zeros(dims);
+        s.fields.fill_deterministic(seed);
+        s.coeffs.fill_deterministic(seed ^ 0xbeef);
+        s
+    }
+
+    fn assert_mwd_matches_naive(dims: GridDims, cfg: MwdConfig, nt: usize, seed: u64) {
+        let mut reference = filled(dims, seed);
+        let mut tiled = reference.clone();
+        run_naive(&mut reference, nt);
+        let stats = run_mwd(&mut tiled, &cfg, nt).expect("run_mwd");
+        if let Some(m) = em_field::norms::first_mismatch(&tiled.fields, &reference.fields) {
+            panic!("cfg {cfg:?} nt={nt} dims={dims}: first mismatch {m:?}");
+        }
+        assert_eq!(stats.threads, cfg.threads());
+        // Each field cell updated once per step: ny*nz*nx per field per
+        // step => 2*cells*nt single-field updates in total.
+        assert_eq!(stats.half_updates, 2 * dims.cells() * nt);
+    }
+
+    #[test]
+    fn single_thread_single_group_matches_naive() {
+        let dims = GridDims::new(6, 8, 7);
+        assert_mwd_matches_naive(dims, MwdConfig::one_wd(4, 2, 1), 5, 1);
+    }
+
+    #[test]
+    fn multiple_single_thread_groups_match_naive() {
+        // 1WD with 4 concurrent groups.
+        let dims = GridDims::new(5, 12, 6);
+        assert_mwd_matches_naive(dims, MwdConfig::one_wd(4, 3, 4), 6, 2);
+    }
+
+    #[test]
+    fn component_parallel_group_matches_naive() {
+        for c in [2usize, 3, 6] {
+            let dims = GridDims::new(4, 8, 5);
+            let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c }, groups: 1 };
+            assert_mwd_matches_naive(dims, cfg, 4, 3);
+        }
+    }
+
+    #[test]
+    fn x_parallel_group_matches_naive() {
+        let dims = GridDims::new(9, 8, 5);
+        let cfg = MwdConfig { dw: 4, bz: 1, tg: TgShape { x: 3, z: 1, c: 1 }, groups: 1 };
+        assert_mwd_matches_naive(dims, cfg, 4, 4);
+    }
+
+    #[test]
+    fn z_parallel_group_matches_naive() {
+        let dims = GridDims::new(4, 8, 9);
+        let cfg = MwdConfig { dw: 4, bz: 4, tg: TgShape { x: 1, z: 2, c: 1 }, groups: 1 };
+        assert_mwd_matches_naive(dims, cfg, 4, 5);
+    }
+
+    #[test]
+    fn full_multidimensional_groups_match_naive() {
+        // 2 groups x (2*2*3) = 12 threads on an oversubscribed host —
+        // correctness must not depend on core count.
+        let dims = GridDims::new(8, 12, 8);
+        let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 2, c: 3 }, groups: 2 };
+        assert_mwd_matches_naive(dims, cfg, 5, 6);
+    }
+
+    #[test]
+    fn large_diamond_and_wavefront_match_naive() {
+        let dims = GridDims::new(4, 16, 12);
+        let cfg = MwdConfig { dw: 8, bz: 6, tg: TgShape { x: 1, z: 2, c: 2 }, groups: 2 };
+        assert_mwd_matches_naive(dims, cfg, 9, 7);
+    }
+
+    #[test]
+    fn domain_not_divisible_by_diamond_width() {
+        let dims = GridDims::new(3, 7, 5);
+        let cfg = MwdConfig { dw: 4, bz: 3, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 3 };
+        assert_mwd_matches_naive(dims, cfg, 3, 8);
+    }
+
+    #[test]
+    fn nt_smaller_than_diamond_height() {
+        let dims = GridDims::new(4, 10, 4);
+        assert_mwd_matches_naive(dims, MwdConfig::one_wd(8, 2, 2), 2, 9);
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let dims = GridDims::cubic(4);
+        let mut s = filled(dims, 10);
+        let before = s.fields.clone();
+        let stats = run_mwd(&mut s, &MwdConfig::one_wd(4, 1, 2), 0).unwrap();
+        assert!(s.fields.bit_eq(&before));
+        assert_eq!(stats.half_updates, 0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_without_running() {
+        let dims = GridDims::cubic(4);
+        let mut s = filled(dims, 11);
+        let cfg = MwdConfig { dw: 3, bz: 1, tg: TgShape::SINGLE, groups: 1 };
+        assert!(run_mwd(&mut s, &cfg, 2).is_err());
+    }
+
+    #[test]
+    fn periodic_x_mwd_matches_halo_exchange_naive() {
+        // The outlook feature: MWD with peeled periodic-x kernels must be
+        // bit-identical to the halo-exchange naive reference, for any
+        // thread-group shape.
+        use em_kernels::boundary::{step_naive_with_boundary, Boundary};
+        let dims = GridDims::new(7, 9, 8);
+        for cfg in [
+            MwdConfig::one_wd(4, 2, 2),
+            MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 2, c: 3 }, groups: 1 },
+        ] {
+            let mut reference = filled(dims, 321);
+            let mut tiled = reference.clone();
+            for _ in 0..5 {
+                step_naive_with_boundary(&mut reference, Boundary::PeriodicX);
+            }
+            run_mwd_bc(&mut tiled, &cfg, 5, MwdBoundary::PeriodicX).expect("runs");
+            // The halo cells differ (naive writes wrap copies there), so
+            // compare interiors via the component-wise norm.
+            for comp in em_field::Component::ALL {
+                let a = reference.fields.comp(comp);
+                let b = tiled.fields.comp(comp);
+                for ((x, y, z), va) in a.iter_interior() {
+                    let vb = b.get(x as isize, y as isize, z as isize);
+                    assert!(
+                        va.re.to_bits() == vb.re.to_bits() && va.im.to_bits() == vb.im.to_bits(),
+                        "cfg {cfg:?} {comp} ({x},{y},{z}): {va:?} vs {vb:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_x_differs_from_dirichlet() {
+        // Sanity: the boundary selection actually changes the physics.
+        let dims = GridDims::new(5, 6, 6);
+        let mut a = filled(dims, 11);
+        let mut b = a.clone();
+        let cfg = MwdConfig::one_wd(4, 1, 1);
+        run_mwd_bc(&mut a, &cfg, 3, MwdBoundary::Dirichlet).unwrap();
+        run_mwd_bc(&mut b, &cfg, 3, MwdBoundary::PeriodicX).unwrap();
+        assert!(!a.fields.bit_eq(&b.fields));
+    }
+
+    #[test]
+    fn stats_count_tiles_and_barriers() {
+        let dims = GridDims::new(4, 8, 4);
+        let mut s = filled(dims, 12);
+        let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 1 };
+        let stats = run_mwd(&mut s, &cfg, 4).unwrap();
+        let plan = TilePlan::build(crate::diamond::DiamondWidth::new(4).unwrap(), 8, 4);
+        assert_eq!(stats.tiles, plan.tiles.len());
+        assert!(stats.barriers > 0);
+    }
+}

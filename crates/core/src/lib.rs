@@ -1,0 +1,34 @@
+//! # mwd-core — multicore wavefront diamond temporal blocking
+//!
+//! The paper's primary contribution: diamond tiling along y with E/H field
+//! splitting (Fig. 2), wavefront traversal along z (Fig. 4), dynamic FIFO
+//! tile scheduling, and thread groups with multi-dimensional intra-tile
+//! parallelization (x chunks, z sub-windows, and 1/2/3/6-way component
+//! parallelism — Fig. 3).
+//!
+//! The module structure follows the system's layers:
+//!
+//! - [`diamond`]: canonical diamond geometry in (y, time) space;
+//! - [`tiling`]: tessellation of a whole run into clipped tiles plus the
+//!   two-parent dependency DAG, with an exact-level schedule validator;
+//! - [`wavefront`]: per-row z windows realizing `Ww = Dw + BZ - 1`;
+//! - [`queue`]: the FIFO ready queue ("OpenMP critical" in the paper);
+//! - [`barrier`]: sense-reversing spin barrier for intra-group sync;
+//! - [`config`]: `Dw`/`BZ`/thread-group-shape parameters;
+//! - [`executor`]: the parallel engine, bit-identical to the naive sweep.
+
+pub mod barrier;
+pub mod config;
+pub mod diamond;
+pub mod executor;
+pub mod queue;
+pub mod tiling;
+pub mod wavefront;
+
+pub use barrier::SpinBarrier;
+pub use config::{split_range, MwdConfig, TgShape};
+pub use diamond::{diamond_rows, DiamondRow, DiamondWidth};
+pub use executor::{run_mwd, run_mwd_bc, run_mwd_with_plan, run_mwd_with_plan_bc, MwdBoundary, RunStats};
+pub use queue::ReadyQueue;
+pub use tiling::{ClippedRow, Tile, TilePlan};
+pub use wavefront::WavefrontSpec;

@@ -1,0 +1,375 @@
+//! Tile plan: enumeration of all clipped diamond tiles for a given
+//! (Ny, Nt, Dw), plus the inter-tile dependency graph.
+//!
+//! Tiles tessellate the (y, time) plane: row `k` holds diamonds with time
+//! base `n0 = k*R` and bases `Y ≡ (k mod 2)*R (mod Dw)`. Each tile is
+//! clipped to the domain strip `y ∈ [0, Ny)`, `time ∈ [1, Nt]`; empty tiles
+//! are dropped. The only dependencies are the two parents
+//! `D_{k-1}(Y ± R)` — same-row diamonds are independent, and
+//! write-after-read hazards coincide with the parent edges (see DESIGN.md
+//! Sec. 3.2). Both facts are enforced by `validate` below and by the
+//! bitwise executor oracle.
+
+use crate::diamond::{diamond_rows, DiamondRow, DiamondWidth};
+use em_field::FieldKind;
+use std::collections::HashMap;
+
+/// A diamond row clipped to the domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClippedRow {
+    pub kind: FieldKind,
+    /// Time step computed, `1..=nt`.
+    pub time: usize,
+    /// Inclusive clipped y interval within `[0, ny)`.
+    pub y0: usize,
+    pub y1: usize,
+    /// Canonical wavefront lag (kept from the unclipped diamond so z
+    /// windows stay mutually consistent under clipping).
+    pub lag: usize,
+}
+
+impl ClippedRow {
+    pub fn y_range(&self) -> std::ops::Range<usize> {
+        self.y0..self.y1 + 1
+    }
+}
+
+/// One scheduled diamond tile.
+#[derive(Clone, Debug)]
+pub struct Tile {
+    /// Diamond row (time-block) index.
+    pub k: i64,
+    /// Canonical base Y (may be negative for edge tiles).
+    pub base: i64,
+    /// Clipped rows, bottom-up.
+    pub rows: Vec<ClippedRow>,
+}
+
+impl Tile {
+    /// Lattice-site updates in this (clipped) tile, counted as E-phase
+    /// cell updates (each full LUP = one H + one E cell update; a clipped
+    /// tile may hold unequal numbers, so we report half-updates too).
+    pub fn half_updates(&self) -> usize {
+        self.rows.iter().map(|r| r.y1 - r.y0 + 1).sum()
+    }
+
+    pub fn max_lag(&self) -> usize {
+        self.rows.iter().map(|r| r.lag).max().unwrap_or(0)
+    }
+}
+
+/// The complete tile schedule for a grid's y/time extent.
+#[derive(Clone, Debug)]
+pub struct TilePlan {
+    pub dw: DiamondWidth,
+    pub ny: usize,
+    pub nt: usize,
+    pub tiles: Vec<Tile>,
+    /// `dependents[i]` = tiles unlocked by completing tile `i`.
+    pub dependents: Vec<Vec<usize>>,
+    /// `parents[i]` = number of tiles that must complete before tile `i`.
+    pub parents: Vec<usize>,
+}
+
+impl TilePlan {
+    /// Build the plan for `ny` grid lines and `nt` time steps.
+    pub fn build(dw: DiamondWidth, ny: usize, nt: usize) -> TilePlan {
+        assert!(ny > 0 && nt > 0, "plan needs a non-empty domain");
+        let w = dw.get() as i64;
+        let r = dw.half() as i64;
+
+        let mut tiles = Vec::new();
+        let mut index: HashMap<(i64, i64), usize> = HashMap::new();
+
+        // k range: rows overlapping time in [1, nt].
+        // Row k spans times [k*R, k*R + Dw - 1].
+        let k_min = {
+            // k*R + Dw - 1 >= 1  =>  k >= (2 - Dw)/R
+            let num = 2 - w;
+            num.div_euclid(r) + i64::from(num.rem_euclid(r) != 0)
+        };
+        let k_max = nt as i64 / r; // k*R <= nt
+
+        for k in k_min..=k_max {
+            let n0 = k * r;
+            let parity = k.rem_euclid(2);
+            // Bases Y = parity*R + j*Dw with canonical extent
+            // [Y - R + 1, Y + R] intersecting [0, ny).
+            let y_first = -r; // smallest base with Y + R >= 0
+            let y_last = ny as i64 + r - 2; // largest with Y - R + 1 <= ny-1
+            let start = {
+                // smallest Y >= y_first with Y ≡ parity*R (mod Dw)
+                let rem = (y_first - parity * r).rem_euclid(w);
+                if rem == 0 {
+                    y_first
+                } else {
+                    y_first + (w - rem)
+                }
+            };
+            let mut base = start;
+            while base <= y_last {
+                let rows: Vec<ClippedRow> = diamond_rows(dw, base, n0)
+                    .into_iter()
+                    .filter_map(|row| clip_row(&row, ny, nt))
+                    .collect();
+                if !rows.is_empty() {
+                    index.insert((k, base), tiles.len());
+                    tiles.push(Tile { k, base, rows });
+                }
+                base += w;
+            }
+        }
+
+        // Dependency edges: child D_k(Y) <- parents D_{k-1}(Y - R), D_{k-1}(Y + R).
+        let mut dependents = vec![Vec::new(); tiles.len()];
+        let mut parents = vec![0usize; tiles.len()];
+        for (child_idx, tile) in tiles.iter().enumerate() {
+            for pb in [tile.base - r, tile.base + r] {
+                if let Some(&p) = index.get(&(tile.k - 1, pb)) {
+                    dependents[p].push(child_idx);
+                    parents[child_idx] += 1;
+                }
+            }
+        }
+
+        TilePlan { dw, ny, nt, tiles, dependents, parents }
+    }
+
+    /// Tiles with no parents (the initial ready set), in enumeration order.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.tiles.len()).filter(|&i| self.parents[i] == 0).collect()
+    }
+
+    /// Total half-cell updates across all tiles. For a full plan this is
+    /// `2 * ny * nt` minus nothing — every (y, t) appears once per field.
+    pub fn total_half_updates(&self) -> usize {
+        self.tiles.iter().map(|t| t.half_updates()).sum()
+    }
+
+    /// Validate tessellation and schedulability (used by tests and the
+    /// auto-tuner's debug mode):
+    ///
+    /// - processing tiles in dependency order with *exact-level* read
+    ///   checks must succeed for the y-projection of the stencil, and
+    /// - every (y, t) cell of both fields must be updated exactly once.
+    ///
+    /// Returns the number of tiles processed.
+    pub fn validate(&self) -> Result<usize, String> {
+        self.validate_with_order(|ready| ready.first().copied())
+    }
+
+    /// Validation with a custom scheduling policy choosing among ready
+    /// tiles, to probe order-sensitivity (property tests drive this with
+    /// random picks).
+    pub fn validate_with_order(
+        &self,
+        mut pick: impl FnMut(&[usize]) -> Option<usize>,
+    ) -> Result<usize, String> {
+        let ny = self.ny;
+        // Completed time level per y line, per field. Level 0 = initial.
+        let mut e_level = vec![0usize; ny];
+        let mut h_level = vec![0usize; ny];
+        let mut remaining_parents = self.parents.clone();
+        let mut ready: Vec<usize> = self.roots();
+        let mut done = vec![false; self.tiles.len()];
+        let mut processed = 0;
+
+        while let Some(t) = pick(&ready) {
+            let pos = ready.iter().position(|&x| x == t).ok_or("pick outside ready set")?;
+            ready.remove(pos);
+            let tile = &self.tiles[t];
+            for row in &tile.rows {
+                for y in row.y_range() {
+                    match row.kind {
+                        FieldKind::H => {
+                            // H^t(y) reads E^{t-1}(y), E^{t-1}(y-1), H^{t-1}(y).
+                            if h_level[y] != row.time - 1 {
+                                return Err(format!(
+                                    "tile k={} Y={}: H row t={} y={} but h_level={}",
+                                    tile.k, tile.base, row.time, y, h_level[y]
+                                ));
+                            }
+                            for ry in [y as i64, y as i64 - 1] {
+                                if ry >= 0 && (ry as usize) < ny
+                                    && e_level[ry as usize] != row.time - 1
+                                {
+                                    return Err(format!(
+                                        "tile k={} Y={}: H row t={} reads E at y={} level {} (want {})",
+                                        tile.k, tile.base, row.time, ry,
+                                        e_level[ry as usize], row.time - 1
+                                    ));
+                                }
+                            }
+                            h_level[y] = row.time;
+                        }
+                        FieldKind::E => {
+                            // E^t(y) reads H^t(y), H^t(y+1), E^{t-1}(y).
+                            if e_level[y] != row.time - 1 {
+                                return Err(format!(
+                                    "tile k={} Y={}: E row t={} y={} but e_level={}",
+                                    tile.k, tile.base, row.time, y, e_level[y]
+                                ));
+                            }
+                            for ry in [y as i64, y as i64 + 1] {
+                                if ry >= 0 && (ry as usize) < ny
+                                    && h_level[ry as usize] != row.time
+                                {
+                                    return Err(format!(
+                                        "tile k={} Y={}: E row t={} reads H at y={} level {} (want {})",
+                                        tile.k, tile.base, row.time, ry,
+                                        h_level[ry as usize], row.time
+                                    ));
+                                }
+                            }
+                            e_level[y] = row.time;
+                        }
+                    }
+                }
+            }
+            done[t] = true;
+            processed += 1;
+            for &d in &self.dependents[t] {
+                remaining_parents[d] -= 1;
+                if remaining_parents[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+
+        if processed != self.tiles.len() {
+            return Err(format!("only {processed}/{} tiles schedulable", self.tiles.len()));
+        }
+        for y in 0..ny {
+            if e_level[y] != self.nt || h_level[y] != self.nt {
+                return Err(format!(
+                    "incomplete coverage at y={y}: e_level={} h_level={} (want {})",
+                    e_level[y], h_level[y], self.nt
+                ));
+            }
+        }
+        Ok(processed)
+    }
+}
+
+fn clip_row(row: &DiamondRow, ny: usize, nt: usize) -> Option<ClippedRow> {
+    if row.time < 1 || row.time > nt as i64 {
+        return None;
+    }
+    let y0 = row.y_lo.max(0);
+    let y1 = row.y_hi.min(ny as i64 - 1);
+    if y0 > y1 {
+        return None;
+    }
+    Some(ClippedRow {
+        kind: row.kind,
+        time: row.time as usize,
+        y0: y0 as usize,
+        y1: y1 as usize,
+        lag: row.lag,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dw(n: usize) -> DiamondWidth {
+        DiamondWidth::new(n).unwrap()
+    }
+
+    #[test]
+    fn coverage_is_exact_for_divisible_domain() {
+        let plan = TilePlan::build(dw(4), 8, 8);
+        // Every (y, t) of each field exactly once: 2 * ny * nt half-updates.
+        assert_eq!(plan.total_half_updates(), 2 * 8 * 8);
+        plan.validate().expect("plan must validate");
+    }
+
+    #[test]
+    fn coverage_for_awkward_domains() {
+        for (ny, nt, d) in [(5, 3, 2), (7, 9, 4), (9, 2, 8), (3, 11, 6), (1, 1, 2), (2, 5, 16)] {
+            let plan = TilePlan::build(dw(d), ny, nt);
+            assert_eq!(plan.total_half_updates(), 2 * ny * nt, "ny={ny} nt={nt} dw={d}");
+            plan.validate().unwrap_or_else(|e| panic!("ny={ny} nt={nt} dw={d}: {e}"));
+        }
+    }
+
+    #[test]
+    fn roots_have_no_parents_and_exist() {
+        let plan = TilePlan::build(dw(4), 16, 8);
+        let roots = plan.roots();
+        assert!(!roots.is_empty());
+        for r in roots {
+            assert_eq!(plan.parents[r], 0);
+        }
+    }
+
+    #[test]
+    fn dependency_graph_is_acyclic_and_k_monotone() {
+        let plan = TilePlan::build(dw(8), 24, 16);
+        for (i, deps) in plan.dependents.iter().enumerate() {
+            for &d in deps {
+                assert_eq!(plan.tiles[d].k, plan.tiles[i].k + 1, "edges go to the next row");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_tiles_have_two_parents() {
+        let plan = TilePlan::build(dw(4), 32, 16);
+        let interior = plan
+            .tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.base - 2 >= 0 && t.base + 2 < 32 && t.k > 1 && (t.k * 2 + 4) < 16
+            })
+            .map(|(i, _)| i);
+        let mut checked = 0;
+        for i in interior {
+            assert_eq!(plan.parents[i], 2, "tile {:?}", plan.tiles[i]);
+            checked += 1;
+        }
+        assert!(checked > 0, "test must cover some interior tiles");
+    }
+
+    #[test]
+    fn validation_holds_for_lifo_order_too() {
+        // Order-independence among ready tiles: pick last instead of first.
+        let plan = TilePlan::build(dw(4), 12, 10);
+        plan.validate_with_order(|ready| ready.last().copied()).expect("LIFO order valid");
+    }
+
+    #[test]
+    fn validation_detects_missing_dependency() {
+        // Sabotage: drop all edges and parents; exact-level checks must
+        // then fail for any multi-row-dependency plan.
+        let mut plan = TilePlan::build(dw(4), 12, 10);
+        for d in plan.dependents.iter_mut() {
+            d.clear();
+        }
+        let n = plan.tiles.len();
+        plan.parents = vec![0; n];
+        // Process in reverse enumeration order to provoke the violation.
+        let err = plan.validate_with_order(|ready| ready.last().copied());
+        assert!(err.is_err(), "sabotaged plan must fail validation");
+    }
+
+    #[test]
+    fn lags_survive_clipping() {
+        let plan = TilePlan::build(dw(8), 6, 4);
+        for tile in &plan.tiles {
+            for row in &tile.rows {
+                assert!(row.lag < 8, "lag bounded by Dw");
+            }
+            assert!(tile.max_lag() <= 7);
+        }
+    }
+
+    #[test]
+    fn tiny_domain_single_line() {
+        let plan = TilePlan::build(dw(2), 1, 4);
+        assert_eq!(plan.total_half_updates(), 2 * 4);
+        plan.validate().expect("1-line domain");
+    }
+}

@@ -1,0 +1,191 @@
+//! Wavefront traversal along z inside a diamond tile (paper Fig. 4).
+//!
+//! The z dependencies mirror the y structure: H components read E at z and
+//! z-1 (Hyx, Hxy), E components read H at z and z+1 (Eyx, Exy). Executing
+//! the diamond rows bottom-up per wavefront position, with the z window of
+//! time level `l` lagging one cell per level — `[P-l+1, P-l+1+BZ)` for H
+//! and `[P-l, P-l+BZ)` for E — satisfies every read from already-covered
+//! cells while keeping `BZ + Dw - 1 = Ww` z cells in flight, the paper's
+//! wavefront width `Ww = Dw + BZ - 1` from Eq. 11.
+
+use std::ops::Range;
+
+/// Wavefront width parameter `BZ` (the z-block size; `BZ = 1` is the
+/// narrowest wavefront).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WavefrontSpec {
+    pub bz: usize,
+}
+
+impl WavefrontSpec {
+    pub fn new(bz: usize) -> Result<Self, String> {
+        if bz == 0 {
+            return Err("wavefront block BZ must be >= 1".into());
+        }
+        Ok(WavefrontSpec { bz })
+    }
+
+    /// The paper's wavefront tile width `Ww = Dw + BZ - 1`.
+    pub fn wavefront_width(&self, dw: usize) -> usize {
+        dw + self.bz - 1
+    }
+
+    /// Clipped z window of a row with wavefront `lag` at position `p`.
+    #[inline]
+    pub fn window(&self, p: usize, lag: usize, nz: usize) -> Range<usize> {
+        let lo = p as i64 - lag as i64;
+        let hi = lo + self.bz as i64;
+        let lo = lo.clamp(0, nz as i64) as usize;
+        let hi = hi.clamp(0, nz as i64) as usize;
+        lo..hi
+    }
+
+    /// Wavefront positions covering `nz` cells for rows with lags up to
+    /// `max_lag`: `0, BZ, 2*BZ, ...` while any row still has work.
+    pub fn positions(&self, nz: usize, max_lag: usize) -> impl Iterator<Item = usize> + '_ {
+        let bz = self.bz;
+        (0..)
+            .map(move |i| i * bz)
+            .take_while(move |&p| p < nz + max_lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diamond::{diamond_rows, DiamondWidth};
+    use em_field::FieldKind;
+
+    #[test]
+    fn ww_matches_eq11() {
+        // Fig. 4 example: Dw = 4, BZ = 4 => Ww = 7.
+        assert_eq!(WavefrontSpec::new(4).unwrap().wavefront_width(4), 7);
+        assert_eq!(WavefrontSpec::new(1).unwrap().wavefront_width(8), 8);
+        assert_eq!(WavefrontSpec::new(9).unwrap().wavefront_width(4), 12);
+    }
+
+    #[test]
+    fn windows_tile_z_exactly_per_row() {
+        // For each lag, the union of windows over all positions covers
+        // [0, nz) exactly once.
+        let wf = WavefrontSpec::new(3).unwrap();
+        let nz = 14;
+        for lag in 0..8 {
+            let mut covered = vec![0usize; nz];
+            for p in wf.positions(nz, 7) {
+                for z in wf.window(p, lag, nz) {
+                    covered[z] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "lag={lag}: {covered:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_bz() {
+        assert!(WavefrontSpec::new(0).is_err());
+    }
+
+    /// Full (y, z, level) dependency simulation of a single canonical
+    /// diamond traversal: every *in-tile* read must find its operand at
+    /// exactly the right time level, including the z-neighbor reads.
+    /// Cross-tile reads (values provided by parent tiles) are validated
+    /// separately by `TilePlan::validate` and the executor's bitwise
+    /// oracle; here they are modeled as "first in-tile write level - 1".
+    #[test]
+    fn wavefront_satisfies_z_dependencies_exactly() {
+        for (dw_v, bz) in [(2usize, 1usize), (4, 1), (4, 3), (6, 2), (8, 5), (4, 16)] {
+            let dw = DiamondWidth::new(dw_v).unwrap();
+            let wf = WavefrontSpec::new(bz).unwrap();
+            let nz = 11;
+            let rows = diamond_rows(dw, 10, 1); // n0 = 1, base 10
+            let y_min = rows.iter().map(|r| r.y_lo).min().unwrap() - 1;
+            let y_max = rows.iter().map(|r| r.y_hi).max().unwrap() + 1;
+            let ys = (y_max - y_min + 1) as usize;
+
+            // First level at which the tile writes (kind, y); None if never.
+            let first_write = |kind: FieldKind, y: i64| -> Option<i64> {
+                rows.iter()
+                    .filter(|r| r.kind == kind && y >= r.y_lo && y <= r.y_hi)
+                    .map(|r| r.time)
+                    .min()
+            };
+
+            let init = |kind: FieldKind| -> Vec<Vec<i64>> {
+                (0..ys)
+                    .map(|yi| {
+                        let y = y_min + yi as i64;
+                        let lvl = first_write(kind, y).map(|t| t - 1).unwrap_or(i64::MIN);
+                        vec![lvl; nz]
+                    })
+                    .collect()
+            };
+            let mut e_level = init(FieldKind::E);
+            let mut h_level = init(FieldKind::H);
+
+            let max_lag = rows.iter().map(|r| r.lag).max().unwrap();
+            for p in wf.positions(nz, max_lag) {
+                for row in &rows {
+                    for z in wf.window(p, row.lag, nz) {
+                        for y in row.y_lo..=row.y_hi {
+                            let yi = (y - y_min) as usize;
+                            let (levels, other, other_kind, zoff, yoff) = match row.kind {
+                                FieldKind::H => {
+                                    (&mut h_level, &e_level, FieldKind::E, -1i64, -1i64)
+                                }
+                                FieldKind::E => (&mut e_level, &h_level, FieldKind::H, 1, 1),
+                            };
+                            // Self read at t-1.
+                            assert_eq!(
+                                levels[yi][z],
+                                row.time - 1,
+                                "dw={dw_v} bz={bz} {:?} self at t={} y={y} z={z}",
+                                row.kind,
+                                row.time
+                            );
+                            // Opposite-field reads: H@t reads E@t-1, E@t reads H@t.
+                            let want = match row.kind {
+                                FieldKind::H => row.time - 1,
+                                FieldKind::E => row.time,
+                            };
+                            let reads: [(i64, i64); 3] =
+                                [(y, z as i64), (y + yoff, z as i64), (y, z as i64 + zoff)];
+                            for (ry, rz) in reads {
+                                if rz < 0 || rz >= nz as i64 {
+                                    continue;
+                                }
+                                // Skip reads the parents provide: the value
+                                // needed predates this tile's first write.
+                                match first_write(other_kind, ry) {
+                                    Some(fw) if want >= fw => {
+                                        let v = other[(ry - y_min) as usize][rz as usize];
+                                        assert_eq!(
+                                            v, want,
+                                            "dw={dw_v} bz={bz} {:?} t={} y={y} z={z} reads ({ry},{rz})",
+                                            row.kind, row.time
+                                        );
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            levels[yi][z] = row.time;
+                        }
+                    }
+                }
+            }
+            // Tile completed: all its rows covered all z.
+            for row in &rows {
+                for y in row.y_lo..=row.y_hi {
+                    let yi = (y - y_min) as usize;
+                    for z in 0..nz {
+                        let lvl = match row.kind {
+                            FieldKind::E => e_level[yi][z],
+                            FieldKind::H => h_level[yi][z],
+                        };
+                        assert!(lvl >= row.time, "row {row:?} incomplete at z={z}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The kernels never operate on `Cplx` values directly — they work on the
+//! interleaved `f64` representation for performance, mirroring the paper's
+//! C listings — but coefficient construction, analysis, and tests do, so a
+//! small well-tested complex type is worth owning rather than pulling in a
+//! dependency.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number, layout-compatible with one
+/// interleaved `(re, im)` pair in the field arrays.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Cplx {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Cplx {
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+    pub const I: Cplx = Cplx { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// Purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Cplx { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}` — used for the time-harmonic phase factors
+    /// `e^{i omega tau}` in the THIIM update coefficients.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Cplx { re: theta.cos(), im: theta.sin() }
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cplx { re: self.re, im: -self.im }
+    }
+
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Panics on zero only through the resulting
+    /// non-finite values; callers validate coefficients separately.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Cplx { re: self.re / d, im: -self.im / d }
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Cplx { re: self.re * s, im: self.im * s }
+    }
+
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn add(self, o: Cplx) -> Cplx {
+        Cplx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn sub(self, o: Cplx) -> Cplx {
+        Cplx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, o: Cplx) -> Cplx {
+        Cplx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // a/b as a * b.recip() is the standard complex division
+impl Div for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn div(self, o: Cplx) -> Cplx {
+        self * o.recip()
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn neg(self) -> Cplx {
+        Cplx::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, s: f64) -> Cplx {
+        self.scale(s)
+    }
+}
+
+impl AddAssign for Cplx {
+    #[inline]
+    fn add_assign(&mut self, o: Cplx) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Cplx {
+    #[inline]
+    fn sub_assign(&mut self, o: Cplx) {
+        *self = *self - o;
+    }
+}
+
+impl MulAssign for Cplx {
+    #[inline]
+    fn mul_assign(&mut self, o: Cplx) {
+        *self = *self * o;
+    }
+}
+
+impl fmt::Debug for Cplx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+.6e}{:+.6e}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Cplx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+    }
+}
+
+impl From<f64> for Cplx {
+    fn from(re: f64) -> Self {
+        Cplx::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cplx, b: Cplx) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Cplx::new(1.5, -2.25);
+        let b = Cplx::new(-0.5, 4.0);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = Cplx::new(3.0, 2.0);
+        let b = Cplx::new(-1.0, 5.0);
+        // (3+2i)(-1+5i) = -3 + 15i - 2i + 10i^2 = -13 + 13i
+        assert_eq!(a * b, Cplx::new(-13.0, 13.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Cplx::new(0.7, -1.3);
+        let b = Cplx::new(2.0, 0.5);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn recip_of_i() {
+        assert!(close(Cplx::I.recip(), -Cplx::I));
+    }
+
+    #[test]
+    fn cis_unit_modulus_and_angle() {
+        for &t in &[0.0, 0.3, 1.0, -2.5, std::f64::consts::PI] {
+            let z = Cplx::cis(t);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+            assert!((Cplx::cis(t).arg() - t.rem_euclid(2.0 * std::f64::consts::PI))
+                .abs()
+                .min((Cplx::cis(t).arg() + 2.0 * std::f64::consts::PI - t.rem_euclid(2.0 * std::f64::consts::PI)).abs())
+                < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cis_addition_theorem() {
+        let a = 0.37;
+        let b = 1.91;
+        assert!(close(Cplx::cis(a) * Cplx::cis(b), Cplx::cis(a + b)));
+    }
+
+    #[test]
+    fn conj_norm() {
+        let z = Cplx::new(3.0, -4.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let z = Cplx::new(1.0, -2.0);
+        assert_eq!(z * 2.0, Cplx::new(2.0, -4.0));
+        assert_eq!(-z, Cplx::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn layout_is_two_doubles() {
+        assert_eq!(std::mem::size_of::<Cplx>(), 16);
+        assert_eq!(std::mem::align_of::<Cplx>(), 8);
+    }
+}

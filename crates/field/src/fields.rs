@@ -1,0 +1,309 @@
+//! The full 40-array problem state: 12 split-field components plus 28
+//! coefficient arrays (t/c per component and the four source arrays).
+
+use crate::array3::Array3C;
+use crate::complex::Cplx;
+use crate::component::{Component, SourceArray};
+use crate::grid::GridDims;
+
+/// The twelve split-field component arrays.
+#[derive(Clone, Debug)]
+pub struct FieldSet {
+    arrays: Vec<Array3C>,
+    dims: GridDims,
+}
+
+impl FieldSet {
+    pub fn zeros(dims: GridDims) -> Self {
+        FieldSet { arrays: (0..12).map(|_| Array3C::zeros(dims)).collect(), dims }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn comp(&self, c: Component) -> &Array3C {
+        &self.arrays[c.index()]
+    }
+
+    #[inline]
+    pub fn comp_mut(&mut self, c: Component) -> &mut Array3C {
+        &mut self.arrays[c.index()]
+    }
+
+    /// Total (unsplit) value of component `c.axis()`'s field at a cell,
+    /// e.g. `E_x = Exy + Exz`.
+    pub fn total(&self, kind: crate::component::FieldKind, axis: crate::component::Axis, x: isize, y: isize, z: isize) -> Cplx {
+        let [a, b] = crate::component::TotalComponent { kind, axis }.splits();
+        self.comp(a).get(x, y, z) + self.comp(b).get(x, y, z)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Component, &Array3C)> {
+        Component::ALL.iter().map(move |&c| (c, self.comp(c)))
+    }
+
+    /// Bitwise equality across all 12 components.
+    pub fn bit_eq(&self, other: &FieldSet) -> bool {
+        Component::ALL.iter().all(|&c| self.comp(c).bit_eq(other.comp(c)))
+    }
+
+    /// Largest absolute elementwise difference across all components.
+    pub fn max_abs_diff(&self, other: &FieldSet) -> f64 {
+        let mut m: f64 = 0.0;
+        for &c in &Component::ALL {
+            for (a, b) in self.comp(c).as_slice().iter().zip(other.comp(c).as_slice()) {
+                m = m.max((a - b).abs());
+            }
+        }
+        m
+    }
+
+    /// Sum of |v|^2 over all components and interior cells — a simple
+    /// energy-like norm used by convergence monitors and stability tests.
+    pub fn energy(&self) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| {
+                self.comp(c)
+                    .iter_interior()
+                    .map(|(_, v)| v.norm_sqr())
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Deterministic pseudo-random fill (splitmix64 on the cell index),
+    /// used by correctness tests to exercise all code paths with nontrivial
+    /// data while staying reproducible across engines and thread counts.
+    pub fn fill_deterministic(&mut self, seed: u64) {
+        for (ci, &c) in Component::ALL.iter().enumerate() {
+            let arr = self.comp_mut(c);
+            let mut k = 0u64;
+            arr.fill_with(|_, _, _| {
+                k += 1;
+                let h = splitmix64(seed ^ (ci as u64) << 32 ^ k);
+                let re = unit(h);
+                let im = unit(splitmix64(h));
+                Cplx::new(re, im)
+            });
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map to (-1, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// The 28 coefficient arrays: for every component a transfer factor `t*`
+/// and a curl factor `c*`; for the four z-derivative components also a
+/// source array.
+#[derive(Clone, Debug)]
+pub struct CoeffSet {
+    t: Vec<Array3C>,
+    c: Vec<Array3C>,
+    src: Vec<Array3C>,
+    dims: GridDims,
+}
+
+impl CoeffSet {
+    /// All-zero coefficients (fields stay frozen; useful in tests).
+    pub fn zeros(dims: GridDims) -> Self {
+        CoeffSet {
+            t: (0..12).map(|_| Array3C::zeros(dims)).collect(),
+            c: (0..12).map(|_| Array3C::zeros(dims)).collect(),
+            src: (0..4).map(|_| Array3C::zeros(dims)).collect(),
+            dims,
+        }
+    }
+
+    /// Uniform coefficients: every `t` = `t0`, every `c` = `c0`, sources 0.
+    /// A cheap stand-in for vacuum when the physics layer is not needed.
+    pub fn uniform(dims: GridDims, t0: Cplx, c0: Cplx) -> Self {
+        let mut s = Self::zeros(dims);
+        for i in 0..12 {
+            s.t[i].fill_with(|_, _, _| t0);
+            s.c[i].fill_with(|_, _, _| c0);
+        }
+        s
+    }
+
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn t(&self, comp: Component) -> &Array3C {
+        &self.t[comp.index()]
+    }
+
+    #[inline]
+    pub fn t_mut(&mut self, comp: Component) -> &mut Array3C {
+        &mut self.t[comp.index()]
+    }
+
+    #[inline]
+    pub fn c(&self, comp: Component) -> &Array3C {
+        &self.c[comp.index()]
+    }
+
+    #[inline]
+    pub fn c_mut(&mut self, comp: Component) -> &mut Array3C {
+        &mut self.c[comp.index()]
+    }
+
+    #[inline]
+    pub fn src(&self, s: SourceArray) -> &Array3C {
+        &self.src[s.index()]
+    }
+
+    #[inline]
+    pub fn src_mut(&mut self, s: SourceArray) -> &mut Array3C {
+        &mut self.src[s.index()]
+    }
+
+    /// Number of domain-sized arrays held (the paper's 28).
+    pub fn array_count(&self) -> usize {
+        self.t.len() + self.c.len() + self.src.len()
+    }
+
+    /// Deterministic pseudo-random coefficients with |t| < 1 (contractive,
+    /// so iteration stays bounded) and small |c|.
+    pub fn fill_deterministic(&mut self, seed: u64) {
+        for i in 0..12u64 {
+            let mut k = 0u64;
+            self.t[i as usize].fill_with(|_, _, _| {
+                k += 1;
+                let h = splitmix64(seed ^ (0x7000 + i) << 16 ^ k);
+                Cplx::new(unit(h) * 0.45, unit(splitmix64(h)) * 0.45)
+            });
+            let mut k2 = 0u64;
+            self.c[i as usize].fill_with(|_, _, _| {
+                k2 += 1;
+                let h = splitmix64(seed ^ (0xc000 + i) << 16 ^ k2);
+                Cplx::new(unit(h) * 0.2, unit(splitmix64(h)) * 0.2)
+            });
+        }
+        for j in 0..4u64 {
+            let mut k = 0u64;
+            self.src[j as usize].fill_with(|_, _, _| {
+                k += 1;
+                let h = splitmix64(seed ^ (0x5c00 + j) << 16 ^ k);
+                Cplx::new(unit(h) * 0.01, unit(splitmix64(h)) * 0.01)
+            });
+        }
+    }
+}
+
+/// The complete problem state passed to the execution engines.
+#[derive(Clone, Debug)]
+pub struct State {
+    pub fields: FieldSet,
+    pub coeffs: CoeffSet,
+}
+
+impl State {
+    pub fn zeros(dims: GridDims) -> Self {
+        State { fields: FieldSet::zeros(dims), coeffs: CoeffSet::zeros(dims) }
+    }
+
+    pub fn dims(&self) -> GridDims {
+        self.fields.dims()
+    }
+
+    /// Total domain-sized arrays: 12 + 28 = 40 (Sec. III).
+    pub fn array_count(&self) -> usize {
+        12 + self.coeffs.array_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Axis, FieldKind};
+
+    #[test]
+    fn forty_domain_sized_arrays() {
+        let s = State::zeros(GridDims::cubic(2));
+        assert_eq!(s.array_count(), 40);
+        assert_eq!(s.coeffs.array_count(), 28);
+    }
+
+    #[test]
+    fn component_arrays_are_independent() {
+        let mut f = FieldSet::zeros(GridDims::cubic(2));
+        f.comp_mut(Component::Hyx).set(0, 0, 0, Cplx::ONE);
+        assert_eq!(f.comp(Component::Hyx).get(0, 0, 0), Cplx::ONE);
+        assert_eq!(f.comp(Component::Hyz).get(0, 0, 0), Cplx::ZERO);
+    }
+
+    #[test]
+    fn total_sums_split_parts() {
+        let mut f = FieldSet::zeros(GridDims::cubic(2));
+        f.comp_mut(Component::Exy).set(1, 1, 1, Cplx::new(2.0, 0.5));
+        f.comp_mut(Component::Exz).set(1, 1, 1, Cplx::new(-0.5, 1.0));
+        assert_eq!(f.total(FieldKind::E, Axis::X, 1, 1, 1), Cplx::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn deterministic_fill_is_reproducible_and_seed_sensitive() {
+        let d = GridDims::new(3, 4, 2);
+        let mut a = FieldSet::zeros(d);
+        let mut b = FieldSet::zeros(d);
+        a.fill_deterministic(7);
+        b.fill_deterministic(7);
+        assert!(a.bit_eq(&b));
+        let mut c = FieldSet::zeros(d);
+        c.fill_deterministic(8);
+        assert!(!a.bit_eq(&c));
+    }
+
+    #[test]
+    fn deterministic_coeffs_are_contractive() {
+        let d = GridDims::new(3, 3, 3);
+        let mut cs = CoeffSet::zeros(d);
+        cs.fill_deterministic(3);
+        for &comp in &Component::ALL {
+            for (_, v) in cs.t(comp).iter_interior() {
+                assert!(v.abs() < 1.0, "|t| must stay below 1 for boundedness");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_of_zero_state_is_zero_and_grows_with_fields() {
+        let d = GridDims::cubic(3);
+        let mut f = FieldSet::zeros(d);
+        assert_eq!(f.energy(), 0.0);
+        f.comp_mut(Component::Ezy).set(0, 0, 0, Cplx::new(3.0, 4.0));
+        assert_eq!(f.energy(), 25.0);
+    }
+
+    #[test]
+    fn max_abs_diff_reports_largest_gap() {
+        let d = GridDims::cubic(2);
+        let mut a = FieldSet::zeros(d);
+        let b = FieldSet::zeros(d);
+        a.comp_mut(Component::Hzy).set(1, 0, 1, Cplx::new(0.0, -2.5));
+        assert_eq!(a.max_abs_diff(&b), 2.5);
+    }
+
+    #[test]
+    fn uniform_coeffs_set_t_and_c_only() {
+        let d = GridDims::cubic(2);
+        let cs = CoeffSet::uniform(d, Cplx::real(0.5), Cplx::new(0.0, 0.1));
+        assert_eq!(cs.t(Component::Exy).get(1, 1, 1), Cplx::real(0.5));
+        assert_eq!(cs.c(Component::Hzx).get(0, 0, 0), Cplx::new(0.0, 0.1));
+        assert_eq!(cs.src(SourceArray::SrcHx).get(0, 0, 0), Cplx::ZERO);
+    }
+}

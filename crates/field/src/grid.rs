@@ -1,0 +1,94 @@
+//! Grid dimensions and derived sizes.
+
+/// Interior dimensions of the structured grid (without halo).
+///
+/// Axis convention matches the paper: `x` is the fast-moving (inner,
+/// contiguous) dimension, `y` the middle dimension used for diamond tiling,
+/// `z` the outer dimension used for the wavefront traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GridDims {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl GridDims {
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        GridDims { nx, ny, nz }
+    }
+
+    /// Cubic grid of side `n` — all paper experiments use cubic domains.
+    pub const fn cubic(n: usize) -> Self {
+        GridDims { nx: n, ny: n, nz: n }
+    }
+
+    /// Number of interior grid cells.
+    pub const fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Bytes of state per grid cell: 40 double-complex arrays
+    /// (12 field components + 28 coefficients), Sec. III of the paper.
+    pub const BYTES_PER_CELL: usize = 40 * 16;
+
+    /// Total resident bytes for a full problem state (excluding halo).
+    pub const fn state_bytes(&self) -> usize {
+        self.cells() * Self::BYTES_PER_CELL
+    }
+
+    /// Bytes in one x-row of one array, halo excluded: the block unit used
+    /// by the row-granularity cache simulator.
+    pub const fn row_bytes(&self) -> usize {
+        self.nx * 16
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
+            return Err(format!("grid dimensions must be positive, got {self:?}"));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for GridDims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_storage_requirement() {
+        // Sec. III: "16 * 40 bytes = 640 bytes per grid cell".
+        assert_eq!(GridDims::BYTES_PER_CELL, 640);
+    }
+
+    #[test]
+    fn cubic_and_cells() {
+        let g = GridDims::cubic(64);
+        assert_eq!(g.cells(), 64 * 64 * 64);
+        assert_eq!(g, GridDims::new(64, 64, 64));
+    }
+
+    #[test]
+    fn state_bytes_for_paper_grid() {
+        // At 384^3 the state is ~36 GB, which is why paper-scale grids run
+        // through the simulator substrate rather than natively.
+        let g = GridDims::cubic(384);
+        assert_eq!(g.state_bytes(), 384usize.pow(3) * 640);
+    }
+
+    #[test]
+    fn validate_rejects_zero() {
+        assert!(GridDims::new(0, 4, 4).validate().is_err());
+        assert!(GridDims::new(4, 4, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GridDims::new(1, 2, 3).to_string(), "1x2x3");
+    }
+}

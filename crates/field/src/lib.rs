@@ -1,0 +1,33 @@
+//! # em-field — storage substrate for the THIIM/FDFD split-field stencil
+//!
+//! This crate provides the data layer of the reproduction: double-complex
+//! 3-D arrays stored exactly like the paper's production code (interleaved
+//! `re, im` pairs of `f64`, x fastest, then y, then z), the twelve Berenger
+//! split-field components of the electric and magnetic fields, and the 28
+//! domain-sized coefficient arrays, for a total of 40 arrays and 640 bytes
+//! per grid cell (Sec. III of the paper).
+//!
+//! Component naming follows the paper's Fig. 3 / Listings 1–2 convention:
+//! the **first** subscript is the vector component the array contributes to,
+//! the **second** subscript is the *source* component of the other field
+//! that the update reads. For example `Hyx` is the part of `H_y` that is
+//! driven by `E_x = Exy + Exz`, read with a unit shift along z.
+//!
+//! All arrays carry a one-cell zero halo in every dimension, giving
+//! homogeneous Dirichlet boundaries for free — the boundary condition the
+//! paper uses for all its benchmark experiments (Sec. II-B).
+
+pub mod aligned;
+pub mod array3;
+pub mod complex;
+pub mod component;
+pub mod fields;
+pub mod grid;
+pub mod norms;
+
+pub use aligned::AlignedBuf;
+pub use array3::Array3C;
+pub use complex::Cplx;
+pub use component::{Axis, Component, FieldKind, SourceArray, TotalComponent};
+pub use fields::{CoeffSet, FieldSet, State};
+pub use grid::GridDims;

@@ -1,0 +1,113 @@
+//! Norms and comparisons over field sets — the measurement helpers used by
+//! convergence monitors, validation tests and the MWD-vs-naive oracle.
+
+use crate::array3::Array3C;
+use crate::complex::Cplx;
+use crate::component::Component;
+use crate::fields::FieldSet;
+
+/// L2 norm over the interior of a single array.
+pub fn l2(a: &Array3C) -> f64 {
+    a.iter_interior().map(|(_, v)| v.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// L-infinity norm over the interior of a single array.
+pub fn linf(a: &Array3C) -> f64 {
+    a.iter_interior().map(|(_, v)| v.abs()).fold(0.0, f64::max)
+}
+
+/// L2 norm of the difference of two arrays.
+pub fn l2_diff(a: &Array3C, b: &Array3C) -> f64 {
+    assert_eq!(a.dims(), b.dims());
+    a.iter_interior()
+        .zip(b.iter_interior())
+        .map(|((_, va), (_, vb))| (va - vb).norm_sqr())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Relative L2 change between two field sets:
+/// `||a - b||_2 / max(||b||_2, eps)` summed over all 12 components.
+/// This is the THIIM convergence functional.
+pub fn relative_change(a: &FieldSet, b: &FieldSet) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &c in &Component::ALL {
+        for ((_, va), (_, vb)) in a.comp(c).iter_interior().zip(b.comp(c).iter_interior()) {
+            num += (va - vb).norm_sqr();
+            den += vb.norm_sqr();
+        }
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Report of the first bitwise mismatch between two field sets, for
+/// diagnosing scheduling bugs. `None` means bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    pub component: Component,
+    pub cell: (usize, usize, usize),
+    pub a: Cplx,
+    pub b: Cplx,
+}
+
+pub fn first_mismatch(a: &FieldSet, b: &FieldSet) -> Option<Mismatch> {
+    for &c in &Component::ALL {
+        let (aa, bb) = (a.comp(c), b.comp(c));
+        for ((cell, va), (_, vb)) in aa.iter_interior().zip(bb.iter_interior()) {
+            if va.re.to_bits() != vb.re.to_bits() || va.im.to_bits() != vb.im.to_bits() {
+                return Some(Mismatch { component: c, cell, a: va, b: vb });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridDims;
+
+    #[test]
+    fn l2_of_unit_impulse() {
+        let mut a = Array3C::zeros(GridDims::cubic(3));
+        a.set(1, 1, 1, Cplx::new(3.0, 4.0));
+        assert_eq!(l2(&a), 5.0);
+        assert_eq!(linf(&a), 5.0);
+    }
+
+    #[test]
+    fn l2_diff_is_symmetric_and_zero_on_equal() {
+        let d = GridDims::new(2, 3, 2);
+        let mut a = Array3C::zeros(d);
+        let mut b = Array3C::zeros(d);
+        a.set(0, 1, 0, Cplx::ONE);
+        b.set(0, 1, 0, Cplx::ONE);
+        assert_eq!(l2_diff(&a, &b), 0.0);
+        b.set(1, 2, 1, Cplx::new(0.0, 2.0));
+        assert_eq!(l2_diff(&a, &b), 2.0);
+        assert_eq!(l2_diff(&b, &a), 2.0);
+    }
+
+    #[test]
+    fn relative_change_detects_convergence() {
+        let d = GridDims::cubic(2);
+        let mut a = FieldSet::zeros(d);
+        let mut b = FieldSet::zeros(d);
+        a.fill_deterministic(5);
+        b.fill_deterministic(5);
+        assert_eq!(relative_change(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn first_mismatch_locates_the_cell() {
+        let d = GridDims::cubic(3);
+        let mut a = FieldSet::zeros(d);
+        let b = FieldSet::zeros(d);
+        a.comp_mut(Component::Eyz).set(2, 0, 1, Cplx::new(1.0, 0.0));
+        let m = first_mismatch(&a, &b).expect("must find the planted mismatch");
+        assert_eq!(m.component, Component::Eyz);
+        assert_eq!(m.cell, (2, 0, 1));
+        assert_eq!(first_mismatch(&b, &b), None);
+    }
+}

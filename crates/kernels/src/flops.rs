@@ -1,0 +1,96 @@
+//! Flop and per-loop traffic accounting for the THIIM kernels
+//! (paper Sec. III-A). These constants feed the analytic models and pin
+//! the paper's in-text numbers in tests.
+
+use em_field::Component;
+
+/// Double-precision flops per lattice-site update (all 12 components of
+/// one cell): 4 * 22 + 8 * 20 = 248.
+pub const FLOPS_PER_LUP: usize = 248;
+
+/// Doubles moved by one cell of a Listing-1 loop (z-shift, with source)
+/// when the shifted reads miss cache: 2 writes + 12 unshifted reads
+/// + 4 shifted reads.
+pub const L1_TYPE_DOUBLES_NAIVE: usize = 18;
+
+/// Doubles moved by one cell of a Listing-1 loop under the layer
+/// condition (shifted reads hit cache): 18 - 4 = 14.
+pub const L1_TYPE_DOUBLES_BLOCKED: usize = 14;
+
+/// Doubles moved by one cell of a Listing-2 loop (y/x shift): 2 writes +
+/// 10 reads; the small-shift accesses always hit cache.
+pub const L2_TYPE_DOUBLES: usize = 12;
+
+/// Number of Listing-1-type component updates (z-derivative, 3 coeff
+/// arrays each).
+pub const L1_TYPE_COUNT: usize = 4;
+
+/// Number of Listing-2-type component updates (2 coeff arrays each).
+pub const L2_TYPE_COUNT: usize = 8;
+
+/// Flops per cell for one component update.
+pub fn flops_of(comp: Component) -> usize {
+    comp.flops()
+}
+
+/// Doubles-to-memory per cell for one component update in the naive
+/// regime (no layer condition for z-shifted reads).
+pub fn naive_doubles_of(comp: Component) -> usize {
+    if comp.source_array().is_some() {
+        L1_TYPE_DOUBLES_NAIVE
+    } else {
+        L2_TYPE_DOUBLES
+    }
+}
+
+/// Doubles-to-memory per cell with spatial blocking (layer condition
+/// holds for the z-shifted arrays).
+pub fn blocked_doubles_of(comp: Component) -> usize {
+    if comp.source_array().is_some() {
+        L1_TYPE_DOUBLES_BLOCKED
+    } else {
+        L2_TYPE_DOUBLES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_flops_per_lup_is_248() {
+        let sum: usize = Component::ALL.iter().map(|&c| flops_of(c)).sum();
+        assert_eq!(sum, FLOPS_PER_LUP);
+        assert_eq!(FLOPS_PER_LUP, L1_TYPE_COUNT * 22 + L2_TYPE_COUNT * 20);
+    }
+
+    #[test]
+    fn naive_code_balance_eq8() {
+        // Eq. 8: B_C = 4*(18+12+12)*8 = 1344 bytes/LUP.
+        let doubles: usize = Component::ALL.iter().map(|&c| naive_doubles_of(c)).sum();
+        assert_eq!(doubles * 8, 1344);
+    }
+
+    #[test]
+    fn spatial_code_balance_eq9() {
+        // Eq. 9: B_C = 4*([18-4]+12+12)*8 = 1216 bytes/LUP.
+        let doubles: usize = Component::ALL.iter().map(|&c| blocked_doubles_of(c)).sum();
+        assert_eq!(doubles * 8, 1216);
+    }
+
+    #[test]
+    fn type_partition_is_4_plus_8() {
+        let l1 = Component::ALL.iter().filter(|c| c.source_array().is_some()).count();
+        assert_eq!(l1, L1_TYPE_COUNT);
+        assert_eq!(Component::ALL.len() - l1, L2_TYPE_COUNT);
+    }
+
+    #[test]
+    fn arithmetic_intensities_match_paper() {
+        // Naive: 248/1344 = 0.18 flop/byte; spatial: 248/1216 = 0.20.
+        let i_naive = FLOPS_PER_LUP as f64 / 1344.0;
+        let i_spatial = FLOPS_PER_LUP as f64 / 1216.0;
+        assert!((i_naive - 0.18).abs() < 5e-3);
+        assert!((i_spatial - 0.20).abs() < 5e-3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Raw-pointer view of a problem [`State`] for the hot kernels.
+
+use em_field::{Component, GridDims, SourceArray, State};
+
+/// Raw-pointer snapshot of all 40 arrays of a [`State`], with shared
+/// strides (all arrays have identical padded layout).
+///
+/// # Safety contract for users
+///
+/// A `RawGrid` borrows the `State` it was created from; the pointers stay
+/// valid for the lifetime `'a`. Any *use* of the pointers must uphold:
+///
+/// 1. no two threads write to the same (array, cell) concurrently, and
+/// 2. no thread reads an (array, cell) while another writes it.
+///
+/// The THIIM update structure makes this tractable: an update of component
+/// `C` writes only array `C` and reads only arrays of the opposite field
+/// (plus `C` itself at the written cell). Engines guarantee (1)/(2) by
+/// partitioning cells (spatial baseline: disjoint blocks per phase) or by
+/// the diamond/wavefront dependency structure (MWD; see `mwd-core`).
+#[derive(Clone, Copy)]
+pub struct RawGrid<'a> {
+    fields: [*mut f64; 12],
+    t: [*const f64; 12],
+    c: [*const f64; 12],
+    src: [*const f64; 4],
+    dims: GridDims,
+    /// f64 distance between y rows.
+    pub y_stride: usize,
+    /// f64 distance between z planes.
+    pub z_stride: usize,
+    _marker: std::marker::PhantomData<&'a State>,
+}
+
+// SAFETY: the pointers target heap buffers that outlive 'a; sending the
+// view across threads is exactly its purpose. Races are excluded by the
+// schedule contracts documented above.
+unsafe impl Send for RawGrid<'_> {}
+unsafe impl Sync for RawGrid<'_> {}
+
+impl<'a> RawGrid<'a> {
+    /// Capture a raw view. Takes `&State` (not `&mut`) so several worker
+    /// threads can hold copies; mutation discipline is the caller's
+    /// responsibility per the struct-level contract.
+    pub fn new(state: &'a State) -> Self {
+        let dims = state.dims();
+        let probe = state.fields.comp(Component::Exy);
+        let mut fields = [std::ptr::null_mut(); 12];
+        let mut t = [std::ptr::null(); 12];
+        let mut c = [std::ptr::null(); 12];
+        for comp in Component::ALL {
+            fields[comp.index()] = state.fields.comp(comp).as_ptr_shared();
+            t[comp.index()] = state.coeffs.t(comp).as_slice().as_ptr();
+            c[comp.index()] = state.coeffs.c(comp).as_slice().as_ptr();
+        }
+        let mut src = [std::ptr::null(); 4];
+        for s in SourceArray::ALL {
+            src[s.index()] = state.coeffs.src(s).as_slice().as_ptr();
+        }
+        RawGrid {
+            fields,
+            t,
+            c,
+            src,
+            dims,
+            y_stride: probe.y_stride(),
+            z_stride: probe.z_stride(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn field_ptr(&self, comp: Component) -> *mut f64 {
+        self.fields[comp.index()]
+    }
+
+    #[inline]
+    pub fn t_ptr(&self, comp: Component) -> *const f64 {
+        self.t[comp.index()]
+    }
+
+    #[inline]
+    pub fn c_ptr(&self, comp: Component) -> *const f64 {
+        self.c[comp.index()]
+    }
+
+    #[inline]
+    pub fn src_ptr(&self, s: SourceArray) -> *const f64 {
+        self.src[s.index()]
+    }
+
+    /// Flat f64 index of the real part of interior cell `(x, y, z)`
+    /// (identical for every array).
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.dims.nx && y < self.dims.ny && z < self.dims.nz);
+        (z + 1) * self.z_stride + (y + 1) * self.y_stride + 2 * (x + 1)
+    }
+
+    /// Signed f64 offset of a unit step along `axis`.
+    #[inline]
+    pub fn axis_stride(&self, axis: em_field::Axis) -> usize {
+        match axis {
+            em_field::Axis::X => 2,
+            em_field::Axis::Y => self.y_stride,
+            em_field::Axis::Z => self.z_stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_field::Axis;
+
+    #[test]
+    fn idx_matches_array3_layout() {
+        let state = State::zeros(GridDims::new(5, 4, 3));
+        let g = RawGrid::new(&state);
+        let arr = state.fields.comp(Component::Hzy);
+        for (x, y, z) in [(0, 0, 0), (4, 3, 2), (2, 1, 1)] {
+            assert_eq!(g.idx(x, y, z), arr.idx(x as isize, y as isize, z as isize));
+        }
+    }
+
+    #[test]
+    fn strides_match_axes() {
+        let state = State::zeros(GridDims::new(5, 4, 3));
+        let g = RawGrid::new(&state);
+        assert_eq!(g.axis_stride(Axis::X), 2);
+        assert_eq!(g.axis_stride(Axis::Y), g.idx(0, 1, 0) - g.idx(0, 0, 0));
+        assert_eq!(g.axis_stride(Axis::Z), g.idx(0, 0, 1) - g.idx(0, 0, 0));
+    }
+
+    #[test]
+    fn pointers_are_distinct_per_array() {
+        let state = State::zeros(GridDims::cubic(2));
+        let g = RawGrid::new(&state);
+        let mut seen = std::collections::HashSet::new();
+        for comp in Component::ALL {
+            assert!(seen.insert(g.field_ptr(comp) as usize), "duplicate field ptr");
+            assert!(seen.insert(g.t_ptr(comp) as usize), "duplicate t ptr");
+            assert!(seen.insert(g.c_ptr(comp) as usize), "duplicate c ptr");
+        }
+        for s in SourceArray::ALL {
+            assert!(seen.insert(g.src_ptr(s) as usize), "duplicate src ptr");
+        }
+        assert_eq!(seen.len(), 40);
+    }
+}

@@ -1,0 +1,135 @@
+//! Line-granularity set-associative cache — cross-validation for the row
+//! model on small grids.
+//!
+//! The row-granularity simulator treats whole x-rows as blocks; this model
+//! resolves individual 64-byte lines with LRU within each set, like the
+//! real Haswell L3 slice. Tests compare both on identical traversals to
+//! confirm that row granularity does not distort code-balance trends.
+
+/// Set-associative cache over 64-bit line addresses.
+pub struct SetAssocCache {
+    sets: Vec<Vec<(u64, bool)>>, // per set: (tag, dirty), index 0 = MRU
+    ways: usize,
+    set_bits: u32,
+    pub hits: u64,
+    pub misses: u64,
+    pub writebacks: u64,
+}
+
+impl SetAssocCache {
+    /// `capacity_lines` must be `ways * 2^k` for some k.
+    pub fn new(capacity_lines: usize, ways: usize) -> Self {
+        assert!(ways > 0 && capacity_lines >= ways);
+        let sets = capacity_lines / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_bits: sets.trailing_zeros(),
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    #[inline]
+    fn split(&self, line: u64) -> (usize, u64) {
+        let mask = (1u64 << self.set_bits) - 1;
+        ((line & mask) as usize, line >> self.set_bits)
+    }
+
+    /// Access one line address (already divided by the line size).
+    pub fn access(&mut self, line: u64, write: bool) -> bool {
+        let (set, tag) = self.split(line);
+        let ways = self.ways;
+        let set = &mut self.sets[set];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            self.hits += 1;
+            let (t, d) = set.remove(pos);
+            set.insert(0, (t, d || write));
+            return true;
+        }
+        self.misses += 1;
+        if set.len() == ways {
+            let (_, dirty) = set.pop().expect("full set has a victim");
+            if dirty {
+                self.writebacks += 1;
+            }
+        }
+        set.insert(0, (tag, write));
+        false
+    }
+
+    /// Evict everything, counting dirty lines.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for &(_, dirty) in set.iter() {
+                if dirty {
+                    self.writebacks += 1;
+                }
+            }
+            set.clear();
+        }
+    }
+
+    /// Total memory traffic in lines (fills + writebacks).
+    pub fn traffic_lines(&self) -> u64 {
+        self.misses + self.writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        // 4 sets, 1 way: lines 0 and 4 collide.
+        let mut c = SetAssocCache::new(4, 1);
+        assert!(!c.access(0, false));
+        assert!(!c.access(4, false));
+        assert!(!c.access(0, false), "0 was evicted by 4");
+        assert_eq!(c.misses, 3);
+    }
+
+    #[test]
+    fn two_way_resolves_that_conflict() {
+        let mut c = SetAssocCache::new(8, 2);
+        c.access(0, false);
+        c.access(4, false);
+        assert!(c.access(0, false), "2-way keeps both");
+    }
+
+    #[test]
+    fn writeback_counted_once() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(0, true);
+        c.access(2, false); // evicts dirty 0 (same set)
+        assert_eq!(c.writebacks, 1);
+        c.flush();
+        assert_eq!(c.writebacks, 1, "clean line 2 must not write back");
+    }
+
+    #[test]
+    fn fully_associative_equals_lru_model() {
+        // 1 set with many ways behaves exactly like the LRU model.
+        let mut sa = SetAssocCache::new(16, 16);
+        let mut lru = crate::lru::LruCache::new(16);
+        let mut state = 7u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 40) % 48;
+            let a = sa.access(key, key % 5 == 0);
+            let b = lru.access(key, key % 5 == 0);
+            assert_eq!(a, b.hit);
+        }
+        assert_eq!(sa.hits, lru.hits);
+        assert_eq!(sa.misses, lru.misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = SetAssocCache::new(24, 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Engine-level simulation: traffic measurement + roofline model
+//! = the (MLUP/s, GB/s, bytes/LUP) triples of the paper's figures.
+
+use crate::report::TrafficReport;
+use crate::rowsim::RowCacheSim;
+use crate::trace::{mwd_trace, naive_trace, spatial_trace, Workload};
+use em_field::GridDims;
+use mwd_core::{DiamondWidth, TilePlan, WavefrontSpec};
+use perf_models::{perf_mlups, MachineSpec};
+
+/// One point of a performance figure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineResult {
+    pub mlups: f64,
+    pub mem_gbs: f64,
+    pub code_balance: f64,
+    /// True when the roofline's memory leg binds.
+    pub memory_bound: bool,
+}
+
+fn finish(machine: &MachineSpec, threads: usize, report: TrafficReport) -> EngineResult {
+    let bc = report.code_balance();
+    let est = perf_mlups(machine, threads, bc);
+    EngineResult {
+        mlups: est.mlups,
+        mem_gbs: est.mem_bw_used / 1e9,
+        code_balance: bc,
+        memory_bound: est.memory_bound,
+    }
+}
+
+/// Simulate the naive engine on `machine` at `threads` threads.
+pub fn simulate_naive_engine(
+    machine: &MachineSpec,
+    dims: GridDims,
+    steps: usize,
+    threads: usize,
+) -> EngineResult {
+    let w = Workload { dims, steps };
+    let mut sim = RowCacheSim::new(machine.l3_bytes, dims.row_bytes());
+    naive_trace(&mut sim, w, threads);
+    sim.flush();
+    finish(machine, threads, TrafficReport::new(sim.mem, w.lups()))
+}
+
+/// Simulate *optimal* spatial blocking: probes a small set of y-block
+/// candidates (the auto-tuning the paper assumes for its baseline) and
+/// keeps the lowest-traffic one.
+pub fn simulate_spatial_engine(
+    machine: &MachineSpec,
+    dims: GridDims,
+    steps: usize,
+    threads: usize,
+) -> EngineResult {
+    let w = Workload { dims, steps };
+    let mut best: Option<(u64, TrafficReport)> = None;
+    let mut candidates: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&b| b <= dims.ny)
+        .collect();
+    candidates.push(dims.ny);
+    candidates.dedup();
+    for by in candidates {
+        let mut sim = RowCacheSim::new(machine.l3_bytes, dims.row_bytes());
+        spatial_trace(&mut sim, w, by, dims.nz, threads);
+        sim.flush();
+        let total = sim.mem.total();
+        let report = TrafficReport::new(sim.mem, w.lups());
+        if best.as_ref().is_none_or(|(t, _)| total < *t) {
+            best = Some((total, report));
+        }
+    }
+    finish(machine, threads, best.expect("at least one candidate").1)
+}
+
+/// Simulate an MWD (or 1WD) run: `groups` concurrent cache-block streams
+/// over `threads` total threads.
+pub fn simulate_mwd_engine(
+    machine: &MachineSpec,
+    dims: GridDims,
+    steps: usize,
+    dw: usize,
+    bz: usize,
+    groups: usize,
+    threads: usize,
+) -> EngineResult {
+    let plan = TilePlan::build(DiamondWidth::new(dw).expect("valid dw"), dims.ny, steps);
+    let wf = WavefrontSpec::new(bz).expect("valid bz");
+    let w = Workload { dims, steps };
+    let mut sim = RowCacheSim::new(machine.l3_bytes, dims.row_bytes());
+    mwd_trace(&mut sim, &plan, wf, dims, groups);
+    sim.flush();
+    finish(machine, threads, TrafficReport::new(sim.mem, w.lups()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HSW: MachineSpec = MachineSpec::HASWELL_E5_2699_V3;
+
+    /// Downscaled Haswell for fast tests: keeps the capacity *ratios* of
+    /// the real chip while shrinking the grid.
+    fn mini_haswell(l3: usize) -> MachineSpec {
+        MachineSpec { l3_bytes: l3, ..HSW }
+    }
+
+    #[test]
+    fn spatial_engine_saturates_at_paper_level() {
+        // Grid much larger than L3: spatial blocking lands near
+        // 1216 B/LUP and 41 MLUP/s on the full chip.
+        let dims = GridDims::new(32, 96, 96);
+        let m = mini_haswell(40 * dims.row_bytes() * 6); // few layers only
+        let r = simulate_spatial_engine(&m, dims, 2, 18);
+        assert!(
+            (r.code_balance - 1216.0).abs() < 150.0,
+            "spatial BC {} should be near Eq. 9",
+            r.code_balance
+        );
+        assert!(r.memory_bound);
+        assert!((r.mlups - 41.0).abs() < 6.0, "got {}", r.mlups);
+    }
+
+    #[test]
+    fn mwd_engine_decouples() {
+        let dims = GridDims::new(32, 96, 96);
+        // L3 sized to hold a Dw=8 tile comfortably.
+        let m = mini_haswell(4000 * dims.row_bytes());
+        let r = simulate_mwd_engine(&m, dims, 8, 8, 1, 1, 18);
+        assert!(r.code_balance < 450.0, "MWD BC {} must be far below 1216", r.code_balance);
+        assert!(!r.memory_bound, "MWD must be core-bound (decoupled)");
+        let sp = simulate_spatial_engine(&m, dims, 2, 18);
+        let speedup = r.mlups / sp.mlups;
+        assert!(speedup > 2.5, "speedup {speedup} too small");
+    }
+
+    #[test]
+    fn one_wd_with_many_threads_loses_to_shared_blocks() {
+        // The cache-block-sharing claim: at equal thread count, 18 private
+        // streams (1WD) produce more traffic than 1 shared stream (18WD).
+        let dims = GridDims::new(32, 96, 64);
+        let m = mini_haswell(3000 * dims.row_bytes());
+        let one_wd = simulate_mwd_engine(&m, dims, 8, 8, 1, 18, 18);
+        let full_share = simulate_mwd_engine(&m, dims, 8, 8, 1, 1, 18);
+        assert!(
+            one_wd.code_balance > full_share.code_balance * 1.3,
+            "1WD {} vs 18WD {}",
+            one_wd.code_balance,
+            full_share.code_balance
+        );
+    }
+
+    #[test]
+    fn naive_engine_is_worst() {
+        let dims = GridDims::new(32, 64, 64);
+        let m = mini_haswell(40 * dims.row_bytes() * 4);
+        let naive = simulate_naive_engine(&m, dims, 2, 18);
+        let spatial = simulate_spatial_engine(&m, dims, 2, 18);
+        assert!(naive.code_balance >= spatial.code_balance * 0.99);
+    }
+}

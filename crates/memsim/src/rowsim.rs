@@ -1,0 +1,204 @@
+//! Row-granularity cache traffic simulator.
+//!
+//! Blocks are whole x-rows of one array: `(array, y, z)`, `Nx * 16` bytes
+//! each. The shared last-level cache is an [`LruCache`] with write-back /
+//! write-allocate semantics; every miss fetches a row from memory, every
+//! dirty eviction writes one back — the two numbers LIKWID's MEM group
+//! reports on the real machine.
+
+use crate::lru::LruCache;
+use em_field::{Component, SourceArray};
+
+/// Identifies one of the 40 domain-sized arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub u8);
+
+impl ArrayId {
+    pub fn field(c: Component) -> ArrayId {
+        ArrayId(c.index() as u8)
+    }
+    pub fn coeff_t(c: Component) -> ArrayId {
+        ArrayId(12 + c.index() as u8)
+    }
+    pub fn coeff_c(c: Component) -> ArrayId {
+        ArrayId(24 + c.index() as u8)
+    }
+    pub fn src(s: SourceArray) -> ArrayId {
+        ArrayId(36 + s.index() as u8)
+    }
+}
+
+/// Memory-controller traffic counters (bytes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    pub fn total(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// The simulated cache plus its traffic counters.
+pub struct RowCacheSim {
+    cache: LruCache,
+    row_bytes: u64,
+    pub mem: Traffic,
+}
+
+impl RowCacheSim {
+    /// `cache_bytes` of capacity for rows of `row_bytes` each.
+    pub fn new(cache_bytes: usize, row_bytes: usize) -> Self {
+        assert!(row_bytes > 0);
+        let blocks = (cache_bytes / row_bytes).max(1);
+        RowCacheSim { cache: LruCache::new(blocks), row_bytes: row_bytes as u64, mem: Traffic::default() }
+    }
+
+    /// Capacity in row blocks.
+    pub fn capacity_rows(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    #[inline]
+    fn key(array: ArrayId, y: usize, z: usize) -> u64 {
+        debug_assert!(array.0 < 40);
+        ((array.0 as u64) << 56) | ((z as u64) << 28) | y as u64
+    }
+
+    /// Touch the row `(array, y, z)`.
+    #[inline]
+    pub fn access(&mut self, array: ArrayId, y: usize, z: usize, write: bool) {
+        let a = self.cache.access(Self::key(array, y, z), write);
+        if !a.hit {
+            self.mem.read_bytes += self.row_bytes;
+        }
+        if a.evicted_dirty {
+            self.mem.write_bytes += self.row_bytes;
+        }
+    }
+
+    /// Write back all dirty rows (end of measurement window).
+    pub fn flush(&mut self) {
+        let dirty = self.cache.flush();
+        self.mem.write_bytes += dirty * self.row_bytes;
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.cache.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.cache.misses
+    }
+}
+
+/// Emit the row accesses of one component update over the row `(y, z)`,
+/// mirroring the kernels: read `t`, `c`, optional source, the two source
+/// splits at the center and (for y/z derivative axes) the shifted row,
+/// then read+write the destination. The x-shifted accesses of Listing 2's
+/// inner-dimension variants stay within the same row.
+#[inline]
+pub fn component_row_access(sim: &mut RowCacheSim, comp: Component, y: usize, z: usize, ny: usize, nz: usize) {
+    use em_field::Axis;
+
+    sim.access(ArrayId::coeff_t(comp), y, z, false);
+    sim.access(ArrayId::coeff_c(comp), y, z, false);
+    if let Some(s) = comp.source_array() {
+        sim.access(ArrayId::src(s), y, z, false);
+    }
+    let [s1, s2] = comp.source_splits();
+    sim.access(ArrayId::field(s1), y, z, false);
+    sim.access(ArrayId::field(s2), y, z, false);
+    let dir = comp.offset_dir();
+    match comp.deriv_axis() {
+        Axis::X => {} // same row
+        Axis::Y => {
+            let yn = y as isize + dir;
+            if yn >= 0 && (yn as usize) < ny {
+                sim.access(ArrayId::field(s1), yn as usize, z, false);
+                sim.access(ArrayId::field(s2), yn as usize, z, false);
+            }
+        }
+        Axis::Z => {
+            let zn = z as isize + dir;
+            if zn >= 0 && (zn as usize) < nz {
+                sim.access(ArrayId::field(s1), y, zn as usize, false);
+                sim.access(ArrayId::field(s2), y, zn as usize, false);
+            }
+        }
+    }
+    // Destination: read-modify-write.
+    sim.access(ArrayId::field(comp), y, z, false);
+    sim.access(ArrayId::field(comp), y, z, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_field::Component;
+
+    #[test]
+    fn array_ids_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Component::ALL {
+            assert!(seen.insert(ArrayId::field(c)));
+            assert!(seen.insert(ArrayId::coeff_t(c)));
+            assert!(seen.insert(ArrayId::coeff_c(c)));
+        }
+        for s in SourceArray::ALL {
+            assert!(seen.insert(ArrayId::src(s)));
+        }
+        assert_eq!(seen.len(), 40);
+    }
+
+    #[test]
+    fn cold_access_reads_one_row() {
+        let mut sim = RowCacheSim::new(1 << 20, 1024);
+        sim.access(ArrayId(0), 3, 4, false);
+        assert_eq!(sim.mem.read_bytes, 1024);
+        assert_eq!(sim.mem.write_bytes, 0);
+        sim.access(ArrayId(0), 3, 4, true); // hit, marks dirty
+        assert_eq!(sim.mem.read_bytes, 1024);
+        sim.flush();
+        assert_eq!(sim.mem.write_bytes, 1024);
+    }
+
+    #[test]
+    fn capacity_of_one_row_thrashes() {
+        let mut sim = RowCacheSim::new(100, 100);
+        assert_eq!(sim.capacity_rows(), 1);
+        for i in 0..10 {
+            sim.access(ArrayId(0), i, 0, false);
+            sim.access(ArrayId(1), i, 0, false);
+        }
+        assert_eq!(sim.mem.read_bytes, 20 * 100);
+    }
+
+    #[test]
+    fn component_access_counts_match_listing_structure() {
+        // Big cache: every first touch misses once; count distinct rows.
+        let mut sim = RowCacheSim::new(1 << 30, 512);
+        // Listing 1 type (z shift, with source): t, c, src, s1, s2,
+        // s1@z-1, s2@z-1, dst = 8 distinct rows.
+        component_row_access(&mut sim, Component::Hyx, 2, 2, 8, 8);
+        assert_eq!(sim.mem.read_bytes, 8 * 512);
+        // Listing 2 type (x shift, no source): t, c, s1, s2, dst = 5 rows.
+        let before = sim.mem.read_bytes;
+        component_row_access(&mut sim, Component::Hzy, 3, 3, 8, 8);
+        assert_eq!(sim.mem.read_bytes - before, 5 * 512);
+        // Listing 2 with y shift: t, c, s1, s2, s1@y-1, s2@y-1, dst = 7.
+        let before = sim.mem.read_bytes;
+        component_row_access(&mut sim, Component::Hzx, 4, 4, 8, 8);
+        assert_eq!(sim.mem.read_bytes - before, 7 * 512);
+    }
+
+    #[test]
+    fn boundary_rows_skip_out_of_domain_neighbors() {
+        let mut sim = RowCacheSim::new(1 << 30, 512);
+        // Hyx at z=0 reads z-1 => out of domain => only 6 rows.
+        component_row_access(&mut sim, Component::Hyx, 0, 0, 4, 4);
+        assert_eq!(sim.mem.read_bytes, 6 * 512);
+    }
+}

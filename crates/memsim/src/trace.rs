@@ -1,0 +1,315 @@
+//! Traversal trace generators: replay the exact row-access order of each
+//! execution engine into a [`RowCacheSim`].
+//!
+//! Concurrency model: one access stream per cache-block owner (thread for
+//! naive/spatial/1WD, thread group for MWD), interleaved round-robin. The
+//! interleaving granularity is one work item — a (component, z-chunk) row
+//! batch for the phase engines, one (wavefront position, diamond row) for
+//! MWD — which matches how the real threads contend for L3 capacity.
+
+use crate::rowsim::{component_row_access, RowCacheSim};
+use em_field::{Component, FieldKind, GridDims};
+use mwd_core::{split_range, TilePlan, WavefrontSpec};
+use std::collections::VecDeque;
+
+/// A traffic-measurement workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    pub dims: GridDims,
+    pub steps: usize,
+}
+
+impl Workload {
+    pub fn lups(&self) -> u64 {
+        (self.dims.cells() * self.steps) as u64
+    }
+}
+
+/// Replay the naive engine: twelve full-grid component nests per step,
+/// z split across `threads`, interleaved one z-row batch at a time.
+pub fn naive_trace(sim: &mut RowCacheSim, w: Workload, threads: usize) {
+    assert!(threads > 0);
+    let d = w.dims;
+    for _ in 0..w.steps {
+        for kind in [FieldKind::H, FieldKind::E] {
+            for comp in Component::of(kind) {
+                let chunks: Vec<_> = (0..threads).map(|i| split_range(0..d.nz, threads, i)).collect();
+                let longest = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+                for j in 0..longest {
+                    for chunk in &chunks {
+                        if let Some(z) = chunk.clone().nth(j) {
+                            for y in 0..d.ny {
+                                component_row_access(sim, comp, y, z, d.ny, d.nz);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replay the spatially blocked engine: (z-block, y-block) tiles assigned
+/// round-robin to threads, six component nests per tile per phase.
+pub fn spatial_trace(
+    sim: &mut RowCacheSim,
+    w: Workload,
+    by: usize,
+    bz: usize,
+    threads: usize,
+) {
+    assert!(threads > 0 && by > 0 && bz > 0);
+    let d = w.dims;
+    let blocks = |n: usize, b: usize| -> Vec<(usize, usize)> {
+        (0..n.div_ceil(b)).map(|i| (i * b, ((i + 1) * b).min(n))).collect()
+    };
+    let tiles: Vec<(usize, usize, usize, usize)> = blocks(d.nz, bz)
+        .into_iter()
+        .flat_map(|(z0, z1)| blocks(d.ny, by).into_iter().map(move |(y0, y1)| (z0, z1, y0, y1)))
+        .collect();
+
+    for _ in 0..w.steps {
+        for kind in [FieldKind::H, FieldKind::E] {
+            let rounds = tiles.len().div_ceil(threads);
+            for j in 0..rounds {
+                for tid in 0..threads {
+                    let Some(&(z0, z1, y0, y1)) = tiles.get(j * threads + tid) else {
+                        continue;
+                    };
+                    for comp in Component::of(kind) {
+                        for z in z0..z1 {
+                            for y in y0..y1 {
+                                component_row_access(sim, comp, y, z, d.ny, d.nz);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One (position, row) work item of a tile traversal.
+struct TileCursor<'p> {
+    tile: usize,
+    items: Vec<(usize, usize)>,
+    next: usize,
+    plan: &'p TilePlan,
+}
+
+impl<'p> TileCursor<'p> {
+    fn new(plan: &'p TilePlan, wf: WavefrontSpec, nz: usize, tile: usize) -> Self {
+        let t = &plan.tiles[tile];
+        let max_lag = t.max_lag();
+        let mut items = Vec::new();
+        for p in wf.positions(nz, max_lag) {
+            for (ri, _) in t.rows.iter().enumerate() {
+                items.push((p, ri));
+            }
+        }
+        TileCursor { tile, items, next: 0, plan }
+    }
+
+    /// Replay one work item; true when the tile is finished.
+    fn step(&mut self, sim: &mut RowCacheSim, wf: WavefrontSpec, dims: GridDims) -> bool {
+        let (p, ri) = self.items[self.next];
+        self.next += 1;
+        let row = &self.plan.tiles[self.tile].rows[ri];
+        let zwin = wf.window(p, row.lag, dims.nz);
+        for comp in Component::of(row.kind) {
+            for z in zwin.clone() {
+                for y in row.y_range() {
+                    component_row_access(sim, comp, y, z, dims.ny, dims.nz);
+                }
+            }
+        }
+        self.next == self.items.len()
+    }
+}
+
+/// Replay an MWD run: `streams` concurrent thread groups drain the FIFO
+/// tile queue; each group replays one (position, row) item per round.
+/// 1WD is `streams = threads`; cache-block sharing is `streams = groups`.
+pub fn mwd_trace(
+    sim: &mut RowCacheSim,
+    plan: &TilePlan,
+    wf: WavefrontSpec,
+    dims: GridDims,
+    streams: usize,
+) {
+    assert!(streams > 0);
+    let mut remaining = plan.parents.clone();
+    let mut ready: VecDeque<usize> = plan.roots().into();
+    let mut active: Vec<Option<TileCursor>> = (0..streams).map(|_| None).collect();
+    let mut outstanding = plan.tiles.len();
+
+    while outstanding > 0 {
+        let mut progressed = false;
+        for slot in active.iter_mut() {
+            if slot.is_none() {
+                if let Some(t) = ready.pop_front() {
+                    *slot = Some(TileCursor::new(plan, wf, dims.nz, t));
+                }
+            }
+            if let Some(cursor) = slot {
+                progressed = true;
+                if cursor.step(sim, wf, dims) {
+                    let finished = cursor.tile;
+                    *slot = None;
+                    outstanding -= 1;
+                    for &d in &plan.dependents[finished] {
+                        remaining[d] -= 1;
+                        if remaining[d] == 0 {
+                            ready.push_back(d);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(progressed, "scheduler stalled with {outstanding} tiles outstanding");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowsim::RowCacheSim;
+    use mwd_core::DiamondWidth;
+
+    fn sim_gib(rows: usize, row_bytes: usize) -> RowCacheSim {
+        RowCacheSim::new(rows * row_bytes, row_bytes)
+    }
+
+    #[test]
+    fn naive_cold_traffic_counts_every_first_touch() {
+        // Huge cache: every distinct row read once, so read traffic over
+        // one step equals (distinct rows touched) * row_bytes. The twelve
+        // nests touch: 12 dst + 12 t + 12 c + 4 src + source splits
+        // (already counted as fields). Distinct arrays = 40.
+        let dims = GridDims::new(8, 6, 5);
+        let w = Workload { dims, steps: 1 };
+        let mut sim = sim_gib(1 << 20, dims.row_bytes());
+        naive_trace(&mut sim, w, 1);
+        let rows_per_array = (dims.ny * dims.nz) as u64;
+        assert_eq!(sim.mem.read_bytes, 40 * rows_per_array * dims.row_bytes() as u64);
+        // Nothing evicted from a huge cache.
+        assert_eq!(sim.mem.write_bytes, 0);
+        sim.flush();
+        // All 12 field arrays dirty.
+        assert_eq!(sim.mem.write_bytes, 12 * rows_per_array * dims.row_bytes() as u64);
+    }
+
+    #[test]
+    fn second_step_reuses_in_huge_cache() {
+        let dims = GridDims::new(8, 6, 5);
+        let mut sim = sim_gib(1 << 20, dims.row_bytes());
+        naive_trace(&mut sim, Workload { dims, steps: 2 }, 1);
+        let rows_per_array = (dims.ny * dims.nz) as u64;
+        // Still only the cold misses: temporal reuse across steps.
+        assert_eq!(sim.mem.read_bytes, 40 * rows_per_array * dims.row_bytes() as u64);
+    }
+
+    #[test]
+    fn tiny_cache_approaches_naive_code_balance() {
+        // With a cache far smaller than a z-layer, the shifted z reads
+        // miss: per-LUP traffic should approach Eq. 8's 1344 B/LUP
+        // (plus write-allocate refinements; we check a generous band).
+        let dims = GridDims::new(16, 48, 48);
+        let w = Workload { dims, steps: 2 };
+        // Cache of ~3 y-rows per array — way below two x-y layers.
+        let mut sim = sim_gib(120, dims.row_bytes());
+        naive_trace(&mut sim, w, 1);
+        sim.flush();
+        let bc = sim.mem.total() as f64 / w.lups() as f64;
+        assert!(bc > 1100.0 && bc < 1700.0, "naive-regime BC {bc}");
+    }
+
+    #[test]
+    fn layer_condition_cache_matches_spatial_code_balance() {
+        // Cache big enough for a few x-y layers of all arrays but far
+        // smaller than the grid: z-shifted reads hit (layer condition),
+        // coefficients stream => Eq. 9's 1216 B/LUP regime.
+        let dims = GridDims::new(16, 32, 256);
+        let w = Workload { dims, steps: 1 };
+        // 8 full x-y layer sets: 8 * 40 * ny rows... keep ~4 layers of 40 arrays.
+        let rows = 4 * 40 * dims.ny;
+        let mut sim = sim_gib(rows, dims.row_bytes());
+        naive_trace(&mut sim, w, 1);
+        sim.flush();
+        let bc = sim.mem.total() as f64 / w.lups() as f64;
+        assert!((bc - 1216.0).abs() < 120.0, "layer-condition BC {bc}");
+    }
+
+    #[test]
+    fn spatial_trace_same_cold_footprint_as_naive() {
+        let dims = GridDims::new(8, 9, 7);
+        let w = Workload { dims, steps: 1 };
+        let mut a = sim_gib(1 << 20, dims.row_bytes());
+        naive_trace(&mut a, w, 1);
+        let mut b = sim_gib(1 << 20, dims.row_bytes());
+        spatial_trace(&mut b, w, 4, 3, 2);
+        assert_eq!(a.mem.read_bytes, b.mem.read_bytes, "cold footprints must agree");
+    }
+
+    #[test]
+    fn mwd_trace_touches_whole_problem() {
+        let dims = GridDims::new(8, 8, 6);
+        let nt = 4;
+        let plan = TilePlan::build(DiamondWidth::new(4).unwrap(), dims.ny, nt);
+        let wf = WavefrontSpec::new(2).unwrap();
+        let mut sim = sim_gib(1 << 20, dims.row_bytes());
+        mwd_trace(&mut sim, &plan, wf, dims, 2);
+        let rows_per_array = (dims.ny * dims.nz) as u64;
+        // Cold footprint identical to the naive engine's.
+        assert_eq!(sim.mem.read_bytes, 40 * rows_per_array * dims.row_bytes() as u64);
+    }
+
+    #[test]
+    fn mwd_beats_spatial_traffic_in_a_small_cache() {
+        // The headline mechanism: with a cache that holds a tile but not
+        // the grid, temporal blocking must cut memory traffic well below
+        // the per-step streaming of the spatial engine.
+        let dims = GridDims::new(16, 64, 64);
+        let nt = 8;
+        let w = Workload { dims, steps: nt };
+        let rows = 2200; // holds a Dw=8 tile working set, not the grid
+        let mut sp = sim_gib(rows, dims.row_bytes());
+        spatial_trace(&mut sp, w, 8, 64, 1);
+        sp.flush();
+
+        let plan = TilePlan::build(DiamondWidth::new(8).unwrap(), dims.ny, nt);
+        let wf = WavefrontSpec::new(1).unwrap();
+        let mut mw = sim_gib(rows, dims.row_bytes());
+        mwd_trace(&mut mw, &plan, wf, dims, 1);
+        mw.flush();
+
+        let bc_sp = sp.mem.total() as f64 / w.lups() as f64;
+        let bc_mw = mw.mem.total() as f64 / w.lups() as f64;
+        assert!(
+            bc_mw < bc_sp / 2.0,
+            "diamond tiling must at least halve traffic: spatial {bc_sp}, mwd {bc_mw}"
+        );
+    }
+
+    #[test]
+    fn more_streams_increase_mwd_traffic() {
+        // Separate cache blocks per stream (1WD with many threads) raise
+        // capacity pressure: traffic grows with stream count.
+        let dims = GridDims::new(16, 64, 48);
+        let nt = 8;
+        let plan = TilePlan::build(DiamondWidth::new(8).unwrap(), dims.ny, nt);
+        let wf = WavefrontSpec::new(1).unwrap();
+        let rows = 2200;
+        let traffic: Vec<u64> = [1usize, 4, 12]
+            .iter()
+            .map(|&streams| {
+                let mut sim = sim_gib(rows, dims.row_bytes());
+                mwd_trace(&mut sim, &plan, wf, dims, streams);
+                sim.flush();
+                sim.mem.total()
+            })
+            .collect();
+        assert!(traffic[0] < traffic[1], "1 -> 4 streams: {traffic:?}");
+        assert!(traffic[1] < traffic[2], "4 -> 12 streams: {traffic:?}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-validation of the row-granularity simulator against the
+//! line-granularity set-associative model: on identical traversals the
+//! two must agree on the *ordering* of code balances across engines and
+//! parameters — the property every figure relies on.
+
+use em_field::{Component, GridDims};
+use mem_sim::assoc::SetAssocCache;
+use mem_sim::{mwd_trace, naive_trace, ArrayId, RowCacheSim, Workload};
+use mwd_core::{DiamondWidth, TilePlan, WavefrontSpec};
+
+/// Line-granularity replay of the naive traversal: every row access
+/// touches its `nx*16/64` lines.
+fn naive_lines(cache: &mut SetAssocCache, dims: GridDims, steps: usize) {
+    let lines_per_row = (dims.nx * 16).div_ceil(64) as u64;
+    let row_base = |a: ArrayId, y: usize, z: usize| -> u64 {
+        ((a.0 as u64) << 40) + ((z * dims.ny + y) as u64) * lines_per_row
+    };
+    let mut touch = |c: &mut SetAssocCache, a: ArrayId, y: usize, z: usize, w: bool| {
+        let b = row_base(a, y, z);
+        for l in 0..lines_per_row {
+            c.access(b + l, w);
+        }
+    };
+    for _ in 0..steps {
+        for kind in [em_field::FieldKind::H, em_field::FieldKind::E] {
+            for comp in Component::of(kind) {
+                for z in 0..dims.nz {
+                    for y in 0..dims.ny {
+                        touch(cache, ArrayId::coeff_t(comp), y, z, false);
+                        touch(cache, ArrayId::coeff_c(comp), y, z, false);
+                        if let Some(s) = comp.source_array() {
+                            touch(cache, ArrayId::src(s), y, z, false);
+                        }
+                        let [s1, s2] = comp.source_splits();
+                        touch(cache, ArrayId::field(s1), y, z, false);
+                        touch(cache, ArrayId::field(s2), y, z, false);
+                        let d = comp.offset_dir();
+                        match comp.deriv_axis() {
+                            em_field::Axis::X => {}
+                            em_field::Axis::Y => {
+                                let yn = y as isize + d;
+                                if yn >= 0 && (yn as usize) < dims.ny {
+                                    touch(cache, ArrayId::field(s1), yn as usize, z, false);
+                                    touch(cache, ArrayId::field(s2), yn as usize, z, false);
+                                }
+                            }
+                            em_field::Axis::Z => {
+                                let zn = z as isize + d;
+                                if zn >= 0 && (zn as usize) < dims.nz {
+                                    touch(cache, ArrayId::field(s1), y, zn as usize, false);
+                                    touch(cache, ArrayId::field(s2), y, zn as usize, false);
+                                }
+                            }
+                        }
+                        touch(cache, ArrayId::field(comp), y, z, true);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn row_and_line_models_agree_on_naive_traffic() {
+    // Same capacity, same traversal: the two models' memory traffic must
+    // agree closely (row granularity merges the lines of one row, which
+    // the line model touches back to back — same reuse distances).
+    let dims = GridDims::new(16, 24, 24);
+    let steps = 2;
+    // 128 rows of 4 lines each = 512 lines = 32 sets x 16 ways
+    // (set count must be a power of two).
+    let cache_rows = 128;
+    let row_bytes = dims.row_bytes();
+    let lines_per_row = (dims.nx * 16) / 64;
+
+    let mut rows = RowCacheSim::new(cache_rows * row_bytes, row_bytes);
+    naive_trace(&mut rows, Workload { dims, steps }, 1);
+    rows.flush();
+
+    let mut lines = SetAssocCache::new(cache_rows * lines_per_row, 16);
+    naive_lines(&mut lines, dims, steps);
+    lines.flush();
+
+    let row_traffic = rows.mem.total();
+    let line_traffic = lines.traffic_lines() * 64;
+    let ratio = line_traffic as f64 / row_traffic as f64;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "models disagree: rows {row_traffic} vs lines {line_traffic} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn engine_ordering_is_model_independent() {
+    // MWD < naive in traffic, under both cache models.
+    let dims = GridDims::new(16, 32, 24);
+    let steps = 6;
+    let cache_rows = 1200;
+    let row_bytes = dims.row_bytes();
+
+    let mut naive = RowCacheSim::new(cache_rows * row_bytes, row_bytes);
+    naive_trace(&mut naive, Workload { dims, steps }, 1);
+    naive.flush();
+
+    let plan = TilePlan::build(DiamondWidth::new(8).unwrap(), dims.ny, steps);
+    let wf = WavefrontSpec::new(1).unwrap();
+    let mut mwd = RowCacheSim::new(cache_rows * row_bytes, row_bytes);
+    mwd_trace(&mut mwd, &plan, wf, dims, 1);
+    mwd.flush();
+
+    assert!(
+        mwd.mem.total() * 2 < naive.mem.total(),
+        "temporal blocking must at least halve traffic: {} vs {}",
+        mwd.mem.total(),
+        naive.mem.total()
+    );
+}
+
+#[test]
+fn capacity_monotonicity() {
+    // More cache never means more traffic, in either model.
+    let dims = GridDims::new(16, 24, 20);
+    let w = Workload { dims, steps: 2 };
+    let row_bytes = dims.row_bytes();
+    let mut prev = u64::MAX;
+    for rows in [40usize, 160, 640, 2560] {
+        let mut sim = RowCacheSim::new(rows * row_bytes, row_bytes);
+        naive_trace(&mut sim, w, 1);
+        sim.flush();
+        assert!(sim.mem.total() <= prev, "traffic rose with capacity at {rows} rows");
+        prev = sim.mem.total();
+    }
+}

@@ -1,0 +1,143 @@
+//! Code balance and cache block size models (paper Sec. III).
+
+/// Double-precision flops per lattice-site update: 4*22 + 8*20.
+pub const FLOPS_PER_LUP: f64 = 248.0;
+
+/// Bytes of state per grid cell: 40 double-complex arrays.
+pub const BYTES_PER_CELL: f64 = 640.0;
+
+/// Eq. 8 — naive code balance: the four z-shift loop nests move 18
+/// doubles/cell, the eight others 12: `4*(18+12+12)*8 = 1344 bytes/LUP`.
+pub fn code_balance_naive() -> f64 {
+    4.0 * (18.0 + 12.0 + 12.0) * 8.0
+}
+
+/// Eq. 9 — spatially blocked code balance: the layer condition saves the
+/// four shifted reads in the Listing-1 nests: `4*(14+12+12)*8 = 1216`.
+pub fn code_balance_spatial() -> f64 {
+    4.0 * ((18.0 - 4.0) + 12.0 + 12.0) * 8.0
+}
+
+/// Eq. 12 — diamond-tiled code balance in bytes/LUP:
+///
+/// `B_C = 16 * [6*(2*Dw - 1) + (40*Dw + 12)] / (Dw^2 / 2)`
+///
+/// 6 H components are written on `Dw` y-lines, 6 E components on `Dw-1`;
+/// every of the 40 arrays is read once per y-line plus a 12-component
+/// neighbor halo; the diamond covers `Dw^2/2` LUPs.
+pub fn code_balance_diamond(dw: usize) -> f64 {
+    let d = dw as f64;
+    16.0 * (6.0 * (2.0 * d - 1.0) + (40.0 * d + 12.0)) / (d * d / 2.0)
+}
+
+/// The paper's wavefront tile width `Ww = Dw + BZ - 1` (Sec. III-C).
+pub fn wavefront_width(dw: usize, bz: usize) -> usize {
+    dw + bz - 1
+}
+
+/// Eq. 11 — bytes of cache needed by one wavefront-diamond tile:
+///
+/// `Cs = 16 * Nx * [40 * (Dw^2/2 + Dw*(BZ-1)) + 12 * (Dw + Ww)]`
+///
+/// Every point of the (y,z)-plane tile footprint extends over the full x
+/// dimension; 40 arrays live in the footprint of area
+/// `Dw^2/2 + Dw*(BZ-1)`, and the 12 field components additionally keep a
+/// `Dw + Ww` halo ring.
+pub fn cache_block_bytes(nx: usize, dw: usize, bz: usize) -> f64 {
+    let d = dw as f64;
+    let b = bz as f64;
+    let ww = wavefront_width(dw, bz) as f64;
+    16.0 * nx as f64 * (40.0 * (d * d / 2.0 + d * (b - 1.0)) + 12.0 * (d + ww))
+}
+
+/// Arithmetic intensity in flops/byte for a given code balance.
+pub fn arithmetic_intensity(code_balance: f64) -> f64 {
+    FLOPS_PER_LUP / code_balance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq8_naive_balance() {
+        assert_eq!(code_balance_naive(), 1344.0);
+    }
+
+    #[test]
+    fn eq9_spatial_balance() {
+        assert_eq!(code_balance_spatial(), 1216.0);
+    }
+
+    #[test]
+    fn paper_intensities() {
+        // "very low arithmetic intensity (0.18 flops/byte) for the naive
+        // implementation" and 0.20 for optimal spatial blocking.
+        assert!((arithmetic_intensity(code_balance_naive()) - 0.1845).abs() < 1e-3);
+        assert!((arithmetic_intensity(code_balance_spatial()) - 0.2039).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eq11_worked_example() {
+        // Sec. III-C: "in Fig. 4 we have Dw=4, BZ=4, and Ww=7, so we have
+        // Cs = 14912 * Nx bytes per cache block."
+        assert_eq!(wavefront_width(4, 4), 7);
+        assert_eq!(cache_block_bytes(1, 4, 4), 14912.0);
+        // Scales linearly in Nx.
+        assert_eq!(cache_block_bytes(480, 4, 4), 14912.0 * 480.0);
+    }
+
+    #[test]
+    fn eq11_sect3c_design_points() {
+        // Sec. III-C narrative (totals over concurrently resident blocks):
+        // wavefront-only parallelism at BZ=6 forces 3 thread groups on the
+        // 18-core chip, and their three Dw=4 blocks total ~30 MiB —
+        // exceeding the 22.5 MiB usable L3. Multi-dimensional intra-tile
+        // parallelism instead allows BZ=1 with 9 threads/block: two Dw=8
+        // blocks total ~20 MiB and fit.
+        let nx = 480;
+        let mib = 1024.0 * 1024.0;
+        let three_blocks_bz6 = 3.0 * cache_block_bytes(nx, 4, 6) / mib;
+        assert!((three_blocks_bz6 - 30.0).abs() < 3.0, "got {three_blocks_bz6} MiB");
+        let two_blocks_bz1_dw8 = 2.0 * cache_block_bytes(nx, 8, 1) / mib;
+        assert!((two_blocks_bz1_dw8 - 20.0).abs() < 2.0, "got {two_blocks_bz1_dw8} MiB");
+        let usable = 22.5;
+        assert!(three_blocks_bz6 > usable, "BZ=6 design must exceed usable L3");
+        assert!(two_blocks_bz1_dw8 < usable, "BZ=1/Dw=8 design must fit");
+    }
+
+    #[test]
+    fn eq12_decreases_with_diamond_width() {
+        let mut prev = f64::INFINITY;
+        for dw in [2, 4, 8, 12, 16, 32] {
+            let bc = code_balance_diamond(dw);
+            assert!(bc < prev, "B_C must fall with Dw");
+            prev = bc;
+        }
+        // Large-Dw asymptote: reads dominate, 2*16*(52Dw)/Dw^2 -> 0.
+        assert!(code_balance_diamond(1024) < 2.0);
+    }
+
+    #[test]
+    fn eq12_sample_values() {
+        // Dw=4: 16*(6*7 + 172)/8 = 16*214/8 = 428 bytes/LUP.
+        assert!((code_balance_diamond(4) - 428.0).abs() < 1e-9);
+        // Dw=8: 16*(90 + 332)/32 = 211.
+        assert!((code_balance_diamond(8) - 211.0).abs() < 1e-9);
+        // Dw=16: 16*(186 + 652)/128 = 104.75.
+        assert!((code_balance_diamond(16) - 104.75).abs() < 1e-9);
+        // MWD at its tuned Dw=8..16 lands in the paper's reported
+        // 100-430 bytes/LUP band — a ~3-6x cut vs spatial's 1216.
+        assert!(code_balance_spatial() / code_balance_diamond(16) > 5.0);
+    }
+
+    #[test]
+    fn cache_block_grows_monotonically() {
+        for dw in [4usize, 8, 12] {
+            assert!(cache_block_bytes(100, dw, 6) > cache_block_bytes(100, dw, 1));
+        }
+        for bz in [1usize, 6, 9] {
+            assert!(cache_block_bytes(100, 8, bz) > cache_block_bytes(100, 4, bz));
+        }
+    }
+}

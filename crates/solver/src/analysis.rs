@@ -1,0 +1,153 @@
+//! Field diagnostics: Poynting flux, absorption, energy.
+
+use crate::fit::average_eps;
+use crate::geometry::Scene;
+use em_field::{Axis, Cplx, FieldKind, FieldSet};
+
+/// Time-averaged Poynting flux through the z-plane `z` (positive = +z):
+/// `S_z = 1/2 Re( Ex Hy* - Ey Hx* )` summed over the plane.
+pub fn poynting_z(fields: &FieldSet, z: usize) -> f64 {
+    let d = fields.dims();
+    let zi = z as isize;
+    let mut s = 0.0;
+    for y in 0..d.ny as isize {
+        for x in 0..d.nx as isize {
+            let ex = fields.total(FieldKind::E, Axis::X, x, y, zi);
+            let ey = fields.total(FieldKind::E, Axis::Y, x, y, zi);
+            let hx = fields.total(FieldKind::H, Axis::X, x, y, zi);
+            let hy = fields.total(FieldKind::H, Axis::Y, x, y, zi);
+            s += 0.5 * ((ex * hy.conj()).re - (ey * hx.conj()).re);
+        }
+    }
+    s
+}
+
+/// Time-averaged absorbed power in the slab `z0..z1`:
+/// `P = 1/2 sum sigma(cell) |E(cell)|^2` with `sigma = omega * eps_i`.
+pub fn absorption_in_slab(
+    fields: &FieldSet,
+    scene: &Scene,
+    lambda_nm: f64,
+    omega: f64,
+    z0: usize,
+    z1: usize,
+) -> f64 {
+    let d = fields.dims();
+    let mut p = 0.0;
+    for z in z0..z1.min(d.nz) {
+        for y in 0..d.ny {
+            for x in 0..d.nx {
+                let (_, ei) = average_eps(scene, lambda_nm, x, y, z);
+                if ei == 0.0 {
+                    continue;
+                }
+                let sigma = omega * ei;
+                let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+                let e2 = fields.total(FieldKind::E, Axis::X, xi, yi, zi).norm_sqr()
+                    + fields.total(FieldKind::E, Axis::Y, xi, yi, zi).norm_sqr()
+                    + fields.total(FieldKind::E, Axis::Z, xi, yi, zi).norm_sqr();
+                p += 0.5 * sigma * e2;
+            }
+        }
+    }
+    p
+}
+
+/// |E|^2 profile along z (plane-summed), for wavelength measurements and
+/// standing-wave diagnostics.
+pub fn intensity_profile_z(fields: &FieldSet) -> Vec<f64> {
+    let d = fields.dims();
+    (0..d.nz)
+        .map(|z| {
+            let mut s = 0.0;
+            for y in 0..d.ny as isize {
+                for x in 0..d.nx as isize {
+                    for ax in [Axis::X, Axis::Y, Axis::Z] {
+                        s += fields.total(FieldKind::E, ax, x, y, z as isize).norm_sqr();
+                    }
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Complex Ex at the lateral center of plane `z` — phase probe for
+/// dispersion measurements.
+pub fn ex_at_center(fields: &FieldSet, z: usize) -> Cplx {
+    let d = fields.dims();
+    fields.total(
+        FieldKind::E,
+        Axis::X,
+        (d.nx / 2) as isize,
+        (d.ny / 2) as isize,
+        z as isize,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_field::{Component, GridDims};
+
+    #[test]
+    fn poynting_of_crossed_unit_fields() {
+        let d = GridDims::new(2, 2, 3);
+        let mut f = FieldSet::zeros(d);
+        // Ex = 1, Hy = 1 everywhere on plane z=1 => S_z = 0.5 per cell.
+        for y in 0..2 {
+            for x in 0..2 {
+                f.comp_mut(Component::Exy).set(x, y, 1, Cplx::ONE);
+                f.comp_mut(Component::Hyx).set(x, y, 1, Cplx::ONE);
+            }
+        }
+        assert!((poynting_z(&f, 1) - 2.0).abs() < 1e-12);
+        assert_eq!(poynting_z(&f, 0), 0.0);
+    }
+
+    #[test]
+    fn counter_propagating_fields_cancel() {
+        let d = GridDims::new(1, 1, 1);
+        let mut f = FieldSet::zeros(d);
+        f.comp_mut(Component::Exy).set(0, 0, 0, Cplx::ONE);
+        f.comp_mut(Component::Hyx).set(0, 0, 0, Cplx::ONE);
+        f.comp_mut(Component::Eyx).set(0, 0, 0, Cplx::ONE);
+        f.comp_mut(Component::Hxy).set(0, 0, 0, Cplx::ONE);
+        // Ex*Hy - Ey*Hx = 1 - 1 = 0.
+        assert_eq!(poynting_z(&f, 0), 0.0);
+    }
+
+    #[test]
+    fn absorption_zero_in_vacuum() {
+        let d = GridDims::cubic(3);
+        let mut f = FieldSet::zeros(d);
+        f.fill_deterministic(3);
+        let scene = Scene::vacuum();
+        assert_eq!(absorption_in_slab(&f, &scene, 550.0, 0.5, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn absorption_positive_in_lossy_material() {
+        let d = GridDims::cubic(3);
+        let mut f = FieldSet::zeros(d);
+        f.comp_mut(Component::Exy).set(1, 1, 1, Cplx::new(2.0, 0.0));
+        let scene = Scene::uniform(crate::materials::Material::a_si());
+        let p = absorption_in_slab(&f, &scene, 450.0, 0.5, 0, 3);
+        assert!(p > 0.0);
+        // More field => more absorption, quadratically.
+        f.comp_mut(Component::Exy).set(1, 1, 1, Cplx::new(4.0, 0.0));
+        let p2 = absorption_in_slab(&f, &scene, 450.0, 0.5, 0, 3);
+        assert!((p2 / p - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_profile_localizes_energy() {
+        let d = GridDims::new(2, 2, 5);
+        let mut f = FieldSet::zeros(d);
+        f.comp_mut(Component::Ezx).set(0, 0, 3, Cplx::new(0.0, 2.0));
+        let prof = intensity_profile_z(&f);
+        assert_eq!(prof.len(), 5);
+        assert_eq!(prof[3], 4.0);
+        assert!(prof.iter().enumerate().all(|(z, &v)| v == if z == 3 { 4.0 } else { 0.0 }));
+    }
+}

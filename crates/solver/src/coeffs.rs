@@ -1,0 +1,249 @@
+//! Assembly of the 28 coefficient arrays from the physics.
+//!
+//! Starting from the time-discretized THIIM equations (paper Eqs. 3-5),
+//! solving each for the new field value yields per-cell complex factors:
+//!
+//! H update (Eq. 4), with PML-matched magnetic conductivity `sigma*`:
+//! ```text
+//! H^{n+1/2} (e^{iwt/2} + t s*/mu) = e^{-iwt/2} H^{n-1/2} - (t/mu) curl E + t S_H
+//!   => tH = e^{-iwt/2} / D_H,  cH = (t/mu) / D_H,   D_H = e^{iwt/2} + t s*/mu
+//! ```
+//!
+//! E update, regular iteration (Eq. 3), for `Re(eps) > 0`:
+//! ```text
+//! E^{n+1} (e^{iwt} + t s/eps) = E^n + (t/eps) e^{iwt/2} curl H + t S_E
+//!   => tE = 1 / D_E,  cE = (t/eps) e^{iwt/2} / D_E,  D_E = e^{iwt} + t s/eps
+//! ```
+//!
+//! E update, *back iteration* (Eq. 5), for `Re(eps) < 0` (silver):
+//! ```text
+//! e^{iwt} E^n - E^{n+1} = (t/eps) e^{iwt/2} curl H - (t s/eps) E^{n+1} + t S_E
+//!   => tE = -e^{iwt} / D_B,  cE = (t/eps) e^{iwt/2} / D_B,  D_B = t s/eps - 1
+//! ```
+//!
+//! With `s >= 0` and `eps < 0`, `|D_B| >= 1` so `|tE| <= 1`: the back
+//! iteration is unconditionally stable where the regular one diverges —
+//! the reason THIIM can handle metallic back contacts directly. The
+//! kernels consume these factors verbatim (Listings 1-2 shape), so the
+//! physics lives entirely in this builder.
+
+use crate::fit::average_eps;
+use crate::geometry::Scene;
+use crate::pml::PmlSpec;
+use crate::source::SourceSpec;
+use em_field::{Axis, Cplx, Component, State};
+
+/// Physics parameters for coefficient assembly.
+#[derive(Clone, Debug)]
+pub struct CoeffOptions {
+    /// Vacuum wavelength in grid cells (sets omega = 2*pi/lambda, c = 1).
+    pub lambda_cells: f64,
+    /// Vacuum wavelength in nm (material table lookup only).
+    pub lambda_nm: f64,
+    /// CFL safety factor; time step is `cfl / sqrt(3)` (3-D Yee limit).
+    pub cfl: f64,
+    pub pml: Option<PmlSpec>,
+    pub source: Option<SourceSpec>,
+    /// Test hook: disable the back iteration to demonstrate the
+    /// instability of the regular iteration on negative permittivity.
+    pub force_forward_iteration: bool,
+}
+
+impl CoeffOptions {
+    pub fn new(lambda_cells: f64, lambda_nm: f64) -> Self {
+        CoeffOptions {
+            lambda_cells,
+            lambda_nm,
+            cfl: 0.95,
+            pml: None,
+            source: None,
+            force_forward_iteration: false,
+        }
+    }
+
+    pub fn omega(&self) -> f64 {
+        std::f64::consts::TAU / self.lambda_cells
+    }
+
+    pub fn tau(&self) -> f64 {
+        self.cfl / 3.0f64.sqrt()
+    }
+}
+
+/// Fill `state.coeffs` (and the source arrays) for `scene`.
+/// Returns the number of back-iteration cells (Re(eps) < 0).
+pub fn build_coefficients(state: &mut State, scene: &Scene, opt: &CoeffOptions) -> usize {
+    let dims = state.dims();
+    let omega = opt.omega();
+    let tau = opt.tau();
+    let eiwt = Cplx::cis(omega * tau);
+    let eiwt2 = Cplx::cis(omega * tau / 2.0);
+    let emiwt2 = Cplx::cis(-omega * tau / 2.0);
+    let mut back_cells = 0usize;
+
+    for z in 0..dims.nz {
+        for y in 0..dims.ny {
+            for x in 0..dims.nx {
+                let (er, ei) = average_eps(scene, opt.lambda_nm, x, y, z);
+                let sigma_mat = omega * ei;
+                let sigma_pml =
+                    opt.pml.map_or(0.0, |p| p.sigma_z(z, dims.nz));
+
+                let mut is_back = false;
+                for comp in Component::ALL {
+                    // PML loss acts along the component's derivative axis;
+                    // only z carries PML here.
+                    let pml_here = if comp.deriv_axis() == Axis::Z { sigma_pml } else { 0.0 };
+                    let (t, c) = match comp.field_kind() {
+                        em_field::FieldKind::H => {
+                            // Matched magnetic conductivity: sigma*/mu =
+                            // sigma_pml/eps0 (normalized: both 1).
+                            let d_h = eiwt2 + Cplx::real(tau * pml_here);
+                            (emiwt2 / d_h, Cplx::real(tau) / d_h)
+                        }
+                        em_field::FieldKind::E => {
+                            let sigma = sigma_mat + pml_here;
+                            if er > 0.0 || opt.force_forward_iteration {
+                                let d_e = eiwt + Cplx::real(tau * sigma / er);
+                                (Cplx::ONE / d_e, (eiwt2 * (tau / er)) / d_e)
+                            } else {
+                                // Back iteration (Eq. 5).
+                                is_back = true;
+                                let d_b = Cplx::real(tau * sigma / er - 1.0);
+                                (-eiwt / d_b, (eiwt2 * (tau / er)) / d_b)
+                            }
+                        }
+                    };
+                    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+                    state.coeffs.t_mut(comp).set(xi, yi, zi, t);
+                    state.coeffs.c_mut(comp).set(xi, yi, zi, c);
+                }
+                if is_back {
+                    back_cells += 1;
+                }
+            }
+        }
+    }
+
+    if let Some(src) = &opt.source {
+        apply_source(state, scene, opt, src);
+    }
+    back_cells
+}
+
+/// Install the time-harmonic plane-wave drive: a uniform source sheet at
+/// `src.z_plane` in the chosen E polarization. The source slot of the
+/// update equals `tau * S / D`, so the denominator of the host cell is
+/// reproduced here.
+fn apply_source(state: &mut State, scene: &Scene, opt: &CoeffOptions, src: &SourceSpec) {
+    let dims = state.dims();
+    let omega = opt.omega();
+    let tau = opt.tau();
+    let eiwt = Cplx::cis(omega * tau);
+    let z = src.z_plane.min(dims.nz - 1);
+    let arr = match src.polarization {
+        Axis::X => em_field::SourceArray::SrcEx,
+        Axis::Y => em_field::SourceArray::SrcEy,
+        Axis::Z => panic!("plane-wave source must be transverse (X or Y)"),
+    };
+    for y in 0..dims.ny {
+        for x in 0..dims.nx {
+            let (er, ei) = average_eps(scene, opt.lambda_nm, x, y, z);
+            let sigma = omega * ei + opt.pml.map_or(0.0, |p| p.sigma_z(z, dims.nz));
+            let d = if er > 0.0 || opt.force_forward_iteration {
+                eiwt + Cplx::real(tau * sigma / er)
+            } else {
+                Cplx::real(tau * sigma / er - 1.0)
+            };
+            let value = (src.amplitude * tau) / d;
+            state.coeffs.src_mut(arr).set(x as isize, y as isize, z as isize, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materials::Material;
+    use em_field::GridDims;
+
+    fn vacuum_state(n: usize) -> (State, Scene, CoeffOptions) {
+        let state = State::zeros(GridDims::cubic(n));
+        let scene = Scene::vacuum();
+        let opt = CoeffOptions::new(12.0, 550.0);
+        (state, scene, opt)
+    }
+
+    #[test]
+    fn vacuum_coefficients_are_unit_modulus_transfer() {
+        let (mut state, scene, opt) = vacuum_state(4);
+        let back = build_coefficients(&mut state, &scene, &opt);
+        assert_eq!(back, 0);
+        for comp in Component::ALL {
+            let t = state.coeffs.t(comp).get(1, 1, 1);
+            assert!((t.abs() - 1.0).abs() < 1e-12, "{comp}: |t| = {}", t.abs());
+            let c = state.coeffs.c(comp).get(1, 1, 1);
+            assert!((c.abs() - opt.tau()).abs() < 1e-12, "{comp}: |c| = {}", c.abs());
+        }
+    }
+
+    #[test]
+    fn all_transfer_factors_are_stable() {
+        // |t| <= 1 everywhere for any material mix, including silver.
+        let mut scene = Scene::vacuum();
+        let ag = scene.add_material(Material::silver());
+        let asi = scene.add_material(Material::a_si());
+        scene.layers.push(crate::geometry::Layer::flat(ag, 0.0, 3.0));
+        scene.layers.push(crate::geometry::Layer::flat(asi, 3.0, 6.0));
+        let mut state = State::zeros(GridDims::new(4, 4, 8));
+        let mut opt = CoeffOptions::new(12.0, 550.0);
+        opt.pml = Some(PmlSpec::new(2));
+        let back = build_coefficients(&mut state, &scene, &opt);
+        assert!(back > 0, "silver cells must use back iteration");
+        for comp in Component::ALL {
+            for (_, t) in state.coeffs.t(comp).iter_interior() {
+                assert!(t.abs() <= 1.0 + 1e-9, "{comp}: |t| = {}", t.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_iteration_on_silver_is_unstable() {
+        // The defining contrast: forcing the regular iteration on
+        // Re(eps) < 0 yields |t| > 1 (divergent mode).
+        let scene = Scene::uniform(Material::silver());
+        let mut state = State::zeros(GridDims::cubic(3));
+        let mut opt = CoeffOptions::new(12.0, 550.0);
+        opt.force_forward_iteration = true;
+        build_coefficients(&mut state, &scene, &opt);
+        let t = state.coeffs.t(Component::Exy).get(1, 1, 1);
+        assert!(t.abs() > 1.0, "forward |t| = {} must exceed 1 on silver", t.abs());
+    }
+
+    #[test]
+    fn pml_cells_are_lossy_only_in_z_derivative_components() {
+        let (mut state, scene, mut opt) = vacuum_state(8);
+        opt.pml = Some(PmlSpec::new(3));
+        build_coefficients(&mut state, &scene, &opt);
+        // z-derivative component inside the PML: |t| < 1 (absorbing).
+        let t_zderiv = state.coeffs.t(Component::Exy).get(4, 4, 0);
+        assert!(t_zderiv.abs() < 0.999, "|t| = {}", t_zderiv.abs());
+        // x-derivative component is untouched by z-PML.
+        let t_xderiv = state.coeffs.t(Component::Ezy).get(4, 4, 0);
+        assert!((t_xderiv.abs() - 1.0).abs() < 1e-12);
+        // Interior cells untouched.
+        let t_mid = state.coeffs.t(Component::Exy).get(4, 4, 4);
+        assert!((t_mid.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_sheet_is_installed_at_the_plane() {
+        let (mut state, scene, mut opt) = vacuum_state(6);
+        opt.source = Some(SourceSpec { z_plane: 3, amplitude: Cplx::real(2.0), polarization: Axis::X });
+        build_coefficients(&mut state, &scene, &opt);
+        let src = state.coeffs.src(em_field::SourceArray::SrcEx);
+        assert!(src.get(2, 2, 3).abs() > 0.0);
+        assert_eq!(src.get(2, 2, 2), Cplx::ZERO);
+        assert_eq!(state.coeffs.src(em_field::SourceArray::SrcEy).get(2, 2, 3), Cplx::ZERO);
+    }
+}

@@ -1,0 +1,204 @@
+//! Optical material models.
+//!
+//! The production code takes measured refractive-index tables; those are
+//! proprietary to the experiments, so this reproduction ships synthetic
+//! tables with the correct qualitative structure (documented in
+//! DESIGN.md): silver keeps `Re(eps) < 0` across the visible spectrum
+//! (forcing the THIIM back-iteration), the silicon layers absorb blue
+//! much more strongly than red, and the oxides are nearly lossless.
+//!
+//! Convention: complex permittivity is reported as `(eps_r, eps_i)` with
+//! `eps_i >= 0` meaning absorption; the solver folds `eps_i` into an
+//! equivalent conductivity `sigma = omega * eps_i`.
+
+/// Index into a scene's material list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MaterialId(pub usize);
+
+/// A (possibly dispersive) optical material.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Material {
+    /// Constant complex refractive index `n + ik`.
+    Index { name: &'static str, n: f64, k: f64 },
+    /// Tabulated `(wavelength_nm, n, k)`, linearly interpolated and
+    /// clamped at the ends. Rows must be sorted by wavelength.
+    Table { name: &'static str, rows: &'static [(f64, f64, f64)] },
+    /// Drude metal: `eps(w) = eps_inf - wp^2 / (w^2 + i g w)` with the
+    /// frequencies expressed in nm-equivalent vacuum wavelengths
+    /// (`w = 2 pi c / lambda`, c in nm units).
+    Drude { name: &'static str, eps_inf: f64, lambda_p_nm: f64, gamma_over_w_p: f64 },
+}
+
+impl Material {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Material::Index { name, .. }
+            | Material::Table { name, .. }
+            | Material::Drude { name, .. } => name,
+        }
+    }
+
+    /// Complex permittivity at vacuum wavelength `lambda_nm`, as
+    /// `(eps_r, eps_i)` with `eps_i >= 0` for absorption.
+    pub fn eps(&self, lambda_nm: f64) -> (f64, f64) {
+        match self {
+            Material::Index { n, k, .. } => nk_to_eps(*n, *k),
+            Material::Table { rows, .. } => {
+                let (n, k) = interp(rows, lambda_nm);
+                nk_to_eps(n, k)
+            }
+            Material::Drude { eps_inf, lambda_p_nm, gamma_over_w_p, .. } => {
+                // Work in units of the plasma frequency.
+                let w = lambda_p_nm / lambda_nm; // omega / omega_p
+                let g = gamma_over_w_p;
+                // eps = eps_inf - 1 / (w^2 + i g w)
+                let d = w * w * w * w + g * g * w * w;
+                let re = eps_inf - (w * w) / d;
+                let im = (g * w) / d;
+                (re, im)
+            }
+        }
+    }
+
+    // --- presets -----------------------------------------------------
+
+    pub fn vacuum() -> Material {
+        Material::Index { name: "vacuum", n: 1.0, k: 0.0 }
+    }
+
+    pub fn glass() -> Material {
+        Material::Index { name: "glass", n: 1.5, k: 0.0 }
+    }
+
+    /// SiO2 nanoparticle material.
+    pub fn silica() -> Material {
+        Material::Index { name: "SiO2", n: 1.45, k: 0.0 }
+    }
+
+    /// Transparent conductive oxide (ZnO:Al-like).
+    pub fn tco() -> Material {
+        Material::Index { name: "TCO", n: 1.9, k: 0.02 }
+    }
+
+    /// Hydrogenated amorphous silicon absorber (top junction of Fig. 1).
+    pub fn a_si() -> Material {
+        Material::Table {
+            name: "a-Si:H",
+            rows: &[
+                (400.0, 5.1, 2.1),
+                (500.0, 4.8, 0.85),
+                (600.0, 4.4, 0.25),
+                (700.0, 4.0, 0.06),
+                (800.0, 3.8, 0.01),
+            ],
+        }
+    }
+
+    /// Microcrystalline silicon absorber (bottom junction of Fig. 1).
+    pub fn uc_si() -> Material {
+        Material::Table {
+            name: "uc-Si:H",
+            rows: &[
+                (400.0, 4.6, 1.4),
+                (500.0, 4.2, 0.45),
+                (600.0, 3.9, 0.10),
+                (700.0, 3.7, 0.03),
+                (800.0, 3.6, 0.012),
+            ],
+        }
+    }
+
+    /// Silver back reflector: Drude model with `Re(eps) < 0` throughout
+    /// the visible (plasma wavelength ~138 nm, like real Ag).
+    pub fn silver() -> Material {
+        Material::Drude {
+            name: "Ag",
+            eps_inf: 3.7,
+            lambda_p_nm: 138.0,
+            gamma_over_w_p: 0.002,
+        }
+    }
+}
+
+fn nk_to_eps(n: f64, k: f64) -> (f64, f64) {
+    // eps = (n - ik)^2 = n^2 - k^2 - 2ink -> (n^2 - k^2, 2nk)
+    (n * n - k * k, 2.0 * n * k)
+}
+
+fn interp(rows: &[(f64, f64, f64)], lambda: f64) -> (f64, f64) {
+    assert!(!rows.is_empty());
+    if lambda <= rows[0].0 {
+        return (rows[0].1, rows[0].2);
+    }
+    if lambda >= rows[rows.len() - 1].0 {
+        let r = rows[rows.len() - 1];
+        return (r.1, r.2);
+    }
+    for w in rows.windows(2) {
+        let (l0, n0, k0) = w[0];
+        let (l1, n1, k1) = w[1];
+        if lambda <= l1 {
+            let t = (lambda - l0) / (l1 - l0);
+            return (n0 + t * (n1 - n0), k0 + t * (k1 - k0));
+        }
+    }
+    unreachable!("sorted table covers the range");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vacuum_is_unity() {
+        assert_eq!(Material::vacuum().eps(550.0), (1.0, 0.0));
+    }
+
+    #[test]
+    fn silver_has_negative_real_permittivity_across_visible() {
+        let ag = Material::silver();
+        for lambda in [400.0, 500.0, 550.0, 600.0, 700.0, 800.0] {
+            let (re, im) = ag.eps(lambda);
+            assert!(re < 0.0, "Re(eps_Ag) at {lambda} nm = {re} must be < 0");
+            assert!(im >= 0.0, "absorption must be non-negative");
+        }
+        // Magnitude grows toward the red, like real silver.
+        assert!(ag.eps(800.0).0 < ag.eps(400.0).0);
+    }
+
+    #[test]
+    fn silicon_absorbs_blue_more_than_red() {
+        for m in [Material::a_si(), Material::uc_si()] {
+            let blue = m.eps(420.0).1;
+            let red = m.eps(700.0).1;
+            assert!(blue > 10.0 * red, "{}: blue {blue} vs red {red}", m.name());
+        }
+    }
+
+    #[test]
+    fn table_interpolation_is_continuous_and_clamped() {
+        let m = Material::a_si();
+        let (n1, _) = match &m {
+            Material::Table { rows, .. } => (rows[0].1, rows[0].2),
+            _ => unreachable!(),
+        };
+        // Clamped below.
+        let (e_lo, _) = m.eps(300.0);
+        assert!((e_lo - (n1 * n1 - 2.1f64.powi(2))).abs() < 1e-9);
+        // Midpoint between 500 and 600 rows.
+        let (n_mid, k_mid) = interp(
+            &[(500.0, 4.8, 0.85), (600.0, 4.4, 0.25)],
+            550.0,
+        );
+        assert!((n_mid - 4.6).abs() < 1e-12);
+        assert!((k_mid - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dielectric_eps_matches_nk_identity() {
+        let m = Material::Index { name: "test", n: 2.0, k: 0.5 };
+        let (re, im) = m.eps(500.0);
+        assert_eq!(re, 4.0 - 0.25);
+        assert_eq!(im, 2.0);
+    }
+}

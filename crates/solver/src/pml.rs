@@ -1,0 +1,100 @@
+//! Berenger split-field perfectly matched layers along z.
+//!
+//! The solar-cell setups use PML vertically and periodic boundaries
+//! horizontally (Sec. I). Each split component's PML conductivity acts
+//! along its *derivative* axis; since only z carries PML here, exactly
+//! the z-derivative components (the Listing-1 quartet) acquire PML loss,
+//! graded polynomially into the layer.
+
+/// PML description (applied at both z ends).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PmlSpec {
+    /// Thickness in cells at each z boundary.
+    pub thickness: usize,
+    /// Polynomial grading order (3-4 typical).
+    pub order: f64,
+    /// Peak conductivity in normalized units (eps0 = c = cell = 1).
+    pub sigma_max: f64,
+}
+
+impl PmlSpec {
+    /// A reasonable default: 8-cell, cubic grading, near-optimal peak
+    /// `sigma_max ~ 0.8 * (order + 1)` for unit impedance and spacing.
+    pub fn new(thickness: usize) -> Self {
+        let order = 3.0;
+        PmlSpec { thickness, order, sigma_max: 0.8 * (order + 1.0) }
+    }
+
+    /// Conductivity at cell `z` of an `nz`-cell grid (0 outside the
+    /// absorbing regions).
+    pub fn sigma_z(&self, z: usize, nz: usize) -> f64 {
+        if self.thickness == 0 {
+            return 0.0;
+        }
+        let t = self.thickness as f64;
+        // Depth into the layer, measured at the cell center.
+        let depth = if z < self.thickness {
+            self.thickness as f64 - (z as f64 + 0.5)
+        } else if z >= nz - self.thickness {
+            (z as f64 + 0.5) - (nz - self.thickness) as f64
+        } else {
+            return 0.0;
+        };
+        self.sigma_max * (depth / t).powf(self.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_in_the_interior() {
+        let p = PmlSpec::new(8);
+        for z in 8..56 {
+            assert_eq!(p.sigma_z(z, 64), 0.0, "z={z}");
+        }
+    }
+
+    #[test]
+    fn grades_monotonically_toward_the_boundary() {
+        let p = PmlSpec::new(8);
+        let nz = 64;
+        for z in 1..8 {
+            assert!(
+                p.sigma_z(z - 1, nz) > p.sigma_z(z, nz),
+                "low side must grade up toward z=0"
+            );
+        }
+        for z in 57..64 {
+            assert!(p.sigma_z(z, nz) > p.sigma_z(z - 1, nz), "high side grades up");
+        }
+    }
+
+    #[test]
+    fn symmetric_profile() {
+        let p = PmlSpec::new(6);
+        let nz = 40;
+        for d in 0..6 {
+            let lo = p.sigma_z(d, nz);
+            let hi = p.sigma_z(nz - 1 - d, nz);
+            assert!((lo - hi).abs() < 1e-12, "d={d}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn peak_at_outermost_cell() {
+        let p = PmlSpec::new(8);
+        let peak = p.sigma_z(0, 64);
+        assert!(peak > 0.9 * p.sigma_max * (7.5f64 / 8.0).powf(3.0));
+        assert!(peak <= p.sigma_max);
+    }
+
+    #[test]
+    fn zero_thickness_is_no_pml() {
+        let p = PmlSpec { thickness: 0, order: 3.0, sigma_max: 1.0 };
+        for z in 0..16 {
+            assert_eq!(p.sigma_z(z, 16), 0.0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Time-harmonic plane-wave source description.
+
+use em_field::{Axis, Cplx};
+
+/// A uniform transverse source sheet at one z plane, driving the chosen
+/// electric polarization each time step (the steady forcing of the
+/// time-harmonic iteration; the PML absorbs both outgoing directions).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SourceSpec {
+    pub z_plane: usize,
+    pub amplitude: Cplx,
+    /// `Axis::X` or `Axis::Y`.
+    pub polarization: Axis,
+}
+
+impl SourceSpec {
+    pub fn x_polarized(z_plane: usize, amplitude: f64) -> Self {
+        SourceSpec { z_plane, amplitude: Cplx::real(amplitude), polarization: Axis::X }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_defaults() {
+        let s = SourceSpec::x_polarized(10, 1.5);
+        assert_eq!(s.z_plane, 10);
+        assert_eq!(s.polarization, Axis::X);
+        assert_eq!(s.amplitude, Cplx::real(1.5));
+    }
+}

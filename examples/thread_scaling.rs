@@ -1,0 +1,62 @@
+//! Native analogue of the paper's Fig. 6: wall-clock thread scaling of
+//! spatial blocking vs 1WD vs MWD *on this host* (the paper-scale version
+//! on the simulated Haswell is `cargo run -p em-bench --bin figures`).
+//!
+//!     cargo run --release --example thread_scaling
+
+use thiim_mwd::field::{GridDims, State};
+use thiim_mwd::kernels::{step_spatial_mt, SpatialConfig};
+use thiim_mwd::mwd::{run_mwd, MwdConfig, TgShape};
+
+fn mlups(dims: GridDims, steps: usize, secs: f64) -> f64 {
+    (dims.cells() * steps) as f64 / secs / 1e6
+}
+
+fn main() {
+    let dims = GridDims::cubic(64);
+    let steps = 4;
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    println!("native thread scaling, {dims} grid, {steps} steps/measurement");
+    println!("host parallelism: {host}\n");
+
+    let mut proto = State::zeros(dims);
+    proto.fields.fill_deterministic(7);
+    proto.coeffs.fill_deterministic(8);
+
+    println!("{:>8} {:>14} {:>14} {:>14}", "threads", "spatial", "1WD", "MWD(shared)");
+    for threads in 1..=host.min(4) {
+        // Spatial baseline.
+        let mut s = proto.clone();
+        let t0 = std::time::Instant::now();
+        for _ in 0..steps {
+            step_spatial_mt(&mut s, SpatialConfig::new(8, 16), threads);
+        }
+        let sp = mlups(dims, steps, t0.elapsed().as_secs_f64());
+
+        // 1WD: private tiles per thread.
+        let mut s = proto.clone();
+        let cfg = MwdConfig::one_wd(8, 2, threads);
+        let t0 = std::time::Instant::now();
+        run_mwd(&mut s, &cfg, steps).expect("1WD runs");
+        let one = mlups(dims, steps, t0.elapsed().as_secs_f64());
+
+        // MWD: one shared cache block, component-parallel inside.
+        let tg = match threads {
+            1 => TgShape { x: 1, z: 1, c: 1 },
+            2 => TgShape { x: 1, z: 1, c: 2 },
+            3 => TgShape { x: 1, z: 1, c: 3 },
+            _ => TgShape { x: 2, z: 1, c: 2 },
+        };
+        let mut s = proto.clone();
+        let cfg = MwdConfig { dw: 8, bz: 2, tg, groups: 1 };
+        let t0 = std::time::Instant::now();
+        run_mwd(&mut s, &cfg, steps).expect("MWD runs");
+        let mw = mlups(dims, steps, t0.elapsed().as_secs_f64());
+
+        println!("{threads:>8} {sp:>10.1} MLUP/s {one:>9.1} MLUP/s {mw:>9.1} MLUP/s");
+    }
+
+    println!("\nNote: this 2-core host cannot reproduce the 18-core separation;");
+    println!("run `cargo run -p em-bench --release --bin figures -- fig6` for the");
+    println!("paper-scale comparison on the simulated Haswell.");
+}

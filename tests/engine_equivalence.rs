@@ -1,0 +1,138 @@
+//! Cross-crate integration: the bitwise-equivalence oracle over a matrix
+//! of engines, grids and thread-group shapes, plus randomized
+//! property-based configurations.
+
+use proptest::prelude::*;
+use thiim_mwd::field::{norms, GridDims, State};
+use thiim_mwd::kernels::{run_naive, step_spatial_mt, SpatialConfig};
+use thiim_mwd::mwd::{run_mwd, MwdConfig, TgShape};
+
+fn filled(dims: GridDims, seed: u64) -> State {
+    let mut s = State::zeros(dims);
+    s.fields.fill_deterministic(seed);
+    s.coeffs.fill_deterministic(seed ^ 0xdead);
+    s
+}
+
+#[test]
+fn all_engines_agree_bitwise_on_a_nontrivial_problem() {
+    let dims = GridDims::new(10, 14, 11);
+    let steps = 7;
+    let mut reference = filled(dims, 101);
+    let mut spatial = reference.clone();
+    let mut configs: Vec<(String, State)> = Vec::new();
+
+    for cfg in [
+        MwdConfig::one_wd(4, 1, 1),
+        MwdConfig::one_wd(4, 3, 3),
+        MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 1, c: 3 }, groups: 1 },
+        MwdConfig { dw: 8, bz: 4, tg: TgShape { x: 1, z: 2, c: 2 }, groups: 2 },
+        MwdConfig { dw: 6, bz: 5, tg: TgShape { x: 2, z: 5, c: 6 }, groups: 1 },
+    ] {
+        configs.push((format!("{cfg:?}"), reference.clone()));
+        let (_, state) = configs.last_mut().unwrap();
+        run_mwd(state, &cfg, steps).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+    }
+
+    run_naive(&mut reference, steps);
+    for _ in 0..steps {
+        step_spatial_mt(&mut spatial, SpatialConfig::new(4, 3), 3);
+    }
+    assert!(reference.fields.bit_eq(&spatial.fields), "spatial diverged");
+    for (name, state) in &configs {
+        if let Some(m) = norms::first_mismatch(&state.fields, &reference.fields) {
+            panic!("{name}: first mismatch {m:?}");
+        }
+    }
+}
+
+#[test]
+fn mwd_intermediate_time_blocks_compose() {
+    // Temporal blocking over nt must equal blocking over nt1 + nt2.
+    let dims = GridDims::new(6, 9, 8);
+    let mut once = filled(dims, 55);
+    let mut split = once.clone();
+    let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 2 };
+    run_mwd(&mut once, &cfg, 9).unwrap();
+    run_mwd(&mut split, &cfg, 4).unwrap();
+    run_mwd(&mut split, &cfg, 5).unwrap();
+    assert!(once.fields.bit_eq(&split.fields));
+}
+
+#[test]
+fn repeated_runs_are_deterministic_across_schedules() {
+    // Dynamic scheduling must never change the bits, run after run.
+    let dims = GridDims::new(8, 12, 8);
+    let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 2, c: 1 }, groups: 2 };
+    let proto = filled(dims, 77);
+    let mut first = proto.clone();
+    run_mwd(&mut first, &cfg, 6).unwrap();
+    for _ in 0..4 {
+        let mut again = proto.clone();
+        run_mwd(&mut again, &cfg, 6).unwrap();
+        assert!(first.fields.bit_eq(&again.fields));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random grids, diamond widths, wavefronts, TG shapes and thread
+    /// counts: MWD must always reproduce the naive bits.
+    #[test]
+    fn mwd_equals_naive_for_random_configurations(
+        nx in 2usize..8,
+        ny in 2usize..16,
+        nz in 2usize..12,
+        dw_half in 1usize..5,
+        bz in 1usize..6,
+        steps in 1usize..8,
+        groups in 1usize..4,
+        tgx in 1usize..3,
+        tgz in 1usize..3,
+        tgc_idx in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let dims = GridDims::new(nx, ny, nz);
+        let tgc = [1usize, 2, 3, 6][tgc_idx];
+        let cfg = MwdConfig {
+            dw: 2 * dw_half,
+            bz,
+            tg: TgShape { x: tgx.min(nx), z: tgz.min(bz), c: tgc },
+            groups,
+        };
+        prop_assume!(cfg.validate(dims).is_ok());
+
+        let mut reference = filled(dims, seed);
+        let mut tiled = reference.clone();
+        run_naive(&mut reference, steps);
+        run_mwd(&mut tiled, &cfg, steps).expect("validated config runs");
+        prop_assert!(
+            tiled.fields.bit_eq(&reference.fields),
+            "cfg {:?} dims {} steps {}: {:?}",
+            cfg, dims, steps,
+            norms::first_mismatch(&tiled.fields, &reference.fields)
+        );
+    }
+
+    /// Spatial blocking with any block size and thread count is also
+    /// bit-exact.
+    #[test]
+    fn spatial_equals_naive_for_random_blocks(
+        n in 3usize..10,
+        by in 1usize..12,
+        bz in 1usize..12,
+        threads in 1usize..5,
+        steps in 1usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let dims = GridDims::cubic(n);
+        let mut reference = filled(dims, seed);
+        let mut blocked = reference.clone();
+        run_naive(&mut reference, steps);
+        for _ in 0..steps {
+            step_spatial_mt(&mut blocked, SpatialConfig::new(by, bz), threads);
+        }
+        prop_assert!(blocked.fields.bit_eq(&reference.fields));
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration: the physics layer driving the optimized engines, and the
+//! end-to-end claims that make THIIM + MWD a usable production solver.
+
+use thiim_mwd::field::{norms, GridDims};
+use thiim_mwd::kernels::SpatialConfig;
+use thiim_mwd::mwd::{MwdConfig, TgShape};
+use thiim_mwd::solver::{
+    analysis, Engine, Material, PmlSpec, Scene, SolverConfig, SourceSpec, ThiimSolver,
+};
+
+fn wave_config(dims: GridDims, scene: Scene) -> SolverConfig {
+    let mut cfg = SolverConfig::new(dims, scene, 10.0, 550.0);
+    cfg.pml = Some(PmlSpec::new(6));
+    cfg.source = Some(SourceSpec::x_polarized(dims.nz - 10, 1.0));
+    cfg
+}
+
+#[test]
+fn every_engine_advances_the_same_physics_bitwise() {
+    let dims = GridDims::new(6, 8, 24);
+    let mut scene = Scene::vacuum();
+    let g = scene.add_material(Material::glass());
+    scene.layers.push(thiim_mwd::solver::Layer::flat(g, 4.0, 12.0));
+    let cfg = wave_config(dims, scene);
+
+    let engines: Vec<(&str, Engine)> = vec![
+        ("spatial", Engine::Spatial { cfg: SpatialConfig::new(3, 8), threads: 2 }),
+        (
+            "mwd",
+            Engine::Mwd(MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 2, c: 2 }, groups: 1 }),
+        ),
+        (
+            "mwd_groups",
+            Engine::Mwd(MwdConfig { dw: 4, bz: 1, tg: TgShape { x: 1, z: 1, c: 3 }, groups: 2 }),
+        ),
+    ];
+
+    let mut reference = ThiimSolver::new(cfg.clone());
+    reference.step_n(&Engine::Naive, 30).unwrap();
+    for (name, engine) in engines {
+        let mut other = ThiimSolver::new(cfg.clone());
+        other.step_n(&engine, 30).unwrap();
+        assert!(
+            reference.fields().bit_eq(other.fields()),
+            "{name}: {:?}",
+            norms::first_mismatch(reference.fields(), other.fields())
+        );
+    }
+}
+
+#[test]
+fn tandem_cell_runs_on_the_mwd_engine() {
+    // The real workload: the Fig. 1 stack, PML, silver back reflector
+    // (back iteration), stepped with temporal blocking.
+    let (nx, ny, nz) = (8, 12, 36);
+    let dims = GridDims::new(nx, ny, nz);
+    let scene = Scene::tandem_solar_cell(nx, ny, nz);
+    let cfg = wave_config(dims, scene.clone());
+    let mut solver = ThiimSolver::new(cfg);
+    assert!(solver.back_iteration_cells > 0);
+
+    let mwd = Engine::Mwd(MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 2 });
+    solver.step_n(&mwd, 4 * solver.steps_per_period()).unwrap();
+
+    let energy = solver.state.fields.energy();
+    assert!(energy.is_finite() && energy > 0.0, "energy {energy}");
+    let absorbed = analysis::absorption_in_slab(
+        solver.fields(),
+        &scene,
+        550.0,
+        solver.omega,
+        (0.2 * nz as f64) as usize,
+        (0.62 * nz as f64) as usize,
+    );
+    assert!(absorbed > 0.0, "junctions must absorb");
+}
+
+#[test]
+fn absorbed_power_is_bounded_by_incident_flux() {
+    // Global energy sanity: the power absorbed in a lossy slab cannot
+    // exceed the flux entering it through the vacuum above (within the
+    // tolerance of an imperfectly converged state). The absorber must be
+    // optically resolvable: TCO (n = 1.9) at lambda = 16 cells gives an
+    // in-medium wavelength of ~8.4 cells; high-index silicon at short
+    // lambda would sit in the grid's numerical stop band and reflect
+    // everything.
+    let dims = GridDims::new(6, 6, 48);
+    let mut scene = Scene::vacuum();
+    let tco = scene.add_material(Material::tco());
+    // Absorber in the lower third; source sits in vacuum above it.
+    scene.layers.push(thiim_mwd::solver::Layer::flat(tco, 0.0, 16.0));
+    let mut cfg = SolverConfig::new(dims, scene.clone(), 16.0, 550.0);
+    cfg.pml = Some(PmlSpec::new(6));
+    cfg.source = Some(SourceSpec::x_polarized(38, 1.0));
+    let mut solver = ThiimSolver::new(cfg);
+    solver
+        .run_to_convergence(&Engine::NaivePeriodicXY, 2e-2, 80)
+        .unwrap();
+    // Net downward flux in the vacuum gap, averaged over half a
+    // wavelength of planes to wash out staggered-grid standing-wave
+    // artifacts.
+    let planes: Vec<usize> = (22..30).collect();
+    let down = -planes.iter().map(|&z| analysis::poynting_z(solver.fields(), z)).sum::<f64>()
+        / planes.len() as f64;
+    let absorbed = analysis::absorption_in_slab(
+        solver.fields(), &scene, 550.0, solver.omega, 0, 16);
+    assert!(down > 0.0, "flux must flow toward the absorber, got {down}");
+    assert!(absorbed > 0.0, "the slab must absorb");
+    assert!(
+        absorbed <= down * 1.5,
+        "absorption {absorbed} cannot exceed incident flux {down}"
+    );
+}
+
+#[test]
+fn glass_slab_reflects_less_than_silver_mirror() {
+    // Physics sanity across materials: a silver mirror returns nearly all
+    // of the incident flux, a glass interface only a few percent.
+    let dims = GridDims::new(6, 6, 48);
+    let run = |material: Material| -> f64 {
+        let mut scene = Scene::vacuum();
+        let id = scene.add_material(material);
+        scene.layers.push(thiim_mwd::solver::Layer::flat(id, 0.0, 14.0));
+        let cfg = wave_config(dims, scene);
+        let mut solver = ThiimSolver::new(cfg);
+        solver
+            .run_to_convergence(&Engine::NaivePeriodicXY, 2e-2, 50)
+            .unwrap();
+        // Net downward flux above the slab: incident minus reflected.
+        -analysis::poynting_z(solver.fields(), 24)
+    };
+    let through_toward_glass = run(Material::glass());
+    let through_toward_silver = run(Material::silver());
+    assert!(
+        through_toward_silver < 0.35 * through_toward_glass.abs().max(1e-12),
+        "silver must reflect far more: net flux {through_toward_silver} vs glass {through_toward_glass}"
+    );
+}

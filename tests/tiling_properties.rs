@@ -1,0 +1,133 @@
+//! Property tests on the core data structures: diamond tessellation,
+//! schedule validity under adversarial orders, work splitting, and the
+//! cache-block model against exact tile footprints.
+
+use proptest::prelude::*;
+use thiim_mwd::models::cache_block_bytes;
+use thiim_mwd::mwd::{diamond_rows, split_range, DiamondWidth, TilePlan, WavefrontSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every (y, t) cell of both fields is updated exactly once, and the
+    /// dependency-ordered schedule passes exact-level validation, for
+    /// arbitrary domain extents and diamond widths.
+    #[test]
+    fn tessellation_covers_exactly_once(
+        ny in 1usize..40,
+        nt in 1usize..24,
+        dw_half in 1usize..9,
+    ) {
+        let dw = DiamondWidth::new(2 * dw_half).unwrap();
+        let plan = TilePlan::build(dw, ny, nt);
+        prop_assert_eq!(plan.total_half_updates(), 2 * ny * nt);
+        plan.validate().map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Scheduling order among ready tiles is free: random ready-set picks
+    /// must still satisfy every exact-level read.
+    #[test]
+    fn random_schedules_are_valid(
+        ny in 1usize..24,
+        nt in 1usize..16,
+        dw_half in 1usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let dw = DiamondWidth::new(2 * dw_half).unwrap();
+        let plan = TilePlan::build(dw, ny, nt);
+        let mut state = seed | 1;
+        plan.validate_with_order(|ready| {
+            if ready.is_empty() {
+                return None;
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Some(ready[(state >> 33) as usize % ready.len()])
+        })
+        .map_err(TestCaseError::fail)?;
+    }
+
+    /// The wavefront windows of every lag partition [0, nz) exactly.
+    #[test]
+    fn wavefront_windows_partition_z(
+        nz in 1usize..60,
+        bz in 1usize..12,
+        lag in 0usize..16,
+    ) {
+        let wf = WavefrontSpec::new(bz).unwrap();
+        let mut covered = vec![0u8; nz];
+        for p in wf.positions(nz, lag) {
+            for z in wf.window(p, lag, nz) {
+                covered[z] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// split_range is always a balanced partition.
+    #[test]
+    fn split_range_partitions(
+        start in 0usize..50,
+        len in 0usize..200,
+        parts in 1usize..17,
+    ) {
+        let range = start..start + len;
+        let mut covered = vec![0u8; len];
+        let mut sizes = vec![];
+        for i in 0..parts {
+            let r = split_range(range.clone(), parts, i);
+            sizes.push(r.len());
+            for j in r {
+                covered[j - start] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Eq. 11 equals the exact row count of the canonical tile footprint:
+    /// 40 arrays over the (y,z) wavefront footprint plus the 12-component
+    /// halo ring, all scaled by Nx.
+    #[test]
+    fn eq11_matches_combinatorial_footprint(
+        dw_half in 1usize..9,
+        bz in 1usize..10,
+    ) {
+        let dw = 2 * dw_half;
+        // Footprint area in the (y, z-offset) plane: each level occupies
+        // its y-interval over BZ z cells, shifted by the lag; distinct
+        // (y, z) pairs count once per *array*, i.e. field + coefficients
+        // = 40 copies, plus neighbor halo of the 12 field components.
+        let rows = diamond_rows(DiamondWidth::new(dw).unwrap(), 0, 0);
+        // E and H rows per level share y-extent with the H row one wider;
+        // the model's footprint is Dw^2/2 + Dw*(BZ-1) distinct y*z cells.
+        let mut cells = std::collections::HashSet::new();
+        for row in &rows {
+            if row.kind != thiim_mwd::field::FieldKind::H { continue; }
+            for y in row.y_lo..=row.y_hi {
+                for dz in 0..bz {
+                    cells.insert((y, row.lag as i64 + dz as i64));
+                }
+            }
+        }
+        let area = cells.len() as f64;
+        let model_area = (dw * dw) as f64 / 2.0 + (dw * (bz - 1)) as f64;
+        prop_assert!((area - model_area).abs() <= (dw as f64),
+            "footprint {} vs model {}", area, model_area);
+        // And the full Eq. 11 stays within one halo ring of
+        // 40*area + 12*(Dw + Ww).
+        let ww = dw + bz - 1;
+        let model = cache_block_bytes(1, dw, bz);
+        let reconstructed = 16.0 * (40.0 * model_area + 12.0 * (dw + ww) as f64);
+        prop_assert!((model - reconstructed).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn plan_scales_to_paper_sized_domains() {
+    // 480 lines, 32 steps, Dw=16: build + validate stays fast and exact.
+    let plan = TilePlan::build(DiamondWidth::new(16).unwrap(), 480, 32);
+    assert_eq!(plan.total_half_updates(), 2 * 480 * 32);
+    plan.validate().expect("paper-scale plan validates");
+    assert!(plan.tiles.len() > 100);
+}

@@ -17,7 +17,10 @@ impl Default for CacheWindow {
     /// usable half-L3: below that the diamonds are too small to create
     /// reuse, above it they thrash.
     fn default() -> Self {
-        CacheWindow { lo_frac: 0.15, hi_frac: 1.0 }
+        CacheWindow {
+            lo_frac: 0.15,
+            hi_frac: 1.0,
+        }
     }
 }
 
@@ -47,8 +50,10 @@ pub fn prune(
     window: CacheWindow,
 ) -> (Vec<Candidate>, usize) {
     let before = cands.len();
-    let kept: Vec<Candidate> =
-        cands.into_iter().filter(|c| cache_fit(c, dims, machine, window)).collect();
+    let kept: Vec<Candidate> = cands
+        .into_iter()
+        .filter(|c| cache_fit(c, dims, machine, window))
+        .collect();
     let pruned = before - kept.len();
     (kept, pruned)
 }
@@ -73,7 +78,12 @@ mod tests {
         // The Sec. III-C argument: one shared Dw=8/BZ=1 block fits, 18
         // private ones do not.
         let dims = GridDims::cubic(480);
-        let shared = MwdConfig { dw: 8, bz: 1, tg: TgShape { x: 3, z: 1, c: 6 }, groups: 1 };
+        let shared = MwdConfig {
+            dw: 8,
+            bz: 1,
+            tg: TgShape { x: 3, z: 1, c: 6 },
+            groups: 1,
+        };
         let private = MwdConfig::one_wd(8, 1, 18);
         let w = CacheWindow::default();
         assert!(cache_fit(&shared, dims, &HSW, w));
@@ -83,7 +93,12 @@ mod tests {
     #[test]
     fn window_bounds_are_inclusive_band() {
         let dims = GridDims::cubic(480);
-        let cand = MwdConfig { dw: 8, bz: 1, tg: TgShape::SINGLE, groups: 1 };
+        let cand = MwdConfig {
+            dw: 8,
+            bz: 1,
+            tg: TgShape::SINGLE,
+            groups: 1,
+        };
         let total = total_block_bytes(&cand, dims);
         let usable = HSW.usable_l3();
         // ~10.8 MiB of 22.5 MiB usable: ~48%.
@@ -91,7 +106,15 @@ mod tests {
         assert!((0.4..0.6).contains(&frac), "got {frac}");
         assert!(cache_fit(&cand, dims, &HSW, CacheWindow::default()));
         // A window excluding it from below:
-        assert!(!cache_fit(&cand, dims, &HSW, CacheWindow { lo_frac: 0.6, hi_frac: 1.0 }));
+        assert!(!cache_fit(
+            &cand,
+            dims,
+            &HSW,
+            CacheWindow {
+                lo_frac: 0.6,
+                hi_frac: 1.0
+            }
+        ));
     }
 
     #[test]

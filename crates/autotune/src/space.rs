@@ -25,7 +25,9 @@ impl SearchSpace {
         SearchSpace {
             dw: vec![2, 4, 8, 12, 16, 24, 32],
             bz: vec![1, 2, 3, 4, 6, 9],
-            tg_sizes: (1..=threads).filter(|s| threads % s == 0).collect(),
+            tg_sizes: (1..=threads)
+                .filter(|s| threads.is_multiple_of(*s))
+                .collect(),
         }
     }
 
@@ -35,7 +37,7 @@ impl SearchSpace {
         for &dw in &self.dw {
             for &bz in &self.bz {
                 for &tg_size in &self.tg_sizes {
-                    if threads % tg_size != 0 {
+                    if !threads.is_multiple_of(tg_size) {
                         continue;
                     }
                     let groups = threads / tg_size;

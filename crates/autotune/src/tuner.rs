@@ -27,16 +27,32 @@ pub struct SimEvaluator {
 
 impl SimEvaluator {
     pub fn new(machine: MachineSpec, dims: GridDims, threads: usize) -> Self {
-        SimEvaluator { machine, dims, threads, proxy_cap: 96 }
+        SimEvaluator {
+            machine,
+            dims,
+            threads,
+            proxy_cap: 96,
+        }
     }
 
     fn proxy_dims(&self, dw: usize) -> (GridDims, usize) {
-        let cap = if self.proxy_cap == 0 { usize::MAX } else { self.proxy_cap };
+        let cap = if self.proxy_cap == 0 {
+            usize::MAX
+        } else {
+            self.proxy_cap
+        };
         // ny must comfortably hold several diamonds; nz several wavefronts.
         let ny = self.dims.ny.min(cap.max(4 * dw));
         let nz = self.dims.nz.min(cap);
         let nt = (2 * dw).clamp(4, 32).min(64);
-        (GridDims { nx: self.dims.nx, ny, nz }, nt)
+        (
+            GridDims {
+                nx: self.dims.nx,
+                ny,
+                nz,
+            },
+            nt,
+        )
     }
 }
 
@@ -171,7 +187,12 @@ pub fn autotune(
         }
     }
     let (best, best_score) = best?;
-    Some(TuneResult { best, best_score, scores, pruned })
+    Some(TuneResult {
+        best,
+        best_score,
+        scores,
+        pruned,
+    })
 }
 
 #[cfg(test)]
@@ -204,7 +225,11 @@ mod tests {
         assert!(r.pruned > 0);
         assert!(r.best_score > 0.0);
         // Best really is the max of the scored set.
-        let max = r.scores.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+        let max = r
+            .scores
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(max, r.best_score);
     }
 
@@ -212,10 +237,24 @@ mod tests {
     fn tuner_is_deterministic() {
         let dims = GridDims::cubic(128);
         let space = SearchSpace::default_for(6);
-        let a = autotune(&space, dims, &HSW, 6, CacheWindow::default(), &mut ModelEvaluator)
-            .unwrap();
-        let b = autotune(&space, dims, &HSW, 6, CacheWindow::default(), &mut ModelEvaluator)
-            .unwrap();
+        let a = autotune(
+            &space,
+            dims,
+            &HSW,
+            6,
+            CacheWindow::default(),
+            &mut ModelEvaluator,
+        )
+        .unwrap();
+        let b = autotune(
+            &space,
+            dims,
+            &HSW,
+            6,
+            CacheWindow::default(),
+            &mut ModelEvaluator,
+        )
+        .unwrap();
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_score, b.best_score);
     }
@@ -226,9 +265,12 @@ mod tests {
         // return the smallest-footprint candidates.
         let dims = GridDims::cubic(64);
         let space = SearchSpace::default_for(2);
-        let window = CacheWindow { lo_frac: 0.9999, hi_frac: 0.99991 };
-        let r = autotune(&space, dims, &HSW, 2, window, &mut ModelEvaluator)
-            .expect("fallback path");
+        let window = CacheWindow {
+            lo_frac: 0.9999,
+            hi_frac: 0.99991,
+        };
+        let r =
+            autotune(&space, dims, &HSW, 2, window, &mut ModelEvaluator).expect("fallback path");
         assert!(r.best.validate(dims).is_ok());
     }
 

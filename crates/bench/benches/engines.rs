@@ -51,8 +51,24 @@ fn bench_engines(c: &mut Criterion) {
     for (label, cfg) in [
         ("1wd_t1", MwdConfig::one_wd(4, 2, 1)),
         ("1wd_t2", MwdConfig::one_wd(4, 2, 2)),
-        ("mwd_tg2", MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 1 }),
-        ("mwd_tg2x2", MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 1, c: 1 }, groups: 1 }),
+        (
+            "mwd_tg2",
+            MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 1, z: 1, c: 2 },
+                groups: 1,
+            },
+        ),
+        (
+            "mwd_tg2x2",
+            MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 2, z: 1, c: 1 },
+                groups: 1,
+            },
+        ),
     ] {
         group.bench_function(label, |b| {
             let proto = filled(dims);

@@ -81,5 +81,10 @@ fn bench_cache_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_barrier, bench_queue_and_plan, bench_cache_sim);
+criterion_group!(
+    benches,
+    bench_barrier,
+    bench_queue_and_plan,
+    bench_cache_sim
+);
 criterion_main!(benches);

@@ -20,11 +20,15 @@ fn bench_row_kernels(c: &mut Criterion) {
     group.throughput(Throughput::Elements(dims.nx as u64));
     // Listing 1 type (z shift + source) vs Listing 2 type (x shift).
     for comp in [Component::Hyx, Component::Hzy, Component::Hzx] {
-        group.bench_with_input(BenchmarkId::from_parameter(comp.name()), &comp, |b, &comp| {
-            b.iter(|| unsafe {
-                update_component_row(&g, comp, 4, 4, 0..dims.nx);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(comp.name()),
+            &comp,
+            |b, &comp| {
+                b.iter(|| unsafe {
+                    update_component_row(&g, comp, 4, 4, 0..dims.nx);
+                })
+            },
+        );
     }
     group.finish();
 }

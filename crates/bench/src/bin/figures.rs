@@ -50,7 +50,10 @@ fn main() {
 }
 
 fn banner(title: &str) {
-    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    println!(
+        "\n=== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }
 
 fn run_sect3() {
@@ -60,16 +63,39 @@ fn run_sect3() {
         vec!["flops/LUP".into(), f1(s.flops_per_lup), "(248)".into()],
         vec!["bytes/cell".into(), f1(s.bytes_per_cell), "(640)".into()],
         vec!["B_C naive [B/LUP]".into(), f1(s.bc_naive), "(1344)".into()],
-        vec!["B_C spatial [B/LUP]".into(), f1(s.bc_spatial), "(1216)".into()],
-        vec!["I naive [F/B]".into(), f2(s.intensity_naive), "(0.18)".into()],
-        vec!["I spatial [F/B]".into(), f2(s.intensity_spatial), "(0.20)".into()],
-        vec!["P_mem spatial [MLUP/s]".into(), f1(s.pmem_spatial), "(41)".into()],
-        vec!["Cs(Dw=4,BZ=4)/Nx [B]".into(), f1(s.cs_example_per_nx), "(14912)".into()],
+        vec![
+            "B_C spatial [B/LUP]".into(),
+            f1(s.bc_spatial),
+            "(1216)".into(),
+        ],
+        vec![
+            "I naive [F/B]".into(),
+            f2(s.intensity_naive),
+            "(0.18)".into(),
+        ],
+        vec![
+            "I spatial [F/B]".into(),
+            f2(s.intensity_spatial),
+            "(0.20)".into(),
+        ],
+        vec![
+            "P_mem spatial [MLUP/s]".into(),
+            f1(s.pmem_spatial),
+            "(41)".into(),
+        ],
+        vec![
+            "Cs(Dw=4,BZ=4)/Nx [B]".into(),
+            f1(s.cs_example_per_nx),
+            "(14912)".into(),
+        ],
     ];
     print!("{}", table(&["quantity", "value", "paper"], &rows));
     println!("\nEq. 12 diamond code balance:");
-    let rows: Vec<Vec<String>> =
-        s.bc_diamond.iter().map(|(d, b)| vec![d.to_string(), f1(*b)]).collect();
+    let rows: Vec<Vec<String>> = s
+        .bc_diamond
+        .iter()
+        .map(|(d, b)| vec![d.to_string(), f1(*b)])
+        .collect();
     print!("{}", table(&["Dw", "B_C [B/LUP]"], &rows));
     let _ = write_csv(
         "sect3.csv",
@@ -95,20 +121,33 @@ fn run_fig5(scale: Scale) {
             f1(p.cs_mib),
             f1(p.bc_model),
             f1(p.bc_measured),
-            if p.cs_mib > usable { "over usable L3".into() } else { "fits".into() },
+            if p.cs_mib > usable {
+                "over usable L3".into()
+            } else {
+                "fits".into()
+            },
         ]);
     }
     print!(
         "{}",
-        table(&["BZ", "Dw", "Cs [MiB]", "B_C model", "B_C measured", "vs 22.5 MiB"], &rows)
+        table(
+            &[
+                "BZ",
+                "Dw",
+                "Cs [MiB]",
+                "B_C model",
+                "B_C measured",
+                "vs 22.5 MiB"
+            ],
+            &rows
+        )
     );
     println!("\nShape check (paper: measured tracks the model left of the red line,");
     println!("diverges upward once the block exceeds the usable cache).");
     let _ = write_csv(
         "fig5.csv",
         &["bz", "dw", "cs_mib", "bc_model", "bc_measured"],
-        &pts
-            .iter()
+        &pts.iter()
             .map(|p| {
                 vec![
                     p.bz.to_string(),
@@ -147,8 +186,17 @@ fn run_fig6(scale: Scale) {
         "{}",
         table(
             &[
-                "thr", "sp MLUP/s", "1WD MLUP/s", "MWD MLUP/s", "sp GB/s", "1WD GB/s",
-                "MWD GB/s", "1WD B/LUP", "MWD B/LUP", "Dw1WD", "DwMWD",
+                "thr",
+                "sp MLUP/s",
+                "1WD MLUP/s",
+                "MWD MLUP/s",
+                "sp GB/s",
+                "1WD GB/s",
+                "MWD GB/s",
+                "1WD B/LUP",
+                "MWD B/LUP",
+                "Dw1WD",
+                "DwMWD",
             ],
             &rows
         )
@@ -156,15 +204,24 @@ fn run_fig6(scale: Scale) {
     println!();
     println!(
         "{}",
-        sparkline("spatial MLUP/s", &pts.iter().map(|p| p.spatial.mlups).collect::<Vec<_>>())
+        sparkline(
+            "spatial MLUP/s",
+            &pts.iter().map(|p| p.spatial.mlups).collect::<Vec<_>>()
+        )
     );
     println!(
         "{}",
-        sparkline("1WD MLUP/s", &pts.iter().map(|p| p.one_wd.mlups).collect::<Vec<_>>())
+        sparkline(
+            "1WD MLUP/s",
+            &pts.iter().map(|p| p.one_wd.mlups).collect::<Vec<_>>()
+        )
     );
     println!(
         "{}",
-        sparkline("MWD MLUP/s", &pts.iter().map(|p| p.mwd.mlups).collect::<Vec<_>>())
+        sparkline(
+            "MWD MLUP/s",
+            &pts.iter().map(|p| p.mwd.mlups).collect::<Vec<_>>()
+        )
     );
     println!("\nPaper reference (threads: spatial, 1WD, MWD):");
     for (t, s, o, m) in paper::FIG6A_PERF {
@@ -212,8 +269,15 @@ fn run_fig7(scale: Scale) {
         "{}",
         table(
             &[
-                "N", "sp MLUP/s", "1WD MLUP/s", "MWD MLUP/s", "MWD GB/s", "MWD B/LUP", "Dw",
-                "TG(x*z*c)", "groups",
+                "N",
+                "sp MLUP/s",
+                "1WD MLUP/s",
+                "MWD MLUP/s",
+                "MWD GB/s",
+                "MWD B/LUP",
+                "Dw",
+                "TG(x*z*c)",
+                "groups",
             ],
             &rows
         )
@@ -225,7 +289,10 @@ fn run_fig7(scale: Scale) {
     let speedup: Vec<f64> = pts.iter().map(|p| p.mwd.mlups / p.spatial.mlups).collect();
     println!(
         "\nMWD/spatial speedups: {:?}  (paper: 3x-4x at large grids)",
-        speedup.iter().map(|s| (s * 10.0).round() / 10.0).collect::<Vec<_>>()
+        speedup
+            .iter()
+            .map(|s| (s * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
     let _ = write_csv(
         "fig7.csv",
@@ -258,7 +325,10 @@ fn run_fig8(scale: Scale) {
             p.dw.to_string(),
         ]);
     }
-    print!("{}", table(&["N", "variant", "MLUP/s", "GB/s", "B/LUP", "Dw"], &rows));
+    print!(
+        "{}",
+        table(&["N", "variant", "MLUP/s", "GB/s", "B/LUP", "Dw"], &rows)
+    );
     if let Some(nmax) = pts.iter().map(|p| p.n).max() {
         let at_max: Vec<_> = pts.iter().filter(|p| p.n == nmax).collect();
         if let (Some(p18), Some(p1)) = (
@@ -276,8 +346,7 @@ fn run_fig8(scale: Scale) {
     let _ = write_csv(
         "fig8.csv",
         &["n", "tg_size", "mlups", "gbs", "blup", "dw"],
-        &pts
-            .iter()
+        &pts.iter()
             .map(|p| {
                 vec![
                     p.n.to_string(),
@@ -297,10 +366,24 @@ fn run_validate(scale: Scale) {
     let pts = validate(scale);
     let rows: Vec<Vec<String>> = pts
         .iter()
-        .map(|p| vec![p.dw.to_string(), f1(p.bc_model), f1(p.bc_measured), f2(p.ratio)])
+        .map(|p| {
+            vec![
+                p.dw.to_string(),
+                f1(p.bc_model),
+                f1(p.bc_measured),
+                f2(p.ratio),
+            ]
+        })
         .collect();
-    print!("{}", table(&["Dw", "B_C model", "B_C measured", "ratio"], &rows));
-    let _ = write_csv("validate.csv", &["dw", "bc_model", "bc_measured", "ratio"], &rows);
+    print!(
+        "{}",
+        table(&["Dw", "B_C model", "B_C measured", "ratio"], &rows)
+    );
+    let _ = write_csv(
+        "validate.csv",
+        &["dw", "bc_model", "bc_measured", "ratio"],
+        &rows,
+    );
 }
 
 fn run_shapes() {
@@ -324,7 +407,13 @@ fn run_thin(scale: Scale) {
             ]
         })
         .collect();
-    print!("{}", table(&["thin axis", "domain", "Dw", "MLUP/s", "GB/s", "B/LUP"], &rows));
+    print!(
+        "{}",
+        table(
+            &["thin axis", "domain", "Dw", "MLUP/s", "GB/s", "B/LUP"],
+            &rows
+        )
+    );
     println!("\nPaper: \"Mapping the thin dimension to the leading array dimension");
     println!("helps tiling in shared memory ... the cache block size is proportional");
     println!("to the leading dimension size, so we can use larger blocks in time.\"");

@@ -43,7 +43,11 @@ impl Scale {
     /// Simulation grid for a paper grid of side `n`: true Nx, capped
     /// ny/nz.
     pub fn grid(self, n: usize) -> GridDims {
-        GridDims { nx: n, ny: n.min(self.cap()), nz: n.min(self.cap()) }
+        GridDims {
+            nx: n,
+            ny: n.min(self.cap()),
+            nz: n.min(self.cap()),
+        }
     }
 
     /// Time steps used for traffic measurement at diamond width `dw`.
@@ -80,10 +84,21 @@ pub fn tune_point(paper_dims: GridDims, threads: usize, tg_sizes: Option<&[usize
     if let Some(s) = tg_sizes {
         space.tg_sizes = s.to_vec();
     }
-    let mut ev = ModelEvaluator { machine: HSW, dims: paper_dims, threads };
-    autotune(&space, paper_dims, &HSW, threads, CacheWindow::default(), &mut ev)
-        .expect("tuning always yields a candidate")
-        .best
+    let mut ev = ModelEvaluator {
+        machine: HSW,
+        dims: paper_dims,
+        threads,
+    };
+    autotune(
+        &space,
+        paper_dims,
+        &HSW,
+        threads,
+        CacheWindow::default(),
+        &mut ev,
+    )
+    .expect("tuning always yields a candidate")
+    .best
 }
 
 fn measure_mwd(cfg: &MwdConfig, sim: GridDims, steps: usize, threads: usize) -> EngineResult {
@@ -115,7 +130,10 @@ pub fn sect3() -> Sect3 {
         intensity_spatial: perf_models::arithmetic_intensity(code_balance_spatial()),
         pmem_spatial: mem_bound_mlups(&HSW, code_balance_spatial()),
         cs_example_per_nx: cache_block_bytes(1, 4, 4),
-        bc_diamond: [4, 8, 12, 16].iter().map(|&d| (d, code_balance_diamond(d))).collect(),
+        bc_diamond: [4, 8, 12, 16]
+            .iter()
+            .map(|&d| (d, code_balance_diamond(d)))
+            .collect(),
     }
 }
 
@@ -177,7 +195,14 @@ pub fn fig6(scale: Scale) -> Vec<Fig6Point> {
             let one_wd = measure_mwd(&cfg1, sim, scale.steps(cfg1.dw), t);
             let cfgm = tune_point(paper_dims, t, None);
             let mwd = measure_mwd(&cfgm, sim, scale.steps(cfgm.dw), t);
-            Fig6Point { threads: t, spatial, one_wd, mwd, dw_1wd: cfg1.dw, dw_mwd: cfgm.dw }
+            Fig6Point {
+                threads: t,
+                spatial,
+                one_wd,
+                mwd,
+                dw_1wd: cfg1.dw,
+                dw_mwd: cfgm.dw,
+            }
         })
         .collect()
 }
@@ -245,7 +270,12 @@ pub fn fig8(scale: Scale) -> Vec<Fig8Point> {
         for &tg_size in crate::paper::FIG8_TG_SIZES {
             let cfg = tune_point(paper_dims, threads, Some(&[tg_size]));
             let result = measure_mwd(&cfg, sim, scale.steps(cfg.dw), threads);
-            out.push(Fig8Point { n, tg_size, dw: cfg.dw, result });
+            out.push(Fig8Point {
+                n,
+                tg_size,
+                dw: cfg.dw,
+                result,
+            });
         }
     }
     out
@@ -271,11 +301,19 @@ pub fn validate(scale: Scale) -> Vec<ValidatePoint> {
         .map(|&dw| {
             // Machine with ample cache for this tile: 3x the Eq. 11 block.
             let cs = cache_block_bytes(sim.nx, dw, 1);
-            let machine = MachineSpec { l3_bytes: (3.0 * cs) as usize, ..HSW };
+            let machine = MachineSpec {
+                l3_bytes: (3.0 * cs) as usize,
+                ..HSW
+            };
             let steps = 4 * dw;
             let r = simulate_mwd_engine(&machine, sim, steps, dw, 1, 1, 1);
             let bc_model = code_balance_diamond(dw);
-            ValidatePoint { dw, bc_model, bc_measured: r.code_balance, ratio: r.code_balance / bc_model }
+            ValidatePoint {
+                dw,
+                bc_model,
+                bc_measured: r.code_balance,
+                ratio: r.code_balance / bc_model,
+            }
         })
         .collect()
 }
@@ -307,14 +345,30 @@ pub fn thin_domain(scale: Scale) -> Vec<ThinPoint> {
         // true Nx; lateral extents capped for simulation speed.
         (
             "x (leading)",
-            GridDims { nx: thin, ny: wide, nz: wide },
-            GridDims { nx: thin, ny: wide.min(cap), nz: wide.min(cap) },
+            GridDims {
+                nx: thin,
+                ny: wide,
+                nz: wide,
+            },
+            GridDims {
+                nx: thin,
+                ny: wide.min(cap),
+                nz: wide.min(cap),
+            },
         ),
         // Thin extent on z: full-length rows, fewer z planes.
         (
             "z (outer)",
-            GridDims { nx: wide, ny: wide, nz: thin },
-            GridDims { nx: wide, ny: wide.min(cap), nz: thin },
+            GridDims {
+                nx: wide,
+                ny: wide,
+                nz: thin,
+            },
+            GridDims {
+                nx: wide,
+                ny: wide.min(cap),
+                nz: thin,
+            },
         ),
     ];
     orientations
@@ -322,7 +376,12 @@ pub fn thin_domain(scale: Scale) -> Vec<ThinPoint> {
         .map(|(thin_axis, paper_dims, sim)| {
             let cfg = tune_point(paper_dims, threads, None);
             let result = measure_mwd(&cfg, sim, scale.steps(cfg.dw), threads);
-            ThinPoint { thin_axis, dims: paper_dims, dw: cfg.dw, result }
+            ThinPoint {
+                thin_axis,
+                dims: paper_dims,
+                dw: cfg.dw,
+                result,
+            }
         })
         .collect()
 }
@@ -396,7 +455,10 @@ mod tests {
                 );
             }
         }
-        let worst = pts.iter().find(|p| p.cs_mib > 2.0 * usable).expect("an oversized point");
+        let worst = pts
+            .iter()
+            .find(|p| p.cs_mib > 2.0 * usable)
+            .expect("an oversized point");
         assert!(
             worst.bc_measured > 1.5 * worst.bc_model,
             "oversized block must diverge from the model: {worst:?}"

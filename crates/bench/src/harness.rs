@@ -49,7 +49,10 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         s.push('\n');
     };
-    line(&mut s, &header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &mut s,
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
     let total: usize = widths.iter().map(|w| w + 2).sum();
     s.push_str(&"-".repeat(total));
     s.push('\n');

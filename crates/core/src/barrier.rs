@@ -19,7 +19,11 @@ pub struct SpinBarrier {
 impl SpinBarrier {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
-        SpinBarrier { n, arrived: AtomicUsize::new(0), phase: AtomicUsize::new(0) }
+        SpinBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            phase: AtomicUsize::new(0),
+        }
     }
 
     pub fn participants(&self) -> usize {
@@ -131,10 +135,7 @@ mod tests {
         std::thread::scope(|s| {
             for tid in 0..T {
                 let b = &b;
-                let slot_ptr = slot_ptr;
                 s.spawn(move || {
-                    // Rebind the wrapper so the closure captures the Send
-                    // struct, not its raw-pointer field.
                     let p = slot_ptr.get();
                     for round in 1..=100u64 {
                         // SAFETY: each thread writes only its own slot; the

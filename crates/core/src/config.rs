@@ -64,12 +64,12 @@ impl TgShape {
     pub fn enumerate(size: usize) -> Vec<TgShape> {
         let mut out = Vec::new();
         for c in [1usize, 2, 3, 6] {
-            if size % c != 0 {
+            if !size.is_multiple_of(c) {
                 continue;
             }
             let xz = size / c;
             for x in 1..=xz {
-                if xz % x == 0 {
+                if xz.is_multiple_of(x) {
                     out.push(TgShape { x, z: xz / x, c });
                 }
             }
@@ -91,7 +91,12 @@ pub struct MwdConfig {
 impl MwdConfig {
     /// The 1WD configuration: `threads` groups of one thread each.
     pub fn one_wd(dw: usize, bz: usize, threads: usize) -> Self {
-        MwdConfig { dw, bz, tg: TgShape::SINGLE, groups: threads }
+        MwdConfig {
+            dw,
+            bz,
+            tg: TgShape::SINGLE,
+            groups: threads,
+        }
     }
 
     pub fn threads(&self) -> usize {
@@ -121,7 +126,10 @@ impl MwdConfig {
             ));
         }
         if self.tg.x > dims.nx {
-            return Err(format!("x-parallelism {} exceeds Nx={}", self.tg.x, dims.nx));
+            return Err(format!(
+                "x-parallelism {} exceeds Nx={}",
+                self.tg.x, dims.nx
+            ));
         }
         Ok(())
     }
@@ -129,7 +137,11 @@ impl MwdConfig {
 
 /// Balanced split of `range` into `parts`, returning part `i`.
 /// First `len % parts` chunks get one extra element.
-pub fn split_range(range: std::ops::Range<usize>, parts: usize, i: usize) -> std::ops::Range<usize> {
+pub fn split_range(
+    range: std::ops::Range<usize>,
+    parts: usize,
+    i: usize,
+) -> std::ops::Range<usize> {
     debug_assert!(i < parts);
     let len = range.end.saturating_sub(range.start);
     let base = len / parts;
@@ -185,15 +197,27 @@ mod tests {
     #[test]
     fn config_validation_catches_mismatches() {
         let dims = GridDims::cubic(16);
-        let ok = MwdConfig { dw: 4, bz: 4, tg: TgShape::new(2, 2, 3).unwrap(), groups: 1 };
+        let ok = MwdConfig {
+            dw: 4,
+            bz: 4,
+            tg: TgShape::new(2, 2, 3).unwrap(),
+            groups: 1,
+        };
         assert!(ok.validate(dims).is_ok());
         let bad_dw = MwdConfig { dw: 5, ..ok };
         assert!(bad_dw.validate(dims).is_err());
-        let bad_z = MwdConfig { tg: TgShape { x: 1, z: 8, c: 1 }, bz: 4, ..ok };
+        let bad_z = MwdConfig {
+            tg: TgShape { x: 1, z: 8, c: 1 },
+            bz: 4,
+            ..ok
+        };
         assert!(bad_z.validate(dims).is_err());
         let bad_groups = MwdConfig { groups: 0, ..ok };
         assert!(bad_groups.validate(dims).is_err());
-        let bad_x = MwdConfig { tg: TgShape { x: 32, z: 1, c: 1 }, ..ok };
+        let bad_x = MwdConfig {
+            tg: TgShape { x: 32, z: 1, c: 1 },
+            ..ok
+        };
         assert!(bad_x.validate(dims).is_err());
     }
 
@@ -216,8 +240,9 @@ mod tests {
             }
             assert!(covered.iter().all(|&c| c == 1), "len={len} parts={parts}");
             // Balance: sizes differ by at most 1.
-            let sizes: Vec<usize> =
-                (0..parts).map(|i| split_range(0..len, parts, i).len()).collect();
+            let sizes: Vec<usize> = (0..parts)
+                .map(|i| split_range(0..len, parts, i).len())
+                .collect();
             let min = sizes.iter().min().unwrap();
             let max = sizes.iter().max().unwrap();
             assert!(max - min <= 1, "unbalanced split {sizes:?}");

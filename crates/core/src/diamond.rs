@@ -56,7 +56,7 @@ pub struct DiamondWidth(usize);
 
 impl DiamondWidth {
     pub fn new(dw: usize) -> Result<Self, String> {
-        if dw < 2 || dw % 2 != 0 {
+        if dw < 2 || !dw.is_multiple_of(2) {
             return Err(format!("diamond width must be even and >= 2, got {dw}"));
         }
         Ok(DiamondWidth(dw))
@@ -106,7 +106,13 @@ pub fn diamond_rows(dw: DiamondWidth, base: i64, n0: i64) -> Vec<DiamondRow> {
 
     // Bottom E row.
     let (lo, hi) = e_interval(0);
-    rows.push(DiamondRow { kind: FieldKind::E, time: n0, y_lo: lo, y_hi: hi, lag: 0 });
+    rows.push(DiamondRow {
+        kind: FieldKind::E,
+        time: n0,
+        y_lo: lo,
+        y_hi: hi,
+        lag: 0,
+    });
     for m in 1..w {
         let (lo, hi) = h_interval(m);
         rows.push(DiamondRow {
@@ -158,7 +164,10 @@ mod tests {
         ];
         assert_eq!(rows.len(), expect.len());
         for (row, (k, t, lo, hi, lag)) in rows.iter().zip(expect) {
-            assert_eq!((row.kind, row.time, row.y_lo, row.y_hi, row.lag), (k, t, lo, hi, lag));
+            assert_eq!(
+                (row.kind, row.time, row.y_lo, row.y_hi, row.lag),
+                (k, t, lo, hi, lag)
+            );
         }
     }
 
@@ -174,8 +183,16 @@ mod tests {
                     FieldKind::H => assert!(row.width() % 2 == 0, "H widths even (dw={dw})"),
                 }
             }
-            let hmax = rows.iter().filter(|r| r.kind == FieldKind::H).map(|r| r.width()).max();
-            let emax = rows.iter().filter(|r| r.kind == FieldKind::E).map(|r| r.width()).max();
+            let hmax = rows
+                .iter()
+                .filter(|r| r.kind == FieldKind::H)
+                .map(|r| r.width())
+                .max();
+            let emax = rows
+                .iter()
+                .filter(|r| r.kind == FieldKind::E)
+                .map(|r| r.width())
+                .max();
             assert_eq!(hmax, Some(dw as i64), "widest H row = Dw");
             assert_eq!(emax, Some(dw as i64 - 1), "widest E row = Dw-1");
         }
@@ -186,10 +203,16 @@ mod tests {
         for dw in [2usize, 4, 6, 8, 10, 16] {
             let d = DiamondWidth::new(dw).unwrap();
             let rows = diamond_rows(d, 0, 0);
-            let e_cells: i64 =
-                rows.iter().filter(|r| r.kind == FieldKind::E).map(|r| r.width()).sum();
-            let h_cells: i64 =
-                rows.iter().filter(|r| r.kind == FieldKind::H).map(|r| r.width()).sum();
+            let e_cells: i64 = rows
+                .iter()
+                .filter(|r| r.kind == FieldKind::E)
+                .map(|r| r.width())
+                .sum();
+            let h_cells: i64 = rows
+                .iter()
+                .filter(|r| r.kind == FieldKind::H)
+                .map(|r| r.width())
+                .sum();
             // Both field phases cover Dw^2/2 cell-updates => Dw^2/2 LUPs.
             assert_eq!(e_cells as usize, d.area_lups(), "E cells (dw={dw})");
             assert_eq!(h_cells as usize, d.area_lups(), "H cells (dw={dw})");
@@ -254,13 +277,17 @@ mod tests {
                 match above.kind {
                     // H contracts for levels m > R.
                     FieldKind::H if above.time > r => {
-                        assert!(above.y_lo - 1 >= below.y_lo && above.y_hi <= below.y_hi,
-                            "dw={dw}: contracting H row {above:?} not satisfied by {below:?}");
+                        assert!(
+                            above.y_lo > below.y_lo && above.y_hi <= below.y_hi,
+                            "dw={dw}: contracting H row {above:?} not satisfied by {below:?}"
+                        );
                     }
                     // E contracts for levels m >= R.
                     FieldKind::E if above.time >= r => {
-                        assert!(above.y_lo >= below.y_lo && above.y_hi + 1 <= below.y_hi,
-                            "dw={dw}: contracting E row {above:?} not satisfied by {below:?}");
+                        assert!(
+                            above.y_lo >= below.y_lo && above.y_hi < below.y_hi,
+                            "dw={dw}: contracting E row {above:?} not satisfied by {below:?}"
+                        );
                     }
                     _ => {}
                 }

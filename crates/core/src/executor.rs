@@ -80,7 +80,10 @@ pub fn run_mwd_bc(
     let dims = state.dims();
     cfg.validate(dims)?;
     if nt == 0 {
-        return Ok(RunStats { threads: cfg.threads(), ..RunStats::default() });
+        return Ok(RunStats {
+            threads: cfg.threads(),
+            ..RunStats::default()
+        });
     }
     let plan = TilePlan::build(cfg.diamond()?, dims.ny, nt);
     run_mwd_with_plan_bc(state, cfg, &plan, boundary)
@@ -105,10 +108,17 @@ pub fn run_mwd_with_plan_bc(
     let dims = state.dims();
     cfg.validate(dims)?;
     if plan.ny != dims.ny {
-        return Err(format!("plan ny={} does not match grid ny={}", plan.ny, dims.ny));
+        return Err(format!(
+            "plan ny={} does not match grid ny={}",
+            plan.ny, dims.ny
+        ));
     }
     if plan.dw.get() != cfg.dw {
-        return Err(format!("plan dw={} does not match config dw={}", plan.dw.get(), cfg.dw));
+        return Err(format!(
+            "plan dw={} does not match config dw={}",
+            plan.dw.get(),
+            cfg.dw
+        ));
     }
 
     let wf = cfg.wavefront()?;
@@ -126,14 +136,22 @@ pub fn run_mwd_with_plan_bc(
         for group in &groups {
             for member in 0..tg_size {
                 let queue = &queue;
-                let g = g; // copy the raw view into the closure
                 let half_updates = &half_updates;
                 let barriers = &barriers;
                 let tiles_run = &tiles_run;
                 scope.spawn(move || {
                     worker(
-                        &g, plan, cfg, wf, queue, group, member, boundary, half_updates,
-                        barriers, tiles_run,
+                        &g,
+                        plan,
+                        cfg,
+                        wf,
+                        queue,
+                        group,
+                        member,
+                        boundary,
+                        half_updates,
+                        barriers,
+                        tiles_run,
                     );
                 });
             }
@@ -160,7 +178,10 @@ struct GroupCtx {
 
 impl GroupCtx {
     fn new(tg_size: usize) -> Self {
-        GroupCtx { barrier: SpinBarrier::new(tg_size), slot: AtomicUsize::new(0) }
+        GroupCtx {
+            barrier: SpinBarrier::new(tg_size),
+            slot: AtomicUsize::new(0),
+        }
     }
 }
 
@@ -199,8 +220,18 @@ fn worker(
         }
         let tile = &plan.tiles[slot - 1];
 
-        my_half +=
-            execute_tile(g, tile, cfg, wf, group, boundary, &mut my_barriers, ix, iz, ic);
+        my_half += execute_tile(
+            g,
+            tile,
+            cfg,
+            wf,
+            group,
+            boundary,
+            &mut my_barriers,
+            ix,
+            iz,
+            ic,
+        );
 
         if leader {
             queue.complete(slot - 1);
@@ -324,7 +355,12 @@ mod tests {
     fn component_parallel_group_matches_naive() {
         for c in [2usize, 3, 6] {
             let dims = GridDims::new(4, 8, 5);
-            let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c }, groups: 1 };
+            let cfg = MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 1, z: 1, c },
+                groups: 1,
+            };
             assert_mwd_matches_naive(dims, cfg, 4, 3);
         }
     }
@@ -332,14 +368,24 @@ mod tests {
     #[test]
     fn x_parallel_group_matches_naive() {
         let dims = GridDims::new(9, 8, 5);
-        let cfg = MwdConfig { dw: 4, bz: 1, tg: TgShape { x: 3, z: 1, c: 1 }, groups: 1 };
+        let cfg = MwdConfig {
+            dw: 4,
+            bz: 1,
+            tg: TgShape { x: 3, z: 1, c: 1 },
+            groups: 1,
+        };
         assert_mwd_matches_naive(dims, cfg, 4, 4);
     }
 
     #[test]
     fn z_parallel_group_matches_naive() {
         let dims = GridDims::new(4, 8, 9);
-        let cfg = MwdConfig { dw: 4, bz: 4, tg: TgShape { x: 1, z: 2, c: 1 }, groups: 1 };
+        let cfg = MwdConfig {
+            dw: 4,
+            bz: 4,
+            tg: TgShape { x: 1, z: 2, c: 1 },
+            groups: 1,
+        };
         assert_mwd_matches_naive(dims, cfg, 4, 5);
     }
 
@@ -348,21 +394,36 @@ mod tests {
         // 2 groups x (2*2*3) = 12 threads on an oversubscribed host —
         // correctness must not depend on core count.
         let dims = GridDims::new(8, 12, 8);
-        let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 2, c: 3 }, groups: 2 };
+        let cfg = MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: TgShape { x: 2, z: 2, c: 3 },
+            groups: 2,
+        };
         assert_mwd_matches_naive(dims, cfg, 5, 6);
     }
 
     #[test]
     fn large_diamond_and_wavefront_match_naive() {
         let dims = GridDims::new(4, 16, 12);
-        let cfg = MwdConfig { dw: 8, bz: 6, tg: TgShape { x: 1, z: 2, c: 2 }, groups: 2 };
+        let cfg = MwdConfig {
+            dw: 8,
+            bz: 6,
+            tg: TgShape { x: 1, z: 2, c: 2 },
+            groups: 2,
+        };
         assert_mwd_matches_naive(dims, cfg, 9, 7);
     }
 
     #[test]
     fn domain_not_divisible_by_diamond_width() {
         let dims = GridDims::new(3, 7, 5);
-        let cfg = MwdConfig { dw: 4, bz: 3, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 3 };
+        let cfg = MwdConfig {
+            dw: 4,
+            bz: 3,
+            tg: TgShape { x: 1, z: 1, c: 2 },
+            groups: 3,
+        };
         assert_mwd_matches_naive(dims, cfg, 3, 8);
     }
 
@@ -386,7 +447,12 @@ mod tests {
     fn invalid_config_is_rejected_without_running() {
         let dims = GridDims::cubic(4);
         let mut s = filled(dims, 11);
-        let cfg = MwdConfig { dw: 3, bz: 1, tg: TgShape::SINGLE, groups: 1 };
+        let cfg = MwdConfig {
+            dw: 3,
+            bz: 1,
+            tg: TgShape::SINGLE,
+            groups: 1,
+        };
         assert!(run_mwd(&mut s, &cfg, 2).is_err());
     }
 
@@ -399,7 +465,12 @@ mod tests {
         let dims = GridDims::new(7, 9, 8);
         for cfg in [
             MwdConfig::one_wd(4, 2, 2),
-            MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 2, c: 3 }, groups: 1 },
+            MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 2, z: 2, c: 3 },
+                groups: 1,
+            },
         ] {
             let mut reference = filled(dims, 321);
             let mut tiled = reference.clone();
@@ -439,7 +510,12 @@ mod tests {
     fn stats_count_tiles_and_barriers() {
         let dims = GridDims::new(4, 8, 4);
         let mut s = filled(dims, 12);
-        let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 1 };
+        let cfg = MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: TgShape { x: 1, z: 1, c: 2 },
+            groups: 1,
+        };
         let stats = run_mwd(&mut s, &cfg, 4).unwrap();
         let plan = TilePlan::build(crate::diamond::DiamondWidth::new(4).unwrap(), 8, 4);
         assert_eq!(stats.tiles, plan.tiles.len());

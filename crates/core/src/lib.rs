@@ -28,7 +28,9 @@ pub mod wavefront;
 pub use barrier::SpinBarrier;
 pub use config::{split_range, MwdConfig, TgShape};
 pub use diamond::{diamond_rows, DiamondRow, DiamondWidth};
-pub use executor::{run_mwd, run_mwd_bc, run_mwd_with_plan, run_mwd_with_plan_bc, MwdBoundary, RunStats};
+pub use executor::{
+    run_mwd, run_mwd_bc, run_mwd_with_plan, run_mwd_with_plan_bc, MwdBoundary, RunStats,
+};
 pub use queue::ReadyQueue;
 pub use tiling::{ClippedRow, Tile, TilePlan};
 pub use wavefront::WavefrontSpec;

@@ -7,14 +7,17 @@
 //! no other dependencies. The queue update is performed in an OpenMP
 //! critical region."
 //!
-//! Here the critical region is a `parking_lot` mutex + condvar; dependency
+//! Here the critical region is a `std::sync` mutex + condvar; dependency
 //! counters decrement under the same lock, which also provides the
 //! release/acquire edge that publishes a completed tile's field writes to
-//! whichever thread group picks up a dependent tile.
+//! whichever thread group picks up a dependent tile. Lock poisoning is
+//! ignored (`unwrap_or_else(into_inner)`): a panic on one worker must not
+//! deadlock the remaining groups, and the queue state is a plain counter
+//! set that stays consistent under any prefix of completed operations.
 
 use crate::tiling::TilePlan;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 struct Inner {
     ready: VecDeque<usize>,
@@ -31,6 +34,10 @@ pub struct ReadyQueue<'p> {
 }
 
 impl<'p> ReadyQueue<'p> {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub fn new(plan: &'p TilePlan) -> Self {
         let ready: VecDeque<usize> = plan.roots().into();
         ReadyQueue {
@@ -47,7 +54,7 @@ impl<'p> ReadyQueue<'p> {
     /// Pop the next ready tile, blocking while the queue is empty but work
     /// is still outstanding. Returns `None` once every tile has completed.
     pub fn pop(&self) -> Option<usize> {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         loop {
             if let Some(t) = g.ready.pop_front() {
                 return Some(t);
@@ -55,19 +62,19 @@ impl<'p> ReadyQueue<'p> {
             if g.outstanding == 0 {
                 return None;
             }
-            self.cond.wait(&mut g);
+            g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Non-blocking pop, for single-threaded draining.
     pub fn try_pop(&self) -> Option<usize> {
-        self.inner.lock().ready.pop_front()
+        self.lock().ready.pop_front()
     }
 
     /// Mark `tile` complete, enqueueing any dependents whose last parent
     /// this was. Wakes waiting groups.
     pub fn complete(&self, tile: usize) {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         for &d in &self.plan.dependents[tile] {
             g.remaining_parents[d] -= 1;
             if g.remaining_parents[d] == 0 {
@@ -84,7 +91,7 @@ impl<'p> ReadyQueue<'p> {
 
     /// Tiles not yet completed.
     pub fn outstanding(&self) -> usize {
-        self.inner.lock().outstanding
+        self.lock().outstanding
     }
 }
 
@@ -103,10 +110,7 @@ mod tests {
         let p = plan(12, 8, 4);
         let q = ReadyQueue::new(&p);
         let mut seen = vec![false; p.tiles.len()];
-        while let Some(t) = {
-            let t = q.try_pop();
-            t
-        } {
+        while let Some(t) = q.try_pop() {
             assert!(!seen[t], "tile {t} popped twice");
             seen[t] = true;
             q.complete(t);

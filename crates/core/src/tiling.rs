@@ -132,12 +132,21 @@ impl TilePlan {
             }
         }
 
-        TilePlan { dw, ny, nt, tiles, dependents, parents }
+        TilePlan {
+            dw,
+            ny,
+            nt,
+            tiles,
+            dependents,
+            parents,
+        }
     }
 
     /// Tiles with no parents (the initial ready set), in enumeration order.
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.tiles.len()).filter(|&i| self.parents[i] == 0).collect()
+        (0..self.tiles.len())
+            .filter(|&i| self.parents[i] == 0)
+            .collect()
     }
 
     /// Total half-cell updates across all tiles. For a full plan this is
@@ -175,7 +184,10 @@ impl TilePlan {
         let mut processed = 0;
 
         while let Some(t) = pick(&ready) {
-            let pos = ready.iter().position(|&x| x == t).ok_or("pick outside ready set")?;
+            let pos = ready
+                .iter()
+                .position(|&x| x == t)
+                .ok_or("pick outside ready set")?;
             ready.remove(pos);
             let tile = &self.tiles[t];
             for row in &tile.rows {
@@ -190,7 +202,8 @@ impl TilePlan {
                                 ));
                             }
                             for ry in [y as i64, y as i64 - 1] {
-                                if ry >= 0 && (ry as usize) < ny
+                                if ry >= 0
+                                    && (ry as usize) < ny
                                     && e_level[ry as usize] != row.time - 1
                                 {
                                     return Err(format!(
@@ -211,8 +224,7 @@ impl TilePlan {
                                 ));
                             }
                             for ry in [y as i64, y as i64 + 1] {
-                                if ry >= 0 && (ry as usize) < ny
-                                    && h_level[ry as usize] != row.time
+                                if ry >= 0 && (ry as usize) < ny && h_level[ry as usize] != row.time
                                 {
                                     return Err(format!(
                                         "tile k={} Y={}: E row t={} reads H at y={} level {} (want {})",
@@ -237,7 +249,10 @@ impl TilePlan {
         }
 
         if processed != self.tiles.len() {
-            return Err(format!("only {processed}/{} tiles schedulable", self.tiles.len()));
+            return Err(format!(
+                "only {processed}/{} tiles schedulable",
+                self.tiles.len()
+            ));
         }
         for y in 0..ny {
             if e_level[y] != self.nt || h_level[y] != self.nt {
@@ -287,10 +302,22 @@ mod tests {
 
     #[test]
     fn coverage_for_awkward_domains() {
-        for (ny, nt, d) in [(5, 3, 2), (7, 9, 4), (9, 2, 8), (3, 11, 6), (1, 1, 2), (2, 5, 16)] {
+        for (ny, nt, d) in [
+            (5, 3, 2),
+            (7, 9, 4),
+            (9, 2, 8),
+            (3, 11, 6),
+            (1, 1, 2),
+            (2, 5, 16),
+        ] {
             let plan = TilePlan::build(dw(d), ny, nt);
-            assert_eq!(plan.total_half_updates(), 2 * ny * nt, "ny={ny} nt={nt} dw={d}");
-            plan.validate().unwrap_or_else(|e| panic!("ny={ny} nt={nt} dw={d}: {e}"));
+            assert_eq!(
+                plan.total_half_updates(),
+                2 * ny * nt,
+                "ny={ny} nt={nt} dw={d}"
+            );
+            plan.validate()
+                .unwrap_or_else(|e| panic!("ny={ny} nt={nt} dw={d}: {e}"));
         }
     }
 
@@ -309,7 +336,11 @@ mod tests {
         let plan = TilePlan::build(dw(8), 24, 16);
         for (i, deps) in plan.dependents.iter().enumerate() {
             for &d in deps {
-                assert_eq!(plan.tiles[d].k, plan.tiles[i].k + 1, "edges go to the next row");
+                assert_eq!(
+                    plan.tiles[d].k,
+                    plan.tiles[i].k + 1,
+                    "edges go to the next row"
+                );
             }
         }
     }
@@ -321,9 +352,7 @@ mod tests {
             .tiles
             .iter()
             .enumerate()
-            .filter(|(_, t)| {
-                t.base - 2 >= 0 && t.base + 2 < 32 && t.k > 1 && (t.k * 2 + 4) < 16
-            })
+            .filter(|(_, t)| t.base - 2 >= 0 && t.base + 2 < 32 && t.k > 1 && (t.k * 2 + 4) < 16)
             .map(|(i, _)| i);
         let mut checked = 0;
         for i in interior {
@@ -337,7 +366,8 @@ mod tests {
     fn validation_holds_for_lifo_order_too() {
         // Order-independence among ready tiles: pick last instead of first.
         let plan = TilePlan::build(dw(4), 12, 10);
-        plan.validate_with_order(|ready| ready.last().copied()).expect("LIFO order valid");
+        plan.validate_with_order(|ready| ready.last().copied())
+            .expect("LIFO order valid");
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl AlignedBuf {
     /// allocate.
     pub fn zeroed(len: usize) -> Self {
         if len == 0 {
-            return AlignedBuf { ptr: NonNull::dangling(), len: 0 };
+            return AlignedBuf {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
         }
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (len > 0).

@@ -25,7 +25,13 @@ pub struct Array3C {
 impl Array3C {
     pub fn zeros(dims: GridDims) -> Self {
         let (px, py, pz) = (dims.nx + 2, dims.ny + 2, dims.nz + 2);
-        Array3C { buf: AlignedBuf::zeroed(2 * px * py * pz), dims, px, py, pz }
+        Array3C {
+            buf: AlignedBuf::zeroed(2 * px * py * pz),
+            dims,
+            px,
+            py,
+            pz,
+        }
     }
 
     #[inline]
@@ -55,9 +61,18 @@ impl Array3C {
     /// Halo cells are addressable with coordinates `-1` and `n`.
     #[inline]
     pub fn idx(&self, x: isize, y: isize, z: isize) -> usize {
-        debug_assert!(x >= -1 && x <= self.dims.nx as isize, "x={x} out of halo range");
-        debug_assert!(y >= -1 && y <= self.dims.ny as isize, "y={y} out of halo range");
-        debug_assert!(z >= -1 && z <= self.dims.nz as isize, "z={z} out of halo range");
+        debug_assert!(
+            x >= -1 && x <= self.dims.nx as isize,
+            "x={x} out of halo range"
+        );
+        debug_assert!(
+            y >= -1 && y <= self.dims.ny as isize,
+            "y={y} out of halo range"
+        );
+        debug_assert!(
+            z >= -1 && z <= self.dims.nz as isize,
+            "z={z} out of halo range"
+        );
         let xi = (x + 1) as usize;
         let yi = (y + 1) as usize;
         let zi = (z + 1) as usize;
@@ -203,7 +218,9 @@ mod tests {
         // Sum of re = sum over x,y,z of x + 10y + 100z.
         let sum: f64 = a.iter_interior().map(|(_, v)| v.re).sum();
         let expect: usize = (0..4usize)
-            .flat_map(|z| (0..2usize).flat_map(move |y| (0..3usize).map(move |x| x + 10 * y + 100 * z)))
+            .flat_map(|z| {
+                (0..2usize).flat_map(move |y| (0..3usize).map(move |x| x + 10 * y + 100 * z))
+            })
             .sum();
         assert_eq!(sum, expect as f64);
     }

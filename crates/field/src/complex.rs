@@ -38,12 +38,18 @@ impl Cplx {
     /// `e^{i omega tau}` in the THIIM update coefficients.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        Cplx { re: theta.cos(), im: theta.sin() }
+        Cplx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     #[inline]
     pub fn conj(self) -> Self {
-        Cplx { re: self.re, im: -self.im }
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     #[inline]
@@ -66,12 +72,18 @@ impl Cplx {
     #[inline]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Cplx { re: self.re / d, im: -self.im / d }
+        Cplx {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Cplx { re: self.re * s, im: self.im * s }
+        Cplx {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     pub fn is_finite(self) -> bool {
@@ -160,7 +172,13 @@ impl fmt::Debug for Cplx {
 
 impl fmt::Display for Cplx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+        write!(
+            f,
+            "{}{}{}i",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
     }
 }
 
@@ -210,10 +228,16 @@ mod tests {
         for &t in &[0.0, 0.3, 1.0, -2.5, std::f64::consts::PI] {
             let z = Cplx::cis(t);
             assert!((z.abs() - 1.0).abs() < 1e-14);
-            assert!((Cplx::cis(t).arg() - t.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                .min((Cplx::cis(t).arg() + 2.0 * std::f64::consts::PI - t.rem_euclid(2.0 * std::f64::consts::PI)).abs())
-                < 1e-12);
+            assert!(
+                (Cplx::cis(t).arg() - t.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                    .min(
+                        (Cplx::cis(t).arg() + 2.0 * std::f64::consts::PI
+                            - t.rem_euclid(2.0 * std::f64::consts::PI))
+                        .abs()
+                    )
+                    < 1e-12
+            );
         }
     }
 

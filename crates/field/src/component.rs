@@ -115,8 +115,12 @@ pub enum SourceArray {
 }
 
 impl SourceArray {
-    pub const ALL: [SourceArray; 4] =
-        [SourceArray::SrcHx, SourceArray::SrcHy, SourceArray::SrcEx, SourceArray::SrcEy];
+    pub const ALL: [SourceArray; 4] = [
+        SourceArray::SrcHx,
+        SourceArray::SrcHy,
+        SourceArray::SrcEx,
+        SourceArray::SrcEy,
+    ];
 
     pub fn index(self) -> usize {
         match self {
@@ -190,7 +194,10 @@ impl Component {
 
     /// Stable dense index 0..12 (E components first).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("component in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("component in ALL")
     }
 
     pub fn field_kind(self) -> FieldKind {
@@ -243,7 +250,10 @@ impl Component {
     /// The total component this update reads: the opposite field's
     /// `src_axis` component (both split parts are summed in the kernel).
     pub fn source_total(self) -> TotalComponent {
-        TotalComponent { kind: self.field_kind().other(), axis: self.src_axis() }
+        TotalComponent {
+            kind: self.field_kind().other(),
+            axis: self.src_axis(),
+        }
     }
 
     /// The two arrays read by this update (e.g. `Hyx` reads `Exy` and `Exz`).
@@ -318,8 +328,20 @@ mod tests {
     #[test]
     fn twelve_components_six_per_field() {
         assert_eq!(Component::ALL.len(), 12);
-        assert_eq!(Component::E_ALL.iter().filter(|c| c.field_kind() == FieldKind::E).count(), 6);
-        assert_eq!(Component::H_ALL.iter().filter(|c| c.field_kind() == FieldKind::H).count(), 6);
+        assert_eq!(
+            Component::E_ALL
+                .iter()
+                .filter(|c| c.field_kind() == FieldKind::E)
+                .count(),
+            6
+        );
+        assert_eq!(
+            Component::H_ALL
+                .iter()
+                .filter(|c| c.field_kind() == FieldKind::H)
+                .count(),
+            6
+        );
     }
 
     #[test]
@@ -334,27 +356,13 @@ mod tests {
         use Axis::*;
         use Component::*;
         // H components: Hyx [z-], Hyz [x-], Hzx [y-], Hzy [x-], Hxy [z-], Hxz [y-]
-        let h_expect = [
-            (Hyx, Z),
-            (Hyz, X),
-            (Hzx, Y),
-            (Hzy, X),
-            (Hxy, Z),
-            (Hxz, Y),
-        ];
+        let h_expect = [(Hyx, Z), (Hyz, X), (Hzx, Y), (Hzy, X), (Hxy, Z), (Hxz, Y)];
         for (c, ax) in h_expect {
             assert_eq!(c.deriv_axis(), ax, "{c}");
             assert_eq!(c.offset_dir(), -1, "{c}");
         }
         // E components: Eyx [z+], Eyz [x+], Ezx [y+], Ezy [x+], Exy [z+], Exz [y+]
-        let e_expect = [
-            (Eyx, Z),
-            (Eyz, X),
-            (Ezx, Y),
-            (Ezy, X),
-            (Exy, Z),
-            (Exz, Y),
-        ];
+        let e_expect = [(Eyx, Z), (Eyz, X), (Ezx, Y), (Ezy, X), (Exy, Z), (Exz, Y)];
         for (c, ax) in e_expect {
             assert_eq!(c.deriv_axis(), ax, "{c}");
             assert_eq!(c.offset_dir(), 1, "{c}");
@@ -383,8 +391,10 @@ mod tests {
     #[test]
     fn exactly_four_components_have_sources() {
         use Component::*;
-        let with_src: Vec<_> =
-            Component::ALL.iter().filter(|c| c.source_array().is_some()).collect();
+        let with_src: Vec<_> = Component::ALL
+            .iter()
+            .filter(|c| c.source_array().is_some())
+            .collect();
         assert_eq!(with_src.len(), 4);
         assert_eq!(Hyx.source_array(), Some(SourceArray::SrcHy));
         assert_eq!(Hxy.source_array(), Some(SourceArray::SrcHx));

@@ -15,7 +15,10 @@ pub struct FieldSet {
 
 impl FieldSet {
     pub fn zeros(dims: GridDims) -> Self {
-        FieldSet { arrays: (0..12).map(|_| Array3C::zeros(dims)).collect(), dims }
+        FieldSet {
+            arrays: (0..12).map(|_| Array3C::zeros(dims)).collect(),
+            dims,
+        }
     }
 
     #[inline]
@@ -35,7 +38,14 @@ impl FieldSet {
 
     /// Total (unsplit) value of component `c.axis()`'s field at a cell,
     /// e.g. `E_x = Exy + Exz`.
-    pub fn total(&self, kind: crate::component::FieldKind, axis: crate::component::Axis, x: isize, y: isize, z: isize) -> Cplx {
+    pub fn total(
+        &self,
+        kind: crate::component::FieldKind,
+        axis: crate::component::Axis,
+        x: isize,
+        y: isize,
+        z: isize,
+    ) -> Cplx {
         let [a, b] = crate::component::TotalComponent { kind, axis }.splits();
         self.comp(a).get(x, y, z) + self.comp(b).get(x, y, z)
     }
@@ -46,7 +56,9 @@ impl FieldSet {
 
     /// Bitwise equality across all 12 components.
     pub fn bit_eq(&self, other: &FieldSet) -> bool {
-        Component::ALL.iter().all(|&c| self.comp(c).bit_eq(other.comp(c)))
+        Component::ALL
+            .iter()
+            .all(|&c| self.comp(c).bit_eq(other.comp(c)))
     }
 
     /// Largest absolute elementwise difference across all components.
@@ -214,7 +226,10 @@ pub struct State {
 
 impl State {
     pub fn zeros(dims: GridDims) -> Self {
-        State { fields: FieldSet::zeros(dims), coeffs: CoeffSet::zeros(dims) }
+        State {
+            fields: FieldSet::zeros(dims),
+            coeffs: CoeffSet::zeros(dims),
+        }
     }
 
     pub fn dims(&self) -> GridDims {
@@ -251,7 +266,8 @@ mod tests {
     fn total_sums_split_parts() {
         let mut f = FieldSet::zeros(GridDims::cubic(2));
         f.comp_mut(Component::Exy).set(1, 1, 1, Cplx::new(2.0, 0.5));
-        f.comp_mut(Component::Exz).set(1, 1, 1, Cplx::new(-0.5, 1.0));
+        f.comp_mut(Component::Exz)
+            .set(1, 1, 1, Cplx::new(-0.5, 1.0));
         assert_eq!(f.total(FieldKind::E, Axis::X, 1, 1, 1), Cplx::new(1.5, 1.5));
     }
 
@@ -294,7 +310,8 @@ mod tests {
         let d = GridDims::cubic(2);
         let mut a = FieldSet::zeros(d);
         let b = FieldSet::zeros(d);
-        a.comp_mut(Component::Hzy).set(1, 0, 1, Cplx::new(0.0, -2.5));
+        a.comp_mut(Component::Hzy)
+            .set(1, 0, 1, Cplx::new(0.0, -2.5));
         assert_eq!(a.max_abs_diff(&b), 2.5);
     }
 

@@ -19,7 +19,11 @@ impl GridDims {
 
     /// Cubic grid of side `n` — all paper experiments use cubic domains.
     pub const fn cubic(n: usize) -> Self {
-        GridDims { nx: n, ny: n, nz: n }
+        GridDims {
+            nx: n,
+            ny: n,
+            nz: n,
+        }
     }
 
     /// Number of interior grid cells.

@@ -8,7 +8,10 @@ use crate::fields::FieldSet;
 
 /// L2 norm over the interior of a single array.
 pub fn l2(a: &Array3C) -> f64 {
-    a.iter_interior().map(|(_, v)| v.norm_sqr()).sum::<f64>().sqrt()
+    a.iter_interior()
+        .map(|(_, v)| v.norm_sqr())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// L-infinity norm over the interior of a single array.
@@ -56,7 +59,12 @@ pub fn first_mismatch(a: &FieldSet, b: &FieldSet) -> Option<Mismatch> {
         let (aa, bb) = (a.comp(c), b.comp(c));
         for ((cell, va), (_, vb)) in aa.iter_interior().zip(bb.iter_interior()) {
             if va.re.to_bits() != vb.re.to_bits() || va.im.to_bits() != vb.im.to_bits() {
-                return Some(Mismatch { component: c, cell, a: va, b: vb });
+                return Some(Mismatch {
+                    component: c,
+                    cell,
+                    a: va,
+                    b: vb,
+                });
             }
         }
     }

@@ -114,8 +114,12 @@ mod tests {
     fn exchange_copies_wrap_columns() {
         let dims = GridDims::new(4, 2, 2);
         let mut s = State::zeros(dims);
-        s.fields.comp_mut(Component::Hyx).set(0, 1, 1, Cplx::new(1.0, 2.0));
-        s.fields.comp_mut(Component::Hyx).set(3, 1, 1, Cplx::new(-3.0, 0.5));
+        s.fields
+            .comp_mut(Component::Hyx)
+            .set(0, 1, 1, Cplx::new(1.0, 2.0));
+        s.fields
+            .comp_mut(Component::Hyx)
+            .set(3, 1, 1, Cplx::new(-3.0, 0.5));
         exchange_x_halo(&mut s, FieldKind::H);
         let arr = s.fields.comp(Component::Hyx);
         assert_eq!(arr.get(-1, 1, 1), Cplx::new(-3.0, 0.5));
@@ -128,22 +132,19 @@ mod tests {
         // keep fields x-uniform (no artificial boundary effects), whereas
         // Dirichlet breaks uniformity at the x edges.
         let dims = GridDims::new(6, 3, 3);
-        let mut s = State::zeros(dims);
-        s.coeffs.fill_deterministic(17);
-        // Make coefficients x-uniform by copying x=0 across the row.
-        for comp in Component::ALL {
-            for (t_or_c, is_t) in [(true, true), (false, false)] {
-                let _ = (t_or_c, is_t);
-            }
-        }
         let mut su = State::zeros(dims);
         // x-uniform coefficients and fields built from scratch:
         for comp in Component::ALL {
-            su.coeffs.t_mut(comp).fill_with(|_, y, z| Cplx::new(0.3 + 0.01 * y as f64, 0.02 * z as f64));
-            su.coeffs.c_mut(comp).fill_with(|_, y, z| Cplx::new(0.1 * z as f64, 0.05 + 0.01 * y as f64));
-            su.fields.comp_mut(comp).fill_with(|_, y, z| Cplx::new(1.0 + y as f64, z as f64));
+            su.coeffs
+                .t_mut(comp)
+                .fill_with(|_, y, z| Cplx::new(0.3 + 0.01 * y as f64, 0.02 * z as f64));
+            su.coeffs
+                .c_mut(comp)
+                .fill_with(|_, y, z| Cplx::new(0.1 * z as f64, 0.05 + 0.01 * y as f64));
+            su.fields
+                .comp_mut(comp)
+                .fill_with(|_, y, z| Cplx::new(1.0 + y as f64, z as f64));
         }
-        let _ = s;
         for _ in 0..3 {
             step_naive_with_boundary(&mut su, Boundary::PeriodicX);
         }

@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn type_partition_is_4_plus_8() {
-        let l1 = Component::ALL.iter().filter(|c| c.source_array().is_some()).count();
+        let l1 = Component::ALL
+            .iter()
+            .filter(|c| c.source_array().is_some())
+            .count();
         assert_eq!(l1, L1_TYPE_COUNT);
         assert_eq!(Component::ALL.len() - l1, L2_TYPE_COUNT);
     }

@@ -41,4 +41,7 @@ pub mod update;
 pub use raw::RawGrid;
 pub use spatial::{step_spatial, step_spatial_mt, SpatialConfig};
 pub use sweep::{run_naive, step_naive};
-pub use update::{update_component_row, update_component_row_periodic_x, update_component_rows, update_component_rows_periodic_x};
+pub use update::{
+    update_component_row, update_component_row_periodic_x, update_component_rows,
+    update_component_rows_periodic_x,
+};

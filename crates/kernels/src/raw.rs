@@ -143,7 +143,10 @@ mod tests {
         let g = RawGrid::new(&state);
         let mut seen = std::collections::HashSet::new();
         for comp in Component::ALL {
-            assert!(seen.insert(g.field_ptr(comp) as usize), "duplicate field ptr");
+            assert!(
+                seen.insert(g.field_ptr(comp) as usize),
+                "duplicate field ptr"
+            );
             assert!(seen.insert(g.t_ptr(comp) as usize), "duplicate t ptr");
             assert!(seen.insert(g.c_ptr(comp) as usize), "duplicate c ptr");
         }

@@ -36,7 +36,10 @@ impl SpatialConfig {
         // 40 arrays * by rows * 2 layers * row_bytes within cache.
         let row = dims.row_bytes();
         let by = (cache_bytes / (40 * 2 * row)).clamp(1, dims.ny);
-        SpatialConfig { by, bz: dims.nz.max(1) }
+        SpatialConfig {
+            by,
+            bz: dims.nz.max(1),
+        }
     }
 
     fn blocks(&self, n: usize, b: usize) -> impl Iterator<Item = (usize, usize)> {
@@ -77,14 +80,16 @@ pub fn step_spatial_mt(state: &mut State, cfg: SpatialConfig, threads: usize) {
 
     let tiles: Vec<(usize, usize, usize, usize)> = cfg
         .blocks(dims.nz, cfg.bz)
-        .flat_map(|(z0, z1)| cfg.blocks(dims.ny, cfg.by).map(move |(y0, y1)| (z0, z1, y0, y1)))
+        .flat_map(|(z0, z1)| {
+            cfg.blocks(dims.ny, cfg.by)
+                .map(move |(y0, y1)| (z0, z1, y0, y1))
+        })
         .collect();
 
     for kind in [FieldKind::H, FieldKind::E] {
         std::thread::scope(|scope| {
             for tid in 0..threads {
                 let tiles = &tiles;
-                let g = g; // copy the raw view into the closure
                 scope.spawn(move || {
                     for (i, &(z0, z1, y0, y1)) in tiles.iter().enumerate() {
                         if i % threads != tid {
@@ -95,9 +100,7 @@ pub fn step_spatial_mt(state: &mut State, cfg: SpatialConfig, threads: usize) {
                             // component nest writes only its own array inside
                             // its tile and reads the opposite field, which no
                             // thread writes during this phase.
-                            unsafe {
-                                update_component_rows(&g, comp, z0..z1, y0..y1, 0..dims.nx)
-                            };
+                            unsafe { update_component_rows(&g, comp, z0..z1, y0..y1, 0..dims.nx) };
                         }
                     }
                 });
@@ -122,7 +125,11 @@ mod tests {
     #[test]
     fn spatial_blocking_is_bitwise_identical_to_naive() {
         let dims = GridDims::new(6, 7, 5);
-        for cfg in [SpatialConfig::new(1, 1), SpatialConfig::new(2, 3), SpatialConfig::new(7, 5)] {
+        for cfg in [
+            SpatialConfig::new(1, 1),
+            SpatialConfig::new(2, 3),
+            SpatialConfig::new(7, 5),
+        ] {
             let mut a = filled(dims, 5);
             let mut b = a.clone();
             for _ in 0..3 {

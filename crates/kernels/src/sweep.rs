@@ -34,7 +34,7 @@ pub fn run_naive(state: &mut State, steps: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_field::{Cplx, Component, GridDims};
+    use em_field::{Component, Cplx, GridDims};
 
     fn filled(dims: GridDims, seed: u64) -> State {
         let mut s = State::zeros(dims);
@@ -59,7 +59,10 @@ mod tests {
         let mut s = filled(GridDims::new(4, 5, 3), 7);
         run_naive(&mut s, 2);
         for comp in Component::ALL {
-            assert!(s.fields.comp(comp).halo_is_zero(), "{comp} halo must stay zero");
+            assert!(
+                s.fields.comp(comp).halo_is_zero(),
+                "{comp} halo must stay zero"
+            );
         }
     }
 
@@ -89,7 +92,10 @@ mod tests {
         for comp in Component::ALL {
             for ((x, y, z), va) in a.fields.comp(comp).iter_interior() {
                 let vb = b.fields.comp(comp).get(x as isize, y as isize, z as isize);
-                assert!((vb - va * 2.0).abs() < 1e-12 * (1.0 + va.abs()), "{comp} ({x},{y},{z})");
+                assert!(
+                    (vb - va * 2.0).abs() < 1e-12 * (1.0 + va.abs()),
+                    "{comp} ({x},{y},{z})"
+                );
             }
         }
     }
@@ -140,6 +146,9 @@ mod tests {
         run_naive(&mut s, 50);
         let e = s.fields.energy();
         assert!(e.is_finite());
-        assert!(e < e0 * 1e3, "contractive |t|<1 coefficients must not blow up");
+        assert!(
+            e < e0 * 1e3,
+            "contractive |t|<1 coefficients must not blow up"
+        );
     }
 }

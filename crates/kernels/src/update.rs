@@ -16,6 +16,7 @@ use std::ops::Range;
 /// `src`, and the `shift`ed row of the two source-split arrays, which is
 /// in-bounds thanks to the one-cell halo).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 unsafe fn row_loop<const NEG: bool, const HAS_SRC: bool>(
     dst: *mut f64,
     t: *const f64,
@@ -32,7 +33,11 @@ unsafe fn row_loop<const NEG: bool, const HAS_SRC: bool>(
     let dst = dst.add(base);
     let t = t.add(base);
     let c = c.add(base);
-    let src = if HAS_SRC { src.add(base) } else { std::ptr::null() };
+    let src = if HAS_SRC {
+        src.add(base)
+    } else {
+        std::ptr::null()
+    };
     let s1c = s1.add(base);
     let s2c = s2.add(base);
     let s1n = s1.offset(base as isize + shift);
@@ -191,14 +196,7 @@ pub unsafe fn update_component_row_periodic_x(
 
 /// One peeled cell with an explicit neighbor shift.
 #[inline]
-unsafe fn run_peeled(
-    g: &RawGrid<'_>,
-    comp: Component,
-    y: usize,
-    z: usize,
-    x: usize,
-    shift: isize,
-) {
+unsafe fn run_peeled(g: &RawGrid<'_>, comp: Component, y: usize, z: usize, x: usize, shift: isize) {
     let base = g.idx(x, y, z);
     let [sp1, sp2] = comp.source_splits();
     let dst = g.field_ptr(comp);
@@ -208,7 +206,9 @@ unsafe fn run_peeled(
     let s2 = g.field_ptr(sp2) as *const f64;
     let neg = comp.curl_sign() < 0.0;
     match (neg, comp.source_array()) {
-        (false, Some(s)) => row_loop::<false, true>(dst, t, c, g.src_ptr(s), s1, s2, base, shift, 1),
+        (false, Some(s)) => {
+            row_loop::<false, true>(dst, t, c, g.src_ptr(s), s1, s2, base, shift, 1)
+        }
         (true, Some(s)) => row_loop::<true, true>(dst, t, c, g.src_ptr(s), s1, s2, base, shift, 1),
         (false, None) => {
             row_loop::<false, false>(dst, t, c, std::ptr::null(), s1, s2, base, shift, 1)
@@ -241,7 +241,7 @@ pub unsafe fn update_component_rows_periodic_x(
 mod tests {
     use super::*;
     use crate::boundary::{exchange_x_halo, Boundary};
-    use em_field::{Axis, Cplx, Component, FieldKind, GridDims, State};
+    use em_field::{Axis, Component, Cplx, GridDims, State};
 
     /// Scalar reference implementation of one component update at one
     /// cell, written with `Cplx` arithmetic straight from the equations.
@@ -254,7 +254,8 @@ mod tests {
             Axis::Z => (xi, yi, zi + dir),
         };
         let [sp1, sp2] = comp.source_splits();
-        let center = state.fields.comp(sp1).get(xi, yi, zi) + state.fields.comp(sp2).get(xi, yi, zi);
+        let center =
+            state.fields.comp(sp1).get(xi, yi, zi) + state.fields.comp(sp2).get(xi, yi, zi);
         let neigh = state.fields.comp(sp1).get(nx, ny, nz) + state.fields.comp(sp2).get(nx, ny, nz);
         let d = center - neigh;
         let old = state.fields.comp(comp).get(xi, yi, zi);
@@ -278,7 +279,7 @@ mod tests {
     fn kernel_matches_scalar_reference_for_every_component() {
         let dims = GridDims::new(4, 3, 3);
         for comp in Component::ALL {
-            let mut state = filled_state(dims, 42 + comp.index() as u64);
+            let state = filled_state(dims, 42 + comp.index() as u64);
             // Expected values computed BEFORE the kernel mutates anything.
             let mut expect = vec![];
             let (y, z) = (1, 1);
@@ -289,9 +290,8 @@ mod tests {
                 let g = RawGrid::new(&state);
                 unsafe { update_component_row(&g, comp, y, z, 0..dims.nx) };
             }
-            for x in 0..dims.nx {
+            for (x, &want) in expect.iter().enumerate() {
                 let got = state.fields.comp(comp).get(x as isize, 1, 1);
-                let want = expect[x];
                 assert!(
                     (got - want).abs() < 1e-13,
                     "{comp} at x={x}: got {got:?}, want {want:?}"
@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn kernel_only_writes_requested_cells() {
         let dims = GridDims::new(5, 4, 4);
-        let mut state = filled_state(dims, 3);
+        let state = filled_state(dims, 3);
         let before = state.fields.clone();
         {
             let g = RawGrid::new(&state);
@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn empty_range_is_a_noop() {
         let dims = GridDims::cubic(3);
-        let mut state = filled_state(dims, 4);
+        let state = filled_state(dims, 4);
         let before = state.fields.clone();
         {
             let g = RawGrid::new(&state);
@@ -362,9 +362,12 @@ mod tests {
         // The loop-peeled wrap must produce exactly the bits of the
         // halo-exchange implementation for every x-derivative component.
         let dims = GridDims::new(6, 4, 4);
-        for comp in Component::ALL.into_iter().filter(|c| c.deriv_axis() == Axis::X) {
+        for comp in Component::ALL
+            .into_iter()
+            .filter(|c| c.deriv_axis() == Axis::X)
+        {
             let mut a = filled_state(dims, 31 + comp.index() as u64);
-            let mut b = a.clone();
+            let b = a.clone();
             // Reference: refresh the halo of the source field, then run
             // the Dirichlet kernel (which now reads wrap values).
             exchange_x_halo(&mut a, comp.field_kind().other());
@@ -391,8 +394,8 @@ mod tests {
         // without it are plain. Union of chunks == full periodic row.
         let dims = GridDims::new(8, 3, 3);
         let comp = Component::Hzy; // x- shift
-        let mut full = filled_state(dims, 77);
-        let mut chunked = full.clone();
+        let full = filled_state(dims, 77);
+        let chunked = full.clone();
         {
             let g = RawGrid::new(&full);
             unsafe { update_component_row_periodic_x(&g, comp, 1, 1, 0..8) };
@@ -410,8 +413,8 @@ mod tests {
     #[test]
     fn non_x_components_ignore_periodic_flag() {
         let dims = GridDims::new(5, 4, 4);
-        let mut a = filled_state(dims, 13);
-        let mut b = a.clone();
+        let a = filled_state(dims, 13);
+        let b = a.clone();
         {
             let g = RawGrid::new(&a);
             unsafe { update_component_rows(&g, Component::Hyx, 0..4, 0..4, 0..5) };
@@ -426,7 +429,7 @@ mod tests {
     #[test]
     fn rows_region_covers_exactly_the_box() {
         let dims = GridDims::new(4, 5, 6);
-        let mut state = filled_state(dims, 11);
+        let state = filled_state(dims, 11);
         let before = state.fields.clone();
         {
             let g = RawGrid::new(&state);
@@ -435,7 +438,9 @@ mod tests {
         let mut changed = 0;
         for ((x, y, z), v) in state.fields.comp(Component::Eyz).iter_interior() {
             let inside = (2..5).contains(&z) && (1..4).contains(&y) && x < 4;
-            let old = before.comp(Component::Eyz).get(x as isize, y as isize, z as isize);
+            let old = before
+                .comp(Component::Eyz)
+                .get(x as isize, y as isize, z as isize);
             if !inside {
                 assert_eq!(v, old);
             } else if v != old {

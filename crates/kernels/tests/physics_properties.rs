@@ -1,8 +1,8 @@
 //! Property-based tests of the update kernels' algebraic structure.
 
-use proptest::prelude::*;
 use em_field::{Component, Cplx, GridDims, SourceArray, State};
 use em_kernels::run_naive;
+use proptest::prelude::*;
 
 fn filled(dims: GridDims, seed: u64) -> State {
     let mut s = State::zeros(dims);

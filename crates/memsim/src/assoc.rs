@@ -21,7 +21,10 @@ impl SetAssocCache {
     pub fn new(capacity_lines: usize, ways: usize) -> Self {
         assert!(ways > 0 && capacity_lines >= ways);
         let sets = capacity_lines / ways;
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         SetAssocCache {
             sets: vec![Vec::with_capacity(ways); sets],
             ways,
@@ -119,8 +122,8 @@ mod tests {
         for _ in 0..2000 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let key = (state >> 40) % 48;
-            let a = sa.access(key, key % 5 == 0);
-            let b = lru.access(key, key % 5 == 0);
+            let a = sa.access(key, key.is_multiple_of(5));
+            let b = lru.access(key, key.is_multiple_of(5));
             assert_eq!(a, b.hit);
         }
         assert_eq!(sa.hits, lru.hits);

@@ -124,7 +124,10 @@ impl LruCache {
             if write {
                 self.nodes[i as usize].dirty = true;
             }
-            return Access { hit: true, evicted_dirty: false };
+            return Access {
+                hit: true,
+                evicted_dirty: false,
+            };
         }
 
         self.misses += 1;
@@ -140,24 +143,39 @@ impl LruCache {
         }
         let i = match self.free.pop() {
             Some(i) => {
-                self.nodes[i as usize] = Node { key, prev: NIL, next: NIL, dirty: write };
+                self.nodes[i as usize] = Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                    dirty: write,
+                };
                 i
             }
             None => {
-                self.nodes.push(Node { key, prev: NIL, next: NIL, dirty: write });
+                self.nodes.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                    dirty: write,
+                });
                 (self.nodes.len() - 1) as u32
             }
         };
         self.map.insert(key, i);
         self.push_front(i);
-        Access { hit: false, evicted_dirty }
+        Access {
+            hit: false,
+            evicted_dirty,
+        }
     }
 
     /// Evict everything, returning the number of dirty blocks written back.
     pub fn flush(&mut self) -> u64 {
-        let dirty = self.nodes.iter().enumerate().filter(|(i, n)| {
-            self.map.get(&n.key) == Some(&(*i as u32)) && n.dirty
-        });
+        let dirty = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| self.map.get(&n.key) == Some(&(*i as u32)) && n.dirty);
         let count = dirty.count() as u64;
         self.map.clear();
         self.nodes.clear();
@@ -203,7 +221,10 @@ mod tests {
         c.access(1, true);
         let a = c.access(2, false);
         assert!(!a.hit);
-        assert!(a.evicted_dirty, "evicting written block must report write-back");
+        assert!(
+            a.evicted_dirty,
+            "evicting written block must report write-back"
+        );
         let a2 = c.access(3, false);
         assert!(!a2.evicted_dirty, "clean eviction");
     }
@@ -253,7 +274,9 @@ mod tests {
         let mut history: Vec<u64> = Vec::new();
         let mut state = 12345u64;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (state >> 33) % 40;
             let expect_hit = {
                 let mut distinct = std::collections::HashSet::new();

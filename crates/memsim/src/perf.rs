@@ -102,7 +102,10 @@ mod tests {
     /// Downscaled Haswell for fast tests: keeps the capacity *ratios* of
     /// the real chip while shrinking the grid.
     fn mini_haswell(l3: usize) -> MachineSpec {
-        MachineSpec { l3_bytes: l3, ..HSW }
+        MachineSpec {
+            l3_bytes: l3,
+            ..HSW
+        }
     }
 
     #[test]
@@ -127,7 +130,11 @@ mod tests {
         // L3 sized to hold a Dw=8 tile comfortably.
         let m = mini_haswell(4000 * dims.row_bytes());
         let r = simulate_mwd_engine(&m, dims, 8, 8, 1, 1, 18);
-        assert!(r.code_balance < 450.0, "MWD BC {} must be far below 1216", r.code_balance);
+        assert!(
+            r.code_balance < 450.0,
+            "MWD BC {} must be far below 1216",
+            r.code_balance
+        );
         assert!(!r.memory_bound, "MWD must be core-bound (decoupled)");
         let sp = simulate_spatial_engine(&m, dims, 2, 18);
         let speedup = r.mlups / sp.mlups;

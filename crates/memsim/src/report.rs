@@ -53,7 +53,13 @@ mod tests {
     use super::*;
 
     fn report() -> TrafficReport {
-        TrafficReport::new(Traffic { read_bytes: 900_000, write_bytes: 300_000 }, 1000)
+        TrafficReport::new(
+            Traffic {
+                read_bytes: 900_000,
+                write_bytes: 300_000,
+            },
+            1000,
+        )
     }
 
     #[test]
@@ -65,7 +71,10 @@ mod tests {
     fn bandwidth_scales_with_mlups() {
         // 41 MLUP/s at 1216 B/LUP ~ 50 GB/s (the paper's Eq. 10 inverted).
         let r = TrafficReport::new(
-            Traffic { read_bytes: 1216 * 1000, write_bytes: 0 },
+            Traffic {
+                read_bytes: 1216 * 1000,
+                write_bytes: 0,
+            },
             1000,
         );
         let bw = r.bandwidth_gbs(41.1);

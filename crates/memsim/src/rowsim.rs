@@ -53,7 +53,11 @@ impl RowCacheSim {
     pub fn new(cache_bytes: usize, row_bytes: usize) -> Self {
         assert!(row_bytes > 0);
         let blocks = (cache_bytes / row_bytes).max(1);
-        RowCacheSim { cache: LruCache::new(blocks), row_bytes: row_bytes as u64, mem: Traffic::default() }
+        RowCacheSim {
+            cache: LruCache::new(blocks),
+            row_bytes: row_bytes as u64,
+            mem: Traffic::default(),
+        }
     }
 
     /// Capacity in row blocks.
@@ -100,7 +104,14 @@ impl RowCacheSim {
 /// then read+write the destination. The x-shifted accesses of Listing 2's
 /// inner-dimension variants stay within the same row.
 #[inline]
-pub fn component_row_access(sim: &mut RowCacheSim, comp: Component, y: usize, z: usize, ny: usize, nz: usize) {
+pub fn component_row_access(
+    sim: &mut RowCacheSim,
+    comp: Component,
+    y: usize,
+    z: usize,
+    ny: usize,
+    nz: usize,
+) {
     use em_field::Axis;
 
     sim.access(ArrayId::coeff_t(comp), y, z, false);

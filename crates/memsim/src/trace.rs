@@ -33,7 +33,9 @@ pub fn naive_trace(sim: &mut RowCacheSim, w: Workload, threads: usize) {
     for _ in 0..w.steps {
         for kind in [FieldKind::H, FieldKind::E] {
             for comp in Component::of(kind) {
-                let chunks: Vec<_> = (0..threads).map(|i| split_range(0..d.nz, threads, i)).collect();
+                let chunks: Vec<_> = (0..threads)
+                    .map(|i| split_range(0..d.nz, threads, i))
+                    .collect();
                 let longest = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
                 for j in 0..longest {
                     for chunk in &chunks {
@@ -51,21 +53,21 @@ pub fn naive_trace(sim: &mut RowCacheSim, w: Workload, threads: usize) {
 
 /// Replay the spatially blocked engine: (z-block, y-block) tiles assigned
 /// round-robin to threads, six component nests per tile per phase.
-pub fn spatial_trace(
-    sim: &mut RowCacheSim,
-    w: Workload,
-    by: usize,
-    bz: usize,
-    threads: usize,
-) {
+pub fn spatial_trace(sim: &mut RowCacheSim, w: Workload, by: usize, bz: usize, threads: usize) {
     assert!(threads > 0 && by > 0 && bz > 0);
     let d = w.dims;
     let blocks = |n: usize, b: usize| -> Vec<(usize, usize)> {
-        (0..n.div_ceil(b)).map(|i| (i * b, ((i + 1) * b).min(n))).collect()
+        (0..n.div_ceil(b))
+            .map(|i| (i * b, ((i + 1) * b).min(n)))
+            .collect()
     };
     let tiles: Vec<(usize, usize, usize, usize)> = blocks(d.nz, bz)
         .into_iter()
-        .flat_map(|(z0, z1)| blocks(d.ny, by).into_iter().map(move |(y0, y1)| (z0, z1, y0, y1)))
+        .flat_map(|(z0, z1)| {
+            blocks(d.ny, by)
+                .into_iter()
+                .map(move |(y0, y1)| (z0, z1, y0, y1))
+        })
         .collect();
 
     for _ in 0..w.steps {
@@ -107,7 +109,12 @@ impl<'p> TileCursor<'p> {
                 items.push((p, ri));
             }
         }
-        TileCursor { tile, items, next: 0, plan }
+        TileCursor {
+            tile,
+            items,
+            next: 0,
+            plan,
+        }
     }
 
     /// Replay one work item; true when the tile is finished.
@@ -166,7 +173,10 @@ pub fn mwd_trace(
                 }
             }
         }
-        assert!(progressed, "scheduler stalled with {outstanding} tiles outstanding");
+        assert!(
+            progressed,
+            "scheduler stalled with {outstanding} tiles outstanding"
+        );
     }
 }
 
@@ -191,12 +201,18 @@ mod tests {
         let mut sim = sim_gib(1 << 20, dims.row_bytes());
         naive_trace(&mut sim, w, 1);
         let rows_per_array = (dims.ny * dims.nz) as u64;
-        assert_eq!(sim.mem.read_bytes, 40 * rows_per_array * dims.row_bytes() as u64);
+        assert_eq!(
+            sim.mem.read_bytes,
+            40 * rows_per_array * dims.row_bytes() as u64
+        );
         // Nothing evicted from a huge cache.
         assert_eq!(sim.mem.write_bytes, 0);
         sim.flush();
         // All 12 field arrays dirty.
-        assert_eq!(sim.mem.write_bytes, 12 * rows_per_array * dims.row_bytes() as u64);
+        assert_eq!(
+            sim.mem.write_bytes,
+            12 * rows_per_array * dims.row_bytes() as u64
+        );
     }
 
     #[test]
@@ -206,7 +222,10 @@ mod tests {
         naive_trace(&mut sim, Workload { dims, steps: 2 }, 1);
         let rows_per_array = (dims.ny * dims.nz) as u64;
         // Still only the cold misses: temporal reuse across steps.
-        assert_eq!(sim.mem.read_bytes, 40 * rows_per_array * dims.row_bytes() as u64);
+        assert_eq!(
+            sim.mem.read_bytes,
+            40 * rows_per_array * dims.row_bytes() as u64
+        );
     }
 
     #[test]
@@ -248,7 +267,10 @@ mod tests {
         naive_trace(&mut a, w, 1);
         let mut b = sim_gib(1 << 20, dims.row_bytes());
         spatial_trace(&mut b, w, 4, 3, 2);
-        assert_eq!(a.mem.read_bytes, b.mem.read_bytes, "cold footprints must agree");
+        assert_eq!(
+            a.mem.read_bytes, b.mem.read_bytes,
+            "cold footprints must agree"
+        );
     }
 
     #[test]
@@ -261,7 +283,10 @@ mod tests {
         mwd_trace(&mut sim, &plan, wf, dims, 2);
         let rows_per_array = (dims.ny * dims.nz) as u64;
         // Cold footprint identical to the naive engine's.
-        assert_eq!(sim.mem.read_bytes, 40 * rows_per_array * dims.row_bytes() as u64);
+        assert_eq!(
+            sim.mem.read_bytes,
+            40 * rows_per_array * dims.row_bytes() as u64
+        );
     }
 
     #[test]

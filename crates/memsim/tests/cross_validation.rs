@@ -15,7 +15,7 @@ fn naive_lines(cache: &mut SetAssocCache, dims: GridDims, steps: usize) {
     let row_base = |a: ArrayId, y: usize, z: usize| -> u64 {
         ((a.0 as u64) << 40) + ((z * dims.ny + y) as u64) * lines_per_row
     };
-    let mut touch = |c: &mut SetAssocCache, a: ArrayId, y: usize, z: usize, w: bool| {
+    let touch = |c: &mut SetAssocCache, a: ArrayId, y: usize, z: usize, w: bool| {
         let b = row_base(a, y, z);
         for l in 0..lines_per_row {
             c.access(b + l, w);
@@ -127,7 +127,10 @@ fn capacity_monotonicity() {
         let mut sim = RowCacheSim::new(rows * row_bytes, row_bytes);
         naive_trace(&mut sim, w, 1);
         sim.flush();
-        assert!(sim.mem.total() <= prev, "traffic rose with capacity at {rows} rows");
+        assert!(
+            sim.mem.total() <= prev,
+            "traffic rose with capacity at {rows} rows"
+        );
         prev = sim.mem.total();
     }
 }

@@ -98,11 +98,20 @@ mod tests {
         let nx = 480;
         let mib = 1024.0 * 1024.0;
         let three_blocks_bz6 = 3.0 * cache_block_bytes(nx, 4, 6) / mib;
-        assert!((three_blocks_bz6 - 30.0).abs() < 3.0, "got {three_blocks_bz6} MiB");
+        assert!(
+            (three_blocks_bz6 - 30.0).abs() < 3.0,
+            "got {three_blocks_bz6} MiB"
+        );
         let two_blocks_bz1_dw8 = 2.0 * cache_block_bytes(nx, 8, 1) / mib;
-        assert!((two_blocks_bz1_dw8 - 20.0).abs() < 2.0, "got {two_blocks_bz1_dw8} MiB");
+        assert!(
+            (two_blocks_bz1_dw8 - 20.0).abs() < 2.0,
+            "got {two_blocks_bz1_dw8} MiB"
+        );
         let usable = 22.5;
-        assert!(three_blocks_bz6 > usable, "BZ=6 design must exceed usable L3");
+        assert!(
+            three_blocks_bz6 > usable,
+            "BZ=6 design must exceed usable L3"
+        );
         assert!(two_blocks_bz1_dw8 < usable, "BZ=1/Dw=8 design must fit");
     }
 

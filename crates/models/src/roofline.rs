@@ -67,7 +67,10 @@ mod tests {
         assert!(!est.memory_bound, "MWD must be decoupled");
         assert!((est.mlups - 130.0).abs() < 6.0, "got {}", est.mlups);
         let bw_fraction = est.mem_bw_used / HSW.mem_bw;
-        assert!(bw_fraction < 0.62, "bandwidth saving >= 38%, used {bw_fraction}");
+        assert!(
+            bw_fraction < 0.62,
+            "bandwidth saving >= 38%, used {bw_fraction}"
+        );
     }
 
     #[test]

@@ -148,6 +148,9 @@ mod tests {
         let prof = intensity_profile_z(&f);
         assert_eq!(prof.len(), 5);
         assert_eq!(prof[3], 4.0);
-        assert!(prof.iter().enumerate().all(|(z, &v)| v == if z == 3 { 4.0 } else { 0.0 }));
+        assert!(prof
+            .iter()
+            .enumerate()
+            .all(|(z, &v)| v == if z == 3 { 4.0 } else { 0.0 }));
     }
 }

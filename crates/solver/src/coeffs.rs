@@ -31,7 +31,7 @@ use crate::fit::average_eps;
 use crate::geometry::Scene;
 use crate::pml::PmlSpec;
 use crate::source::SourceSpec;
-use em_field::{Axis, Cplx, Component, State};
+use em_field::{Axis, Component, Cplx, State};
 
 /// Physics parameters for coefficient assembly.
 #[derive(Clone, Debug)]
@@ -86,14 +86,17 @@ pub fn build_coefficients(state: &mut State, scene: &Scene, opt: &CoeffOptions) 
             for x in 0..dims.nx {
                 let (er, ei) = average_eps(scene, opt.lambda_nm, x, y, z);
                 let sigma_mat = omega * ei;
-                let sigma_pml =
-                    opt.pml.map_or(0.0, |p| p.sigma_z(z, dims.nz));
+                let sigma_pml = opt.pml.map_or(0.0, |p| p.sigma_z(z, dims.nz));
 
                 let mut is_back = false;
                 for comp in Component::ALL {
                     // PML loss acts along the component's derivative axis;
                     // only z carries PML here.
-                    let pml_here = if comp.deriv_axis() == Axis::Z { sigma_pml } else { 0.0 };
+                    let pml_here = if comp.deriv_axis() == Axis::Z {
+                        sigma_pml
+                    } else {
+                        0.0
+                    };
                     let (t, c) = match comp.field_kind() {
                         em_field::FieldKind::H => {
                             // Matched magnetic conductivity: sigma*/mu =
@@ -156,7 +159,10 @@ fn apply_source(state: &mut State, scene: &Scene, opt: &CoeffOptions, src: &Sour
                 Cplx::real(tau * sigma / er - 1.0)
             };
             let value = (src.amplitude * tau) / d;
-            state.coeffs.src_mut(arr).set(x as isize, y as isize, z as isize, value);
+            state
+                .coeffs
+                .src_mut(arr)
+                .set(x as isize, y as isize, z as isize, value);
         }
     }
 }
@@ -183,7 +189,11 @@ mod tests {
             let t = state.coeffs.t(comp).get(1, 1, 1);
             assert!((t.abs() - 1.0).abs() < 1e-12, "{comp}: |t| = {}", t.abs());
             let c = state.coeffs.c(comp).get(1, 1, 1);
-            assert!((c.abs() - opt.tau()).abs() < 1e-12, "{comp}: |c| = {}", c.abs());
+            assert!(
+                (c.abs() - opt.tau()).abs() < 1e-12,
+                "{comp}: |c| = {}",
+                c.abs()
+            );
         }
     }
 
@@ -193,8 +203,12 @@ mod tests {
         let mut scene = Scene::vacuum();
         let ag = scene.add_material(Material::silver());
         let asi = scene.add_material(Material::a_si());
-        scene.layers.push(crate::geometry::Layer::flat(ag, 0.0, 3.0));
-        scene.layers.push(crate::geometry::Layer::flat(asi, 3.0, 6.0));
+        scene
+            .layers
+            .push(crate::geometry::Layer::flat(ag, 0.0, 3.0));
+        scene
+            .layers
+            .push(crate::geometry::Layer::flat(asi, 3.0, 6.0));
         let mut state = State::zeros(GridDims::new(4, 4, 8));
         let mut opt = CoeffOptions::new(12.0, 550.0);
         opt.pml = Some(PmlSpec::new(2));
@@ -217,7 +231,11 @@ mod tests {
         opt.force_forward_iteration = true;
         build_coefficients(&mut state, &scene, &opt);
         let t = state.coeffs.t(Component::Exy).get(1, 1, 1);
-        assert!(t.abs() > 1.0, "forward |t| = {} must exceed 1 on silver", t.abs());
+        assert!(
+            t.abs() > 1.0,
+            "forward |t| = {} must exceed 1 on silver",
+            t.abs()
+        );
     }
 
     #[test]
@@ -239,11 +257,18 @@ mod tests {
     #[test]
     fn source_sheet_is_installed_at_the_plane() {
         let (mut state, scene, mut opt) = vacuum_state(6);
-        opt.source = Some(SourceSpec { z_plane: 3, amplitude: Cplx::real(2.0), polarization: Axis::X });
+        opt.source = Some(SourceSpec {
+            z_plane: 3,
+            amplitude: Cplx::real(2.0),
+            polarization: Axis::X,
+        });
         build_coefficients(&mut state, &scene, &opt);
         let src = state.coeffs.src(em_field::SourceArray::SrcEx);
         assert!(src.get(2, 2, 3).abs() > 0.0);
         assert_eq!(src.get(2, 2, 2), Cplx::ZERO);
-        assert_eq!(state.coeffs.src(em_field::SourceArray::SrcEy).get(2, 2, 3), Cplx::ZERO);
+        assert_eq!(
+            state.coeffs.src(em_field::SourceArray::SrcEy).get(2, 2, 3),
+            Cplx::ZERO
+        );
     }
 }

@@ -69,8 +69,16 @@ mod tests {
     #[test]
     fn sphere_fraction_scales_with_coverage() {
         let mut s = Scene::vacuum();
-        let m = s.add_material(Material::Index { name: "hi", n: 3.0, k: 0.0 });
-        s.spheres.push(Sphere { center: [0.5, 0.5, 0.5], radius: 10.0, material: m });
+        let m = s.add_material(Material::Index {
+            name: "hi",
+            n: 3.0,
+            k: 0.0,
+        });
+        s.spheres.push(Sphere {
+            center: [0.5, 0.5, 0.5],
+            radius: 10.0,
+            material: m,
+        });
         // Cell fully inside the big sphere.
         let (re, _) = average_eps(&s, 550.0, 0, 0, 0);
         assert!((re - 9.0).abs() < 1e-12);

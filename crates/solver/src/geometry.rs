@@ -24,7 +24,10 @@ impl Texture {
         }
         let p = std::f64::consts::TAU / self.period;
         let ph = |i: u64| {
-            let mut h = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+            let mut h = self
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i);
             h ^= h >> 33;
             h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
             (h >> 11) as f64 / (1u64 << 53) as f64 * std::f64::consts::TAU
@@ -52,7 +55,13 @@ pub struct Layer {
 
 impl Layer {
     pub fn flat(material: MaterialId, z_lo: f64, z_hi: f64) -> Layer {
-        Layer { material, z_lo, z_hi, top_texture: None, bottom_texture: None }
+        Layer {
+            material,
+            z_lo,
+            z_hi,
+            top_texture: None,
+            bottom_texture: None,
+        }
     }
 
     fn top_at(&self, x: f64, y: f64) -> f64 {
@@ -220,7 +229,11 @@ mod tests {
 
     #[test]
     fn texture_is_deterministic_and_bounded() {
-        let t = Texture { amplitude: 2.0, period: 10.0, seed: 5 };
+        let t = Texture {
+            amplitude: 2.0,
+            period: 10.0,
+            seed: 5,
+        };
         let a = t.height(3.2, 4.7);
         let b = t.height(3.2, 4.7);
         assert_eq!(a, b);
@@ -228,17 +241,28 @@ mod tests {
             let h = t.height(i as f64 * 0.7, i as f64 * 1.3);
             assert!(h.abs() <= 2.0, "height {h} exceeds amplitude");
         }
-        let flat = Texture { amplitude: 0.0, period: 10.0, seed: 5 };
+        let flat = Texture {
+            amplitude: 0.0,
+            period: 10.0,
+            seed: 5,
+        };
         assert_eq!(flat.height(1.0, 2.0), 0.0);
     }
 
     #[test]
     fn different_seeds_decorrelate() {
-        let a = Texture { amplitude: 1.0, period: 8.0, seed: 1 };
-        let b = Texture { amplitude: 1.0, period: 8.0, seed: 2 };
-        let same = (0..20).filter(|&i| {
-            (a.height(i as f64, 0.0) - b.height(i as f64, 0.0)).abs() < 1e-12
-        });
+        let a = Texture {
+            amplitude: 1.0,
+            period: 8.0,
+            seed: 1,
+        };
+        let b = Texture {
+            amplitude: 1.0,
+            period: 8.0,
+            seed: 2,
+        };
+        let same =
+            (0..20).filter(|&i| (a.height(i as f64, 0.0) - b.height(i as f64, 0.0)).abs() < 1e-12);
         assert!(same.count() < 3);
     }
 
@@ -258,7 +282,11 @@ mod tests {
         let m1 = s.add_material(Material::glass());
         let m2 = s.add_material(Material::silica());
         s.layers.push(Layer::flat(m1, 0.0, 10.0));
-        s.spheres.push(Sphere { center: [5.0, 5.0, 5.0], radius: 2.0, material: m2 });
+        s.spheres.push(Sphere {
+            center: [5.0, 5.0, 5.0],
+            radius: 2.0,
+            material: m2,
+        });
         assert_eq!(s.material_at(5.0, 5.0, 5.0), m2);
         assert_eq!(s.material_at(5.0, 5.0, 8.5), m1);
     }
@@ -271,7 +299,10 @@ mod tests {
             assert!(names.contains(&want), "missing {want}");
         }
         assert!(!s.spheres.is_empty(), "nanoparticles present");
-        assert!(s.layers.iter().any(|l| l.top_texture.is_some()), "textured interfaces");
+        assert!(
+            s.layers.iter().any(|l| l.top_texture.is_some()),
+            "textured interfaces"
+        );
         // Probe: silver near the bottom, vacuum on top.
         let ag_id = s.material_at(12.0, 12.0, 1.0);
         assert_eq!(s.material(ag_id).name(), "Ag");
@@ -307,11 +338,7 @@ mod tests {
                 for zstep in 4..44 {
                     let z = zstep as f64;
                     let id = s.material_at(i as f64 + 0.5, j as f64 + 0.5, z);
-                    assert_ne!(
-                        s.material(id).name(),
-                        "vacuum",
-                        "gap at ({i},{j},{z})"
-                    );
+                    assert_ne!(s.material(id).name(), "vacuum", "gap at ({i},{j},{z})");
                 }
             }
         }

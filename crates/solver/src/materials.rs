@@ -22,11 +22,19 @@ pub enum Material {
     Index { name: &'static str, n: f64, k: f64 },
     /// Tabulated `(wavelength_nm, n, k)`, linearly interpolated and
     /// clamped at the ends. Rows must be sorted by wavelength.
-    Table { name: &'static str, rows: &'static [(f64, f64, f64)] },
+    Table {
+        name: &'static str,
+        rows: &'static [(f64, f64, f64)],
+    },
     /// Drude metal: `eps(w) = eps_inf - wp^2 / (w^2 + i g w)` with the
     /// frequencies expressed in nm-equivalent vacuum wavelengths
     /// (`w = 2 pi c / lambda`, c in nm units).
-    Drude { name: &'static str, eps_inf: f64, lambda_p_nm: f64, gamma_over_w_p: f64 },
+    Drude {
+        name: &'static str,
+        eps_inf: f64,
+        lambda_p_nm: f64,
+        gamma_over_w_p: f64,
+    },
 }
 
 impl Material {
@@ -47,7 +55,12 @@ impl Material {
                 let (n, k) = interp(rows, lambda_nm);
                 nk_to_eps(n, k)
             }
-            Material::Drude { eps_inf, lambda_p_nm, gamma_over_w_p, .. } => {
+            Material::Drude {
+                eps_inf,
+                lambda_p_nm,
+                gamma_over_w_p,
+                ..
+            } => {
                 // Work in units of the plasma frequency.
                 let w = lambda_p_nm / lambda_nm; // omega / omega_p
                 let g = gamma_over_w_p;
@@ -63,21 +76,37 @@ impl Material {
     // --- presets -----------------------------------------------------
 
     pub fn vacuum() -> Material {
-        Material::Index { name: "vacuum", n: 1.0, k: 0.0 }
+        Material::Index {
+            name: "vacuum",
+            n: 1.0,
+            k: 0.0,
+        }
     }
 
     pub fn glass() -> Material {
-        Material::Index { name: "glass", n: 1.5, k: 0.0 }
+        Material::Index {
+            name: "glass",
+            n: 1.5,
+            k: 0.0,
+        }
     }
 
     /// SiO2 nanoparticle material.
     pub fn silica() -> Material {
-        Material::Index { name: "SiO2", n: 1.45, k: 0.0 }
+        Material::Index {
+            name: "SiO2",
+            n: 1.45,
+            k: 0.0,
+        }
     }
 
     /// Transparent conductive oxide (ZnO:Al-like).
     pub fn tco() -> Material {
-        Material::Index { name: "TCO", n: 1.9, k: 0.02 }
+        Material::Index {
+            name: "TCO",
+            n: 1.9,
+            k: 0.02,
+        }
     }
 
     /// Hydrogenated amorphous silicon absorber (top junction of Fig. 1).
@@ -186,17 +215,18 @@ mod tests {
         let (e_lo, _) = m.eps(300.0);
         assert!((e_lo - (n1 * n1 - 2.1f64.powi(2))).abs() < 1e-9);
         // Midpoint between 500 and 600 rows.
-        let (n_mid, k_mid) = interp(
-            &[(500.0, 4.8, 0.85), (600.0, 4.4, 0.25)],
-            550.0,
-        );
+        let (n_mid, k_mid) = interp(&[(500.0, 4.8, 0.85), (600.0, 4.4, 0.25)], 550.0);
         assert!((n_mid - 4.6).abs() < 1e-12);
         assert!((k_mid - 0.55).abs() < 1e-12);
     }
 
     #[test]
     fn dielectric_eps_matches_nk_identity() {
-        let m = Material::Index { name: "test", n: 2.0, k: 0.5 };
+        let m = Material::Index {
+            name: "test",
+            n: 2.0,
+            k: 0.5,
+        };
         let (re, im) = m.eps(500.0);
         assert_eq!(re, 4.0 - 0.25);
         assert_eq!(im, 2.0);

@@ -22,7 +22,11 @@ impl PmlSpec {
     /// `sigma_max ~ 0.8 * (order + 1)` for unit impedance and spacing.
     pub fn new(thickness: usize) -> Self {
         let order = 3.0;
-        PmlSpec { thickness, order, sigma_max: 0.8 * (order + 1.0) }
+        PmlSpec {
+            thickness,
+            order,
+            sigma_max: 0.8 * (order + 1.0),
+        }
     }
 
     /// Conductivity at cell `z` of an `nz`-cell grid (0 outside the
@@ -67,7 +71,10 @@ mod tests {
             );
         }
         for z in 57..64 {
-            assert!(p.sigma_z(z, nz) > p.sigma_z(z - 1, nz), "high side grades up");
+            assert!(
+                p.sigma_z(z, nz) > p.sigma_z(z - 1, nz),
+                "high side grades up"
+            );
         }
     }
 
@@ -92,7 +99,11 @@ mod tests {
 
     #[test]
     fn zero_thickness_is_no_pml() {
-        let p = PmlSpec { thickness: 0, order: 3.0, sigma_max: 1.0 };
+        let p = PmlSpec {
+            thickness: 0,
+            order: 3.0,
+            sigma_max: 1.0,
+        };
         for z in 0..16 {
             assert_eq!(p.sigma_z(z, 16), 0.0);
         }

@@ -50,7 +50,15 @@ pub struct SolverConfig {
 
 impl SolverConfig {
     pub fn new(dims: GridDims, scene: Scene, lambda_cells: f64, lambda_nm: f64) -> Self {
-        SolverConfig { dims, scene, lambda_cells, lambda_nm, cfl: 0.95, pml: None, source: None }
+        SolverConfig {
+            dims,
+            scene,
+            lambda_cells,
+            lambda_nm,
+            cfl: 0.95,
+            pml: None,
+            source: None,
+        }
     }
 }
 
@@ -229,7 +237,8 @@ mod tests {
         // pattern on |E|(z); with working PML the mid-region amplitude
         // ripple stays small.
         let mut s = ThiimSolver::new(vacuum_wave_config(64, 12.0));
-        s.run_to_convergence(&Engine::NaivePeriodicXY, 5e-3, 60).unwrap();
+        s.run_to_convergence(&Engine::NaivePeriodicXY, 5e-3, 60)
+            .unwrap();
         let prof = analysis::intensity_profile_z(s.fields());
         let window = &prof[12..26]; // below the source, above the PML
         let max = window.iter().cloned().fold(0.0, f64::max);
@@ -245,11 +254,18 @@ mod tests {
     #[test]
     fn energy_flows_away_from_the_source() {
         let mut s = ThiimSolver::new(vacuum_wave_config(64, 12.0));
-        s.run_to_convergence(&Engine::NaivePeriodicXY, 5e-3, 60).unwrap();
+        s.run_to_convergence(&Engine::NaivePeriodicXY, 5e-3, 60)
+            .unwrap();
         let below = analysis::poynting_z(s.fields(), 16);
         let above = analysis::poynting_z(s.fields(), 48);
-        assert!(below < 0.0, "below the source flux must point to -z, got {below}");
-        assert!(above > 0.0, "above the source flux must point to +z, got {above}");
+        assert!(
+            below < 0.0,
+            "below the source flux must point to -z, got {below}"
+        );
+        assert!(
+            above > 0.0,
+            "above the source flux must point to +z, got {above}"
+        );
     }
 
     #[test]
@@ -257,7 +273,9 @@ mod tests {
         let dims = GridDims::new(3, 3, 24);
         let mut scene = Scene::vacuum();
         let ag = scene.add_material(Material::silver());
-        scene.layers.push(crate::geometry::Layer::flat(ag, 0.0, 8.0));
+        scene
+            .layers
+            .push(crate::geometry::Layer::flat(ag, 0.0, 8.0));
         let mut cfg = SolverConfig::new(dims, scene, 10.0, 550.0);
         cfg.pml = Some(PmlSpec::new(4));
         cfg.source = Some(SourceSpec::x_polarized(16, 1.0));
@@ -267,7 +285,10 @@ mod tests {
         assert!(stable.back_iteration_cells > 0);
         stable.step_n(&Engine::NaivePeriodicXY, 200).unwrap();
         let e_stable = stable.state.fields.energy();
-        assert!(e_stable.is_finite() && e_stable < 1e8, "stable energy {e_stable}");
+        assert!(
+            e_stable.is_finite() && e_stable < 1e8,
+            "stable energy {e_stable}"
+        );
 
         // Forced forward iteration must blow up.
         let mut state = State::zeros(dims);
@@ -294,7 +315,9 @@ mod tests {
         let dims = GridDims::new(4, 8, 16);
         let mut scene = Scene::vacuum();
         let g = scene.add_material(Material::glass());
-        scene.layers.push(crate::geometry::Layer::flat(g, 4.0, 10.0));
+        scene
+            .layers
+            .push(crate::geometry::Layer::flat(g, 4.0, 10.0));
         let mut cfg = SolverConfig::new(dims, scene, 8.0, 550.0);
         cfg.pml = Some(PmlSpec::new(3));
         cfg.source = Some(SourceSpec::x_polarized(12, 1.0));
@@ -305,7 +328,12 @@ mod tests {
         a.state.fields.fill_deterministic(99);
         b.state.fields.fill_deterministic(99);
         a.step_n(&Engine::Naive, 6).unwrap();
-        let mwd = MwdConfig { dw: 4, bz: 2, tg: mwd_core::TgShape { x: 1, z: 1, c: 3 }, groups: 2 };
+        let mwd = MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: mwd_core::TgShape { x: 1, z: 1, c: 3 },
+            groups: 2,
+        };
         b.step_n(&Engine::Mwd(mwd), 6).unwrap();
         assert!(
             a.fields().bit_eq(b.fields()),
@@ -322,11 +350,14 @@ mod tests {
         cfg.pml = Some(PmlSpec::new(6));
         cfg.source = Some(SourceSpec::x_polarized(42, 1.0));
         let mut s = ThiimSolver::new(cfg);
-        assert!(s.back_iteration_cells > 0, "the Ag back contact needs Eq. 5");
-        s.step_n(&Engine::NaivePeriodicXY, 6 * s.steps_per_period()).unwrap();
+        assert!(
+            s.back_iteration_cells > 0,
+            "the Ag back contact needs Eq. 5"
+        );
+        s.step_n(&Engine::NaivePeriodicXY, 6 * s.steps_per_period())
+            .unwrap();
         // Absorption in the silicon junctions (z in [0.20, 0.62)*48).
-        let junctions =
-            analysis::absorption_in_slab(s.fields(), &scene, 500.0, s.omega, 10, 30);
+        let junctions = analysis::absorption_in_slab(s.fields(), &scene, 500.0, s.omega, 10, 30);
         assert!(junctions > 0.0, "junction absorption must be positive");
         // Vacuum region above the glass absorbs nothing.
         let vacuum_region =
@@ -344,7 +375,12 @@ mod tests {
         cfg.pml = Some(PmlSpec::new(6));
         cfg.source = Some(SourceSpec::x_polarized(24, 1.0));
         let mut s = ThiimSolver::new(cfg);
-        let mwd = MwdConfig { dw: 4, bz: 2, tg: mwd_core::TgShape { x: 1, z: 1, c: 2 }, groups: 2 };
+        let mwd = MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: mwd_core::TgShape { x: 1, z: 1, c: 2 },
+            groups: 2,
+        };
         s.step_n(&Engine::MwdPeriodicX(mwd), 40).unwrap();
         assert!(s.state.fields.energy() > 0.0);
         for comp in em_field::Component::ALL {

@@ -15,7 +15,11 @@ pub struct SourceSpec {
 
 impl SourceSpec {
     pub fn x_polarized(z_plane: usize, amplitude: f64) -> Self {
-        SourceSpec { z_plane, amplitude: Cplx::real(amplitude), polarization: Axis::X }
+        SourceSpec {
+            z_plane,
+            amplitude: Cplx::real(amplitude),
+            polarization: Axis::X,
+        }
     }
 }
 

@@ -1,0 +1,309 @@
+//! Minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! exactly the surface its property tests use: the [`proptest!`] macro with
+//! an optional `#![proptest_config(..)]` inner attribute, `in`-range
+//! strategies over the primitive integer and float types, `prop_assert!` /
+//! `prop_assert_eq!`, and [`TestCaseError`]. Sampling is driven by a
+//! splitmix64 generator seeded deterministically from the test name, so
+//! every run explores the same cases and failures are reproducible. There
+//! is no shrinking: a failing case panics with the drawn values instead.
+//!
+//! To build against the real crate, point the `proptest` entry of
+//! `[workspace.dependencies]` back at the registry; the test sources need
+//! no edits.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Mirror of `proptest::test_runner::Config` — only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Mirror of `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    pub fn reject<T: fmt::Display>(reason: T) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 stream used to draw case inputs.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The subset of `proptest::strategy::Strategy` the tests rely on: a value
+/// source sampled once per case. Implemented for primitive ranges.
+pub trait Strategy {
+    type Value: fmt::Debug;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add((rng.next_u64() as u128) % width) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if width == 0 {
+                    rng.next_u64() as $t
+                } else {
+                    (lo as u128).wrapping_add((rng.next_u64() as u128) % width) as $t
+                }
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f64, f32);
+
+/// A strategy that always yields the same value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Drives one `proptest!`-generated test: draws `cfg.cases` input tuples
+/// from a name-seeded stream and panics on the first failing case.
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut seed: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    let mut rng = TestRng::seeded(seed);
+    for i in 0..cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest `{name}` failed at case {i}/{}: {reason}",
+                    cfg.cases
+                )
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__prop_l, __prop_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__prop_l == *__prop_r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), __prop_l, __prop_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__prop_l, __prop_r) = (&$left, &$right);
+        $crate::prop_assert!(*__prop_l == *__prop_r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__prop_l, __prop_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__prop_l != *__prop_r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __prop_l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..17,
+            b in 0u64..u64::MAX,
+            x in -2.0f64..2.0,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < u64::MAX);
+            prop_assert!((-2.0..2.0).contains(&x), "x out of range: {x}");
+        }
+
+        #[test]
+        fn question_mark_propagates(n in 1usize..10) {
+            let v: Result<usize, String> = Ok(n);
+            let n2 = v.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(n, n2);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = super::TestRng::seeded(42);
+        let mut b = super::TestRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_reason() {
+        super::run_cases(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -18,12 +18,19 @@ fn main() {
     let threads = 18;
     let space = SearchSpace::default_for(threads);
     let n_total = space.candidates(dims, threads).len();
-    let mut ev = ModelEvaluator { machine: hsw, dims, threads };
+    let mut ev = ModelEvaluator {
+        machine: hsw,
+        dims,
+        threads,
+    };
     let result = autotune(&space, dims, &hsw, threads, CacheWindow::default(), &mut ev)
         .expect("tuning succeeds");
 
     println!("=== simulated Haswell (18 threads, 480^3) ===");
-    println!("candidates: {n_total} total, {} pruned by the Eq. 11 cache model", result.pruned);
+    println!(
+        "candidates: {n_total} total, {} pruned by the Eq. 11 cache model",
+        result.pruned
+    );
     let b = result.best;
     println!(
         "best: Dw={} BZ={} TG={}x{}x{} ({} groups) -> {:.1} MLUP/s (model)",
@@ -45,15 +52,27 @@ fn main() {
     }
 
     // --- native wall-clock tuning on this machine ---------------------
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let dims = GridDims::cubic(32);
     println!("\n=== native probes ({host_threads} threads, {dims}) ===");
     let mut space = SearchSpace::default_for(host_threads);
     space.dw = vec![4, 8];
     space.bz = vec![1, 2, 4];
     let mut ev = NativeEvaluator::new(dims, 2);
-    let result = autotune(&space, dims, &hsw, host_threads, CacheWindow { lo_frac: 0.0, hi_frac: 1e9 }, &mut ev)
-        .expect("native tuning succeeds");
+    let result = autotune(
+        &space,
+        dims,
+        &hsw,
+        host_threads,
+        CacheWindow {
+            lo_frac: 0.0,
+            hi_frac: 1e9,
+        },
+        &mut ev,
+    )
+    .expect("native tuning succeeds");
     let b = result.best;
     println!(
         "best: Dw={} BZ={} TG={}x{}x{} ({} groups) -> {:.1} MLUP/s measured",

@@ -14,7 +14,10 @@ fn main() {
     let dims = GridDims::cubic(48);
     let steps = 8;
     println!("THIIM stencil on a {dims} grid, {steps} time steps");
-    println!("state: 40 double-complex arrays = {} MB\n", dims.state_bytes() / 1_000_000);
+    println!(
+        "state: 40 double-complex arrays = {} MB\n",
+        dims.state_bytes() / 1_000_000
+    );
 
     // Seed one problem, run it through three engines.
     let mut reference = State::zeros(dims);
@@ -33,7 +36,12 @@ fn main() {
     }
     let t_spatial = t0.elapsed();
 
-    let cfg = MwdConfig { dw: 8, bz: 4, tg: TgShape { x: 1, z: 2, c: 1 }, groups: 1 };
+    let cfg = MwdConfig {
+        dw: 8,
+        bz: 4,
+        tg: TgShape { x: 1, z: 2, c: 1 },
+        groups: 1,
+    };
     let t0 = std::time::Instant::now();
     let stats = run_mwd(&mut mwd, &cfg, steps).expect("valid MWD config");
     let t_mwd = t0.elapsed();
@@ -45,8 +53,14 @@ fn main() {
         cfg.dw, cfg.bz, cfg.tg.x, cfg.tg.z, cfg.tg.c, stats.tiles, stats.barriers
     );
 
-    assert!(reference.fields.bit_eq(&spatial.fields), "spatial must be bit-identical");
-    assert!(reference.fields.bit_eq(&mwd.fields), "MWD must be bit-identical");
+    assert!(
+        reference.fields.bit_eq(&spatial.fields),
+        "spatial must be bit-identical"
+    );
+    assert!(
+        reference.fields.bit_eq(&mwd.fields),
+        "MWD must be bit-identical"
+    );
     println!("\nall three engines produced BIT-IDENTICAL fields");
 
     // What the paper is really about: memory traffic. Replay the same

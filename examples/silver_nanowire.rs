@@ -7,7 +7,9 @@
 
 use thiim_mwd::field::{GridDims, State};
 use thiim_mwd::solver::coeffs::{build_coefficients, CoeffOptions};
-use thiim_mwd::solver::{Engine, Material, PmlSpec, Scene, SolverConfig, SourceSpec, Sphere, ThiimSolver};
+use thiim_mwd::solver::{
+    Engine, Material, PmlSpec, Scene, SolverConfig, SourceSpec, Sphere, ThiimSolver,
+};
 
 fn make_scene(n: usize) -> Scene {
     let mut scene = Scene::vacuum();

@@ -17,7 +17,10 @@ fn main() {
 
     println!("tandem thin-film solar cell on a {dims} grid");
     println!("layers (bottom-up): Ag | TCO | uc-Si:H | a-Si:H | TCO | glass | vacuum");
-    println!("{} SiO2 nanoparticles at the back reflector\n", scene.spheres.len());
+    println!(
+        "{} SiO2 nanoparticles at the back reflector\n",
+        scene.spheres.len()
+    );
 
     // Sweep three vacuum wavelengths across the visible spectrum. The
     // production workflow runs 80-160 of these per cell design (paper
@@ -35,20 +38,34 @@ fn main() {
         // Absorption split by region (cell fractions of the stack).
         let z = |f: f64| (f * nz as f64) as usize;
         let in_asi = analysis::absorption_in_slab(
-            solver.fields(), &scene, lambda_nm, solver.omega, z(0.48), z(0.62));
+            solver.fields(),
+            &scene,
+            lambda_nm,
+            solver.omega,
+            z(0.48),
+            z(0.62),
+        );
         let in_ucsi = analysis::absorption_in_slab(
-            solver.fields(), &scene, lambda_nm, solver.omega, z(0.20), z(0.48));
+            solver.fields(),
+            &scene,
+            lambda_nm,
+            solver.omega,
+            z(0.20),
+            z(0.48),
+        );
         let in_ag = analysis::absorption_in_slab(
-            solver.fields(), &scene, lambda_nm, solver.omega, 0, z(0.12));
+            solver.fields(),
+            &scene,
+            lambda_nm,
+            solver.omega,
+            0,
+            z(0.12),
+        );
         let total = in_asi + in_ucsi + in_ag;
 
         println!(
             "lambda {:>3.0} nm | {} periods ({} steps, converged: {}) | back-iter cells: {}",
-            lambda_nm,
-            report.periods,
-            report.steps,
-            report.converged,
-            solver.back_iteration_cells
+            lambda_nm, report.periods, report.steps, report.converged, solver.back_iteration_cells
         );
         if total > 0.0 {
             println!(

@@ -15,7 +15,9 @@ fn mlups(dims: GridDims, steps: usize, secs: f64) -> f64 {
 fn main() {
     let dims = GridDims::cubic(64);
     let steps = 4;
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     println!("native thread scaling, {dims} grid, {steps} steps/measurement");
     println!("host parallelism: {host}\n");
 
@@ -23,7 +25,10 @@ fn main() {
     proto.fields.fill_deterministic(7);
     proto.coeffs.fill_deterministic(8);
 
-    println!("{:>8} {:>14} {:>14} {:>14}", "threads", "spatial", "1WD", "MWD(shared)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "threads", "spatial", "1WD", "MWD(shared)"
+    );
     for threads in 1..=host.min(4) {
         // Spatial baseline.
         let mut s = proto.clone();
@@ -48,7 +53,12 @@ fn main() {
             _ => TgShape { x: 2, z: 1, c: 2 },
         };
         let mut s = proto.clone();
-        let cfg = MwdConfig { dw: 8, bz: 2, tg, groups: 1 };
+        let cfg = MwdConfig {
+            dw: 8,
+            bz: 2,
+            tg,
+            groups: 1,
+        };
         let t0 = std::time::Instant::now();
         run_mwd(&mut s, &cfg, steps).expect("MWD runs");
         let mw = mlups(dims, steps, t0.elapsed().as_secs_f64());

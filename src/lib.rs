@@ -40,7 +40,7 @@
 pub use autotune as tuner;
 pub use em_field as field;
 pub use em_kernels as kernels;
+pub use em_solver as solver;
 pub use mem_sim as memsim;
 pub use mwd_core as mwd;
 pub use perf_models as models;
-pub use thiim_solver as solver;

@@ -17,9 +17,11 @@ fn natively_tuned_configuration_runs_and_matches_naive() {
     space.bz = vec![1, 2];
     let hsw = MachineSpec::HASWELL_E5_2699_V3;
     let mut ev = NativeEvaluator::new(dims, 2);
-    let window = CacheWindow { lo_frac: 0.0, hi_frac: f64::INFINITY };
-    let result =
-        autotune(&space, dims, &hsw, threads, window, &mut ev).expect("tuning succeeds");
+    let window = CacheWindow {
+        lo_frac: 0.0,
+        hi_frac: f64::INFINITY,
+    };
+    let result = autotune(&space, dims, &hsw, threads, window, &mut ev).expect("tuning succeeds");
     assert!(result.best_score > 0.0);
 
     // The winner must execute correctly.

@@ -25,9 +25,24 @@ fn all_engines_agree_bitwise_on_a_nontrivial_problem() {
     for cfg in [
         MwdConfig::one_wd(4, 1, 1),
         MwdConfig::one_wd(4, 3, 3),
-        MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 1, c: 3 }, groups: 1 },
-        MwdConfig { dw: 8, bz: 4, tg: TgShape { x: 1, z: 2, c: 2 }, groups: 2 },
-        MwdConfig { dw: 6, bz: 5, tg: TgShape { x: 2, z: 5, c: 6 }, groups: 1 },
+        MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: TgShape { x: 2, z: 1, c: 3 },
+            groups: 1,
+        },
+        MwdConfig {
+            dw: 8,
+            bz: 4,
+            tg: TgShape { x: 1, z: 2, c: 2 },
+            groups: 2,
+        },
+        MwdConfig {
+            dw: 6,
+            bz: 5,
+            tg: TgShape { x: 2, z: 5, c: 6 },
+            groups: 1,
+        },
     ] {
         configs.push((format!("{cfg:?}"), reference.clone()));
         let (_, state) = configs.last_mut().unwrap();
@@ -46,13 +61,132 @@ fn all_engines_agree_bitwise_on_a_nontrivial_problem() {
     }
 }
 
+/// Regression matrix pinning the paper's bit-identical guarantee on the
+/// `MwdConfig` corner cases most likely to be disturbed by an executor
+/// refactor: the minimum diamond width, a diamond wider than the whole
+/// domain (fully clipped tiles), a degenerate BZ=1 wavefront, a single
+/// one-thread group, a lone multi-threaded group, every component-parallel
+/// width (1/2/3/6-way), and a many-group kitchen-sink shape. Each entry
+/// must reproduce `run_naive` exactly, bit for bit.
+#[test]
+fn mwd_corner_case_matrix_is_bit_identical_to_naive() {
+    let dims = GridDims::new(6, 10, 7);
+    let steps = 5;
+    let seed = 2024;
+    let mut reference = filled(dims, seed);
+    run_naive(&mut reference, steps);
+
+    // Diamonds wider than 2*ny are clipped down to the domain everywhere.
+    let dw_max = 2 * dims.ny.next_power_of_two();
+    let one = TgShape::SINGLE;
+    let matrix: Vec<(&str, MwdConfig)> = vec![
+        (
+            "dw_min",
+            MwdConfig {
+                dw: 2,
+                bz: 2,
+                tg: one,
+                groups: 2,
+            },
+        ),
+        (
+            "dw_max_clipped",
+            MwdConfig {
+                dw: dw_max,
+                bz: 2,
+                tg: one,
+                groups: 2,
+            },
+        ),
+        (
+            "bz_1",
+            MwdConfig {
+                dw: 4,
+                bz: 1,
+                tg: TgShape { x: 2, z: 1, c: 1 },
+                groups: 2,
+            },
+        ),
+        ("single_thread_single_group", MwdConfig::one_wd(4, 2, 1)),
+        (
+            "single_group_multithread",
+            MwdConfig {
+                dw: 4,
+                bz: 3,
+                tg: TgShape { x: 2, z: 3, c: 2 },
+                groups: 1,
+            },
+        ),
+        (
+            "comp_parallel_1",
+            MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 1, z: 1, c: 1 },
+                groups: 2,
+            },
+        ),
+        (
+            "comp_parallel_2",
+            MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 1, z: 1, c: 2 },
+                groups: 2,
+            },
+        ),
+        (
+            "comp_parallel_3",
+            MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 1, z: 1, c: 3 },
+                groups: 2,
+            },
+        ),
+        (
+            "comp_parallel_6",
+            MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 1, z: 1, c: 6 },
+                groups: 2,
+            },
+        ),
+        (
+            "kitchen_sink",
+            MwdConfig {
+                dw: 8,
+                bz: 4,
+                tg: TgShape { x: 2, z: 2, c: 3 },
+                groups: 2,
+            },
+        ),
+    ];
+
+    for (name, cfg) in &matrix {
+        cfg.validate(dims)
+            .unwrap_or_else(|e| panic!("{name}: config invalid: {e}"));
+        let mut tiled = filled(dims, seed);
+        run_mwd(&mut tiled, cfg, steps).unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+        if let Some(m) = norms::first_mismatch(&tiled.fields, &reference.fields) {
+            panic!("{name} ({cfg:?}): first mismatch vs naive at {m:?}");
+        }
+    }
+}
+
 #[test]
 fn mwd_intermediate_time_blocks_compose() {
     // Temporal blocking over nt must equal blocking over nt1 + nt2.
     let dims = GridDims::new(6, 9, 8);
     let mut once = filled(dims, 55);
     let mut split = once.clone();
-    let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 2 };
+    let cfg = MwdConfig {
+        dw: 4,
+        bz: 2,
+        tg: TgShape { x: 1, z: 1, c: 2 },
+        groups: 2,
+    };
     run_mwd(&mut once, &cfg, 9).unwrap();
     run_mwd(&mut split, &cfg, 4).unwrap();
     run_mwd(&mut split, &cfg, 5).unwrap();
@@ -63,7 +197,12 @@ fn mwd_intermediate_time_blocks_compose() {
 fn repeated_runs_are_deterministic_across_schedules() {
     // Dynamic scheduling must never change the bits, run after run.
     let dims = GridDims::new(8, 12, 8);
-    let cfg = MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 2, z: 2, c: 1 }, groups: 2 };
+    let cfg = MwdConfig {
+        dw: 4,
+        bz: 2,
+        tg: TgShape { x: 2, z: 2, c: 1 },
+        groups: 2,
+    };
     let proto = filled(dims, 77);
     let mut first = proto.clone();
     run_mwd(&mut first, &cfg, 6).unwrap();

@@ -39,13 +39,25 @@ fn fig6_reproduces_the_thread_scaling_shapes() {
     let (p1, p6, p18) = (at(1), at(6), at(18));
 
     // Spatial blocking saturates the memory interface by ~6 threads.
-    assert!(p6.spatial.memory_bound, "spatial must be memory-bound at 6 threads");
+    assert!(
+        p6.spatial.memory_bound,
+        "spatial must be memory-bound at 6 threads"
+    );
     assert!((p18.spatial.mlups - p6.spatial.mlups).abs() < 0.15 * p6.spatial.mlups);
 
     // MWD keeps scaling to the full chip and wins clearly.
-    assert!(p18.mwd.mlups > 2.2 * p18.spatial.mlups, "MWD speedup too small");
-    assert!(p18.mwd.mlups > p18.one_wd.mlups, "sharing must beat private blocks");
-    assert!(p18.mwd.mlups > 2.0 * p6.mwd.mlups * 0.9, "MWD must keep scaling");
+    assert!(
+        p18.mwd.mlups > 2.2 * p18.spatial.mlups,
+        "MWD speedup too small"
+    );
+    assert!(
+        p18.mwd.mlups > p18.one_wd.mlups,
+        "sharing must beat private blocks"
+    );
+    assert!(
+        p18.mwd.mlups > 2.0 * p6.mwd.mlups * 0.9,
+        "MWD must keep scaling"
+    );
 
     // MWD stays decoupled: bandwidth use below the saturation line.
     assert!(
@@ -55,15 +67,25 @@ fn fig6_reproduces_the_thread_scaling_shapes() {
     );
 
     // Tuned diamonds: 1WD shrinks under cache pressure, MWD stays large.
-    assert!(p18.dw_1wd < p1.dw_1wd, "1WD diamond must shrink with threads");
-    assert!(p18.dw_mwd >= p18.dw_1wd, "MWD affords at least 1WD's diamond");
+    assert!(
+        p18.dw_1wd < p1.dw_1wd,
+        "1WD diamond must shrink with threads"
+    );
+    assert!(
+        p18.dw_mwd >= p18.dw_1wd,
+        "MWD affords at least 1WD's diamond"
+    );
 }
 
 #[test]
 fn fig7_reproduces_grid_scaling_shapes() {
     let pts = fig7(Scale::Tiny);
     for p in &pts {
-        assert!(p.mwd.mlups >= p.one_wd.mlups * 0.95, "MWD >= 1WD at N={}", p.n);
+        assert!(
+            p.mwd.mlups >= p.one_wd.mlups * 0.95,
+            "MWD >= 1WD at N={}",
+            p.n
+        );
         assert!(p.mwd.mlups > p.spatial.mlups, "MWD > spatial at N={}", p.n);
     }
     // At the largest grid the speedup lands in (or above) the 3x-4x band
@@ -80,7 +102,11 @@ fn fig8_larger_thread_groups_cut_traffic() {
     let pts = fig8(Scale::Tiny);
     let ns: std::collections::BTreeSet<usize> = pts.iter().map(|p| p.n).collect();
     for n in ns {
-        let at = |tg: usize| pts.iter().find(|p| p.n == n && p.tg_size == tg).expect("point");
+        let at = |tg: usize| {
+            pts.iter()
+                .find(|p| p.n == n && p.tg_size == tg)
+                .expect("point")
+        };
         let (wd1, wd18) = (at(1), at(18));
         assert!(
             wd18.result.code_balance <= wd1.result.code_balance,

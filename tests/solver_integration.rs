@@ -20,18 +20,36 @@ fn every_engine_advances_the_same_physics_bitwise() {
     let dims = GridDims::new(6, 8, 24);
     let mut scene = Scene::vacuum();
     let g = scene.add_material(Material::glass());
-    scene.layers.push(thiim_mwd::solver::Layer::flat(g, 4.0, 12.0));
+    scene
+        .layers
+        .push(thiim_mwd::solver::Layer::flat(g, 4.0, 12.0));
     let cfg = wave_config(dims, scene);
 
     let engines: Vec<(&str, Engine)> = vec![
-        ("spatial", Engine::Spatial { cfg: SpatialConfig::new(3, 8), threads: 2 }),
+        (
+            "spatial",
+            Engine::Spatial {
+                cfg: SpatialConfig::new(3, 8),
+                threads: 2,
+            },
+        ),
         (
             "mwd",
-            Engine::Mwd(MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 2, c: 2 }, groups: 1 }),
+            Engine::Mwd(MwdConfig {
+                dw: 4,
+                bz: 2,
+                tg: TgShape { x: 1, z: 2, c: 2 },
+                groups: 1,
+            }),
         ),
         (
             "mwd_groups",
-            Engine::Mwd(MwdConfig { dw: 4, bz: 1, tg: TgShape { x: 1, z: 1, c: 3 }, groups: 2 }),
+            Engine::Mwd(MwdConfig {
+                dw: 4,
+                bz: 1,
+                tg: TgShape { x: 1, z: 1, c: 3 },
+                groups: 2,
+            }),
         ),
     ];
 
@@ -59,7 +77,12 @@ fn tandem_cell_runs_on_the_mwd_engine() {
     let mut solver = ThiimSolver::new(cfg);
     assert!(solver.back_iteration_cells > 0);
 
-    let mwd = Engine::Mwd(MwdConfig { dw: 4, bz: 2, tg: TgShape { x: 1, z: 1, c: 2 }, groups: 2 });
+    let mwd = Engine::Mwd(MwdConfig {
+        dw: 4,
+        bz: 2,
+        tg: TgShape { x: 1, z: 1, c: 2 },
+        groups: 2,
+    });
     solver.step_n(&mwd, 4 * solver.steps_per_period()).unwrap();
 
     let energy = solver.state.fields.energy();
@@ -88,7 +111,9 @@ fn absorbed_power_is_bounded_by_incident_flux() {
     let mut scene = Scene::vacuum();
     let tco = scene.add_material(Material::tco());
     // Absorber in the lower third; source sits in vacuum above it.
-    scene.layers.push(thiim_mwd::solver::Layer::flat(tco, 0.0, 16.0));
+    scene
+        .layers
+        .push(thiim_mwd::solver::Layer::flat(tco, 0.0, 16.0));
     let mut cfg = SolverConfig::new(dims, scene.clone(), 16.0, 550.0);
     cfg.pml = Some(PmlSpec::new(6));
     cfg.source = Some(SourceSpec::x_polarized(38, 1.0));
@@ -100,10 +125,13 @@ fn absorbed_power_is_bounded_by_incident_flux() {
     // wavelength of planes to wash out staggered-grid standing-wave
     // artifacts.
     let planes: Vec<usize> = (22..30).collect();
-    let down = -planes.iter().map(|&z| analysis::poynting_z(solver.fields(), z)).sum::<f64>()
+    let down = -planes
+        .iter()
+        .map(|&z| analysis::poynting_z(solver.fields(), z))
+        .sum::<f64>()
         / planes.len() as f64;
-    let absorbed = analysis::absorption_in_slab(
-        solver.fields(), &scene, 550.0, solver.omega, 0, 16);
+    let absorbed =
+        analysis::absorption_in_slab(solver.fields(), &scene, 550.0, solver.omega, 0, 16);
     assert!(down > 0.0, "flux must flow toward the absorber, got {down}");
     assert!(absorbed > 0.0, "the slab must absorb");
     assert!(
@@ -120,7 +148,9 @@ fn glass_slab_reflects_less_than_silver_mirror() {
     let run = |material: Material| -> f64 {
         let mut scene = Scene::vacuum();
         let id = scene.add_material(material);
-        scene.layers.push(thiim_mwd::solver::Layer::flat(id, 0.0, 14.0));
+        scene
+            .layers
+            .push(thiim_mwd::solver::Layer::flat(id, 0.0, 14.0));
         let cfg = wave_config(dims, scene);
         let mut solver = ThiimSolver::new(cfg);
         solver

@@ -3,8 +3,11 @@
 //! cache-block model against exact tile footprints.
 
 use proptest::prelude::*;
+use thiim_mwd::field::FieldKind;
 use thiim_mwd::models::cache_block_bytes;
-use thiim_mwd::mwd::{diamond_rows, split_range, DiamondWidth, TilePlan, WavefrontSpec};
+use thiim_mwd::mwd::{
+    diamond_rows, split_range, DiamondWidth, ReadyQueue, TgShape, TilePlan, WavefrontSpec,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -21,7 +24,7 @@ proptest! {
         let dw = DiamondWidth::new(2 * dw_half).unwrap();
         let plan = TilePlan::build(dw, ny, nt);
         prop_assert_eq!(plan.total_half_updates(), 2 * ny * nt);
-        plan.validate().map_err(|e| TestCaseError::fail(e))?;
+        plan.validate().map_err(TestCaseError::fail)?;
     }
 
     /// Scheduling order among ready tiles is free: random ready-set picks
@@ -120,6 +123,105 @@ proptest! {
         let model = cache_block_bytes(1, dw, bz);
         let reconstructed = 16.0 * (40.0 * model_area + 12.0 * (dw + ww) as f64);
         prop_assert!((model - reconstructed).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural contract of the tessellation, for randomized diamond
+    /// widths, grid/time extents, and thread-group shapes:
+    ///
+    /// 1. every (y, t) cell of *each* field lies in exactly one clipped
+    ///    row of exactly one tile (exact partition, no gaps, no overlap);
+    /// 2. the dependency DAG really is two-parent (`parents` matches the
+    ///    in-degrees implied by `dependents`, and never exceeds 2) and is
+    ///    acyclic: a Kahn traversal with a seeded random frontier pick
+    ///    consumes every tile;
+    /// 3. a [`ReadyQueue`] drained by as many concurrent workers as the
+    ///    drawn thread-group shape holds pops each tile exactly once and
+    ///    terminates — scheduling freedom is independent of group shape.
+    #[test]
+    fn tessellation_partitions_and_dag_is_acyclic(
+        ny in 1usize..48,
+        nt in 1usize..20,
+        dw_half in 1usize..10,
+        tgx in 1usize..4,
+        tgz in 1usize..4,
+        tgc_idx in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let dw = DiamondWidth::new(2 * dw_half).unwrap();
+        let plan = TilePlan::build(dw, ny, nt);
+
+        // (1) Exact cover of the (y, t, field) update space.
+        let mut cover = vec![[0u32; 2]; ny * nt];
+        for tile in &plan.tiles {
+            for row in &tile.rows {
+                let f = (row.kind == FieldKind::H) as usize;
+                prop_assert!(row.time >= 1 && row.time <= nt, "row time {} out of range", row.time);
+                for y in row.y_range() {
+                    prop_assert!(y < ny, "row y {y} out of range");
+                    cover[(row.time - 1) * ny + y][f] += 1;
+                }
+            }
+        }
+        for (i, c) in cover.iter().enumerate() {
+            prop_assert!(
+                *c == [1, 1],
+                "cell (y={}, t={}) covered {:?} times, want exactly once per field",
+                i % ny, i / ny + 1, c
+            );
+        }
+
+        // (2) Two-parent DAG + acyclicity via randomized Kahn traversal.
+        let n = plan.tiles.len();
+        let mut indeg = vec![0usize; n];
+        for deps in &plan.dependents {
+            for &d in deps {
+                indeg[d] += 1;
+            }
+        }
+        prop_assert_eq!(&indeg, &plan.parents);
+        prop_assert!(indeg.iter().all(|&p| p <= 2), "more than two parents");
+        let mut frontier: Vec<usize> = plan.roots();
+        let mut remaining = indeg.clone();
+        let mut rng = seed | 1;
+        let mut processed = 0usize;
+        while !frontier.is_empty() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let t = frontier.swap_remove((rng >> 33) as usize % frontier.len());
+            processed += 1;
+            for &d in &plan.dependents[t] {
+                remaining[d] -= 1;
+                if remaining[d] == 0 {
+                    frontier.push(d);
+                }
+            }
+        }
+        prop_assert_eq!(processed, n, "dependency DAG has a cycle");
+
+        // (3) Concurrent drain sized by the drawn thread-group shape.
+        let tg = TgShape { x: tgx, z: tgz, c: [1usize, 2, 3, 6][tgc_idx] };
+        tg.validate().map_err(TestCaseError::fail)?;
+        let workers = tg.size().min(6);
+        let queue = ReadyQueue::new(&plan);
+        let pops: Vec<std::sync::atomic::AtomicUsize> =
+            (0..n).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    while let Some(t) = queue.pop() {
+                        pops[t].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        queue.complete(t);
+                    }
+                });
+            }
+        });
+        for (i, p) in pops.iter().enumerate() {
+            let got = p.load(std::sync::atomic::Ordering::Relaxed);
+            prop_assert_eq!(got, 1, "tile {} popped {} times with {} workers", i, got, workers);
+        }
     }
 }
 

@@ -1,0 +1,283 @@
+//! Minimal, API-compatible stand-in for the `criterion` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the slice of Criterion's API that the seven bench targets in
+//! `crates/bench/benches/` use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with throughput and sample-size hints, and the
+//! `iter`/`iter_batched`/`iter_custom` timing loops. Measurements are real
+//! (wall-clock medians over a short, time-boxed run) but intentionally
+//! lightweight: no warm-up analysis, outlier rejection, or HTML reports.
+//!
+//! To build against the real crate, point the `criterion` entry of
+//! `[workspace.dependencies]` back at the registry; the bench sources need
+//! no edits.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration batch sizing hint (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Work-per-iteration hint used to report rates alongside times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Two-part benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+fn format_time(t: f64) -> String {
+    if t < 1e-6 {
+        format!("{:8.2} ns", t * 1e9)
+    } else if t < 1e-3 {
+        format!("{:8.2} µs", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:8.2} ms", t * 1e3)
+    } else {
+        format!("{t:8.2} s ")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate: one iteration to size the measurement run, then grow the
+    // iteration count until the routine has run for ~20 ms or 20 samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64().max(1e-9);
+    let budget = 0.02f64;
+    let iters = ((budget / per_iter) as u64).clamp(1, 20);
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:10.2} Melem/s", n as f64 / mean / 1e6),
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            format!("  {:10.2} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("bench: {id:<48} {}{rate}", format_time(mean));
+}
+
+/// Shim of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<ID, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Shim of the `criterion::Criterion` benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_loops_run_and_record() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 3);
+
+        let mut setups = 0u64;
+        b.iter_batched(|| setups += 1, |_| (), BatchSize::LargeInput);
+        assert_eq!(setups, 3);
+
+        b.iter_custom(Duration::from_nanos);
+        assert_eq!(b.elapsed, Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("naive", 16).id, "naive/16");
+        assert_eq!(BenchmarkId::from_parameter("Hyx").id, "Hyx");
+        assert_eq!(BenchmarkId::from("free").id, "free");
+    }
+
+    #[test]
+    fn groups_execute_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1)).sample_size(10);
+            g.bench_function("f", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(ran);
+    }
+}

@@ -1,0 +1,74 @@
+//! `bench_report` — emit `results/BENCH_results.json`.
+//!
+//! ```text
+//! cargo run --release -p em_bench --bin bench_report -- \
+//!     [--dims N] [--steps N] [--threads N] [--with-scenarios]
+//! ```
+//!
+//! Measures wall-clock MLUP/s per engine (naive / spatial / 1WD / MWD)
+//! on a synthetic state, optionally times every built-in scenario, and
+//! writes the machine-readable report CI uploads as an artifact.
+
+use em_bench::report::{measure_kernels, measure_scenario, BenchReport};
+use em_field::GridDims;
+
+fn main() {
+    let mut dims_n = 48usize;
+    let mut steps = 4usize;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
+    let mut with_scenarios = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{flag} needs a positive integer")))
+        };
+        match a.as_str() {
+            "--dims" => dims_n = num("--dims"),
+            "--steps" => steps = num("--steps"),
+            "--threads" => threads = num("--threads"),
+            "--with-scenarios" => with_scenarios = true,
+            other => die(&format!(
+                "unknown option `{other}` \
+                 (usage: bench_report [--dims N] [--steps N] [--threads N] [--with-scenarios])"
+            )),
+        }
+    }
+
+    let dims = GridDims::cubic(dims_n);
+    println!("kernel benchmark: {dims} grid, {steps} steps, {threads} threads");
+    let mut runs = vec![measure_kernels(dims, steps, threads)];
+
+    if with_scenarios {
+        for spec in em_scenarios::builtins() {
+            println!("scenario benchmark: {} ({})", spec.name, spec.dims());
+            match measure_scenario(&spec, steps.min(2), threads) {
+                Ok(run) => runs.push(run),
+                Err(e) => die(&format!("scenario {}: {e}", spec.name)),
+            }
+        }
+    }
+
+    let report = BenchReport::new(runs);
+    for run in &report.runs {
+        let tag = run.scenario.as_deref().unwrap_or("kernels");
+        for e in &run.engines {
+            println!("{tag:<18} {:<36} {:>9.1} MLUP/s", e.engine, e.mlups);
+        }
+    }
+    match report.write() {
+        Ok(path) => println!("\nwrote {} (rev {})", path.display(), report.git_rev),
+        Err(e) => die(&format!("cannot write BENCH_results.json: {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}

@@ -3,10 +3,13 @@
 //! One generator per table/figure of the paper's evaluation (Sec. III-IV),
 //! shared between the `figures` binary, the Criterion benches and the
 //! integration smoke tests. Results are written to `results/*.csv` and
-//! printed with the paper's reference shapes alongside.
+//! printed with the paper's reference shapes alongside. The [`report`]
+//! module adds the machine-readable `BENCH_results.json` perf report
+//! (per-engine MLUP/s, config, git rev) that CI tracks across PRs.
 
 pub mod figures;
 pub mod harness;
 pub mod paper;
+pub mod report;
 
 pub use figures::{fig5, fig6, fig7, fig8, sect3, shapes, thin_domain, validate, Scale};

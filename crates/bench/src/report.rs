@@ -1,0 +1,317 @@
+//! Machine-readable performance reports (`BENCH_results.json`).
+//!
+//! Wall-clock MLUP/s per engine on this host, tagged with the engine
+//! configuration and the git revision, so the performance trajectory is
+//! tracked across PRs by CI (which uploads the JSON as an artifact).
+//! Two harness entries exist: a raw-kernel measurement on a
+//! deterministic synthetic state, and a scenario-driven measurement
+//! that times the engines on a workload from the `em_scenarios`
+//! catalog (coefficients, PML, sources and all).
+
+use crate::harness::results_dir;
+use em_field::{GridDims, State};
+use em_kernels::{run_naive, step_spatial_mt, SpatialConfig};
+use em_scenarios::{Json, ScenarioSpec};
+use em_solver::Engine;
+use mwd_core::{run_mwd, MwdConfig};
+use std::path::PathBuf;
+
+/// One engine's measurement.
+#[derive(Clone, Debug)]
+pub struct EnginePerf {
+    pub engine: String,
+    pub mlups: f64,
+    pub wall_secs: f64,
+}
+
+/// One benchmarked workload (kernel-level or scenario-driven).
+#[derive(Clone, Debug)]
+pub struct BenchRun {
+    /// `None` for the raw-kernel measurement.
+    pub scenario: Option<String>,
+    pub dims: GridDims,
+    pub steps: usize,
+    pub threads: usize,
+    pub engines: Vec<EnginePerf>,
+}
+
+/// The full report written to `results/BENCH_results.json`.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    pub git_rev: String,
+    pub host_threads: usize,
+    pub runs: Vec<BenchRun>,
+}
+
+fn mlups(dims: GridDims, steps: usize, secs: f64) -> f64 {
+    (dims.cells() * steps) as f64 / secs.max(1e-12) / 1e6
+}
+
+/// The current git revision, read from `.git` directly (no subprocess):
+/// follows a linked-worktree `gitdir:` file and one level of `ref:`
+/// indirection; `unknown` outside a work tree.
+pub fn git_rev() -> String {
+    for base in ["", "../", "../../"] {
+        let Some(rev) = rev_from_git_dir(&PathBuf::from(format!("{base}.git"))) else {
+            continue;
+        };
+        return rev;
+    }
+    "unknown".to_string()
+}
+
+fn rev_from_git_dir(git_dir: &std::path::Path) -> Option<String> {
+    // In a linked worktree or submodule, `.git` is a file pointing at
+    // the real git directory.
+    let git_dir = if git_dir.is_file() {
+        let content = std::fs::read_to_string(git_dir).ok()?;
+        PathBuf::from(content.trim().strip_prefix("gitdir: ")?.trim())
+    } else {
+        git_dir.to_path_buf()
+    };
+    let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(r) = head.strip_prefix("ref: ") else {
+        // Detached HEAD: the hash itself (sanity-check the shape so a
+        // malformed HEAD degrades to "unknown" instead of garbage).
+        return head
+            .chars()
+            .all(|c| c.is_ascii_hexdigit())
+            .then(|| head.to_string());
+    };
+    if let Ok(rev) = std::fs::read_to_string(git_dir.join(r)) {
+        return Some(rev.trim().to_string());
+    }
+    // Packed refs live in the common git dir (shared by worktrees).
+    let common = match std::fs::read_to_string(git_dir.join("commondir")) {
+        Ok(rel) => git_dir.join(rel.trim()),
+        Err(_) => git_dir,
+    };
+    let packed = std::fs::read_to_string(common.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        if let Some(rev) = line.strip_suffix(r) {
+            return Some(rev.trim().to_string());
+        }
+    }
+    Some("unknown".to_string())
+}
+
+/// Time the four engines on a deterministic synthetic state (the
+/// quickstart configuration: same seed, same grid for every engine).
+pub fn measure_kernels(dims: GridDims, steps: usize, threads: usize) -> BenchRun {
+    let mut proto = State::zeros(dims);
+    proto.fields.fill_deterministic(42);
+    proto.coeffs.fill_deterministic(43);
+
+    let mut engines = Vec::new();
+    let mut time = |label: String, f: &mut dyn FnMut(&mut State)| {
+        let mut s = proto.clone();
+        let t0 = std::time::Instant::now();
+        f(&mut s);
+        let wall = t0.elapsed().as_secs_f64();
+        engines.push(EnginePerf {
+            engine: label,
+            mlups: mlups(dims, steps, wall),
+            wall_secs: wall,
+        });
+    };
+
+    time("naive".to_string(), &mut |s| run_naive(s, steps));
+    let spatial = SpatialConfig::new(8, 16);
+    time(format!("spatial(threads={threads})"), &mut |s| {
+        for _ in 0..steps {
+            step_spatial_mt(s, spatial, threads);
+        }
+    });
+    let one_wd = MwdConfig::one_wd(4, 2, threads);
+    time(format!("1wd(dw=4, bz=2, groups={threads})"), &mut |s| {
+        run_mwd(s, &one_wd, steps).expect("1WD runs");
+    });
+    let shared = MwdConfig {
+        dw: 8,
+        bz: 2,
+        tg: mwd_core::TgShape {
+            x: 1,
+            z: 1,
+            c: threads.clamp(1, 3),
+        },
+        groups: 1,
+    };
+    time(
+        format!("mwd(dw=8, bz=2, tg=1x1x{}, groups=1)", shared.tg.c),
+        &mut |s| {
+            run_mwd(s, &shared, steps).expect("MWD runs");
+        },
+    );
+
+    BenchRun {
+        scenario: None,
+        dims,
+        steps,
+        threads,
+        engines,
+    }
+}
+
+/// Time engines on a real scenario workload: the solver is rebuilt per
+/// engine (fresh fields) and stepped `steps` times.
+pub fn measure_scenario(
+    spec: &ScenarioSpec,
+    steps: usize,
+    threads: usize,
+) -> Result<BenchRun, String> {
+    spec.validate()?;
+    let dims = spec.dims();
+    let job = spec
+        .jobs()
+        .into_iter()
+        .next()
+        .ok_or("scenario expands to no jobs")?;
+
+    let mut engines = Vec::new();
+    let candidates: Vec<(String, Engine)> = vec![
+        ("naive-periodic-xy".to_string(), Engine::NaivePeriodicXY),
+        (
+            format!("spatial(threads={threads})"),
+            Engine::Spatial {
+                cfg: SpatialConfig::new(8, 16),
+                threads,
+            },
+        ),
+        (
+            format!("mwd(dw=4, bz=2, groups={threads})"),
+            Engine::Mwd(MwdConfig::one_wd(4, 2, threads)),
+        ),
+    ];
+    for (label, engine) in candidates {
+        let mut solver = spec.build_solver(&job)?;
+        let t0 = std::time::Instant::now();
+        solver.step_n(&engine, steps)?;
+        let wall = t0.elapsed().as_secs_f64();
+        engines.push(EnginePerf {
+            engine: label,
+            mlups: mlups(dims, steps, wall),
+            wall_secs: wall,
+        });
+    }
+    Ok(BenchRun {
+        scenario: Some(spec.name.clone()),
+        dims,
+        steps,
+        threads,
+        engines,
+    })
+}
+
+impl BenchRun {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "scenario",
+                match &self.scenario {
+                    Some(s) => Json::str(s),
+                    None => Json::Null,
+                },
+            ),
+            ("dims", Json::str(format!("{}", self.dims))),
+            ("steps", Json::Int(self.steps as i64)),
+            ("threads", Json::Int(self.threads as i64)),
+            (
+                "engines",
+                Json::Arr(
+                    self.engines
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("engine", Json::str(&e.engine)),
+                                ("mlups", Json::Num(e.mlups)),
+                                ("wall_secs", Json::Num(e.wall_secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl BenchReport {
+    pub fn new(runs: Vec<BenchRun>) -> Self {
+        BenchReport {
+            git_rev: git_rev(),
+            host_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            runs,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("git_rev", Json::str(&self.git_rev)),
+            ("host_threads", Json::Int(self.host_threads as i64)),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Write `results/BENCH_results.json`; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = results_dir().join("BENCH_results.json");
+        std::fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_measurement_covers_four_engines() {
+        let run = measure_kernels(GridDims::cubic(12), 2, 2);
+        assert_eq!(run.engines.len(), 4);
+        for e in &run.engines {
+            assert!(e.mlups > 0.0, "{}: {}", e.engine, e.mlups);
+            assert!(e.wall_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn scenario_measurement_uses_the_catalog() {
+        let spec = em_scenarios::library::vacuum_slab();
+        let run = measure_scenario(&spec, 2, 2).unwrap();
+        assert_eq!(run.scenario.as_deref(), Some("vacuum-slab"));
+        assert_eq!(run.engines.len(), 3);
+        for e in &run.engines {
+            assert!(e.mlups > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_tracked_fields() {
+        let report = BenchReport::new(vec![measure_kernels(GridDims::cubic(8), 1, 1)]);
+        let text = report.to_json().pretty();
+        for key in ["git_rev", "host_threads", "runs", "engines", "mlups"] {
+            assert!(text.contains(key), "missing `{key}`:\n{text}");
+        }
+        assert!(!report.git_rev.is_empty());
+    }
+
+    #[test]
+    fn git_rev_resolves_in_this_repo() {
+        let rev = git_rev();
+        // In the repo this is a 40-hex hash; in exported tarballs it
+        // degrades to "unknown" — both are acceptable artifacts.
+        assert!(rev == "unknown" || rev.len() >= 7, "{rev}");
+    }
+
+    #[test]
+    fn engine_decl_is_reachable_for_scenario_benches() {
+        // The harness and the CLI agree on engine naming.
+        use em_scenarios::spec::EngineDecl;
+        assert_eq!(EngineDecl::auto("mwd", 2).unwrap().threads(), 2);
+    }
+}

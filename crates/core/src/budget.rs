@@ -1,0 +1,116 @@
+//! Thread-budget sharing between concurrent solver jobs and the threads
+//! each job uses internally.
+//!
+//! A batch of scenario runs has two levels of parallelism: the worker
+//! pool executing independent jobs, and the engine threads (spatial
+//! blocks or MWD thread groups) inside every job. Both draw from the
+//! same physical cores, so a batch that naively gives every job the
+//! full machine oversubscribes it `jobs`-fold. [`ThreadBudget`] owns the
+//! total and [`ThreadBudget::split`] divides it: as many workers as
+//! there are jobs (capped by the budget), and the left-over factor as
+//! per-job engine threads.
+
+/// A fixed number of hardware threads to share between batch workers
+/// and intra-solve thread groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadBudget {
+    total: usize,
+}
+
+/// The outcome of dividing a [`ThreadBudget`] over a number of jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetSplit {
+    /// Concurrent batch workers (each runs one job at a time).
+    pub workers: usize,
+    /// Engine threads available to every running job.
+    pub threads_per_job: usize,
+}
+
+impl BudgetSplit {
+    /// Worst-case simultaneous thread demand of this split.
+    pub fn concurrency(&self) -> usize {
+        self.workers * self.threads_per_job
+    }
+}
+
+impl ThreadBudget {
+    /// A budget of `total` threads (clamped to at least one).
+    pub fn new(total: usize) -> Self {
+        ThreadBudget {
+            total: total.max(1),
+        }
+    }
+
+    /// The host's available parallelism.
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadBudget::new(n)
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Split the budget over `jobs` independent jobs.
+    ///
+    /// Workers never exceed the job count (idle workers are pointless)
+    /// nor the budget (no oversubscription); the remaining factor goes
+    /// to each job's engine. The product `workers * threads_per_job`
+    /// never exceeds the total.
+    pub fn split(&self, jobs: usize) -> BudgetSplit {
+        let workers = self.total.min(jobs).max(1);
+        let threads_per_job = (self.total / workers).max(1);
+        BudgetSplit {
+            workers,
+            threads_per_job,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_never_oversubscribes() {
+        for total in 1..=32 {
+            let budget = ThreadBudget::new(total);
+            for jobs in 0..=40 {
+                let s = budget.split(jobs);
+                assert!(s.workers >= 1 && s.threads_per_job >= 1);
+                assert!(
+                    s.concurrency() <= total,
+                    "budget {total} over {jobs} jobs demands {} threads",
+                    s.concurrency()
+                );
+                assert!(s.workers <= jobs.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn few_jobs_get_deep_engines_many_jobs_get_wide_pool() {
+        let budget = ThreadBudget::new(8);
+        let deep = budget.split(2);
+        assert_eq!(deep.workers, 2);
+        assert_eq!(deep.threads_per_job, 4);
+        let wide = budget.split(16);
+        assert_eq!(wide.workers, 8);
+        assert_eq!(wide.threads_per_job, 1);
+    }
+
+    #[test]
+    fn zero_is_clamped() {
+        assert_eq!(ThreadBudget::new(0).total(), 1);
+        let s = ThreadBudget::new(1).split(0);
+        assert_eq!(s.workers, 1);
+        assert_eq!(s.threads_per_job, 1);
+    }
+
+    #[test]
+    fn host_budget_is_positive() {
+        assert!(ThreadBudget::host().total() >= 1);
+    }
+}

@@ -15,9 +15,12 @@
 //! - [`queue`]: the FIFO ready queue ("OpenMP critical" in the paper);
 //! - [`barrier`]: sense-reversing spin barrier for intra-group sync;
 //! - [`config`]: `Dw`/`BZ`/thread-group-shape parameters;
+//! - [`budget`]: thread-budget sharing between concurrent solver jobs
+//!   and the thread groups inside each job;
 //! - [`executor`]: the parallel engine, bit-identical to the naive sweep.
 
 pub mod barrier;
+pub mod budget;
 pub mod config;
 pub mod diamond;
 pub mod executor;
@@ -26,6 +29,7 @@ pub mod tiling;
 pub mod wavefront;
 
 pub use barrier::SpinBarrier;
+pub use budget::{BudgetSplit, ThreadBudget};
 pub use config::{split_range, MwdConfig, TgShape};
 pub use diamond::{diamond_rows, DiamondRow, DiamondWidth};
 pub use executor::{

@@ -1,0 +1,176 @@
+//! A minimal JSON writer for result artifacts.
+//!
+//! Output-only (the repo never reads JSON back), hand-rolled for the
+//! same reason as the TOML module: no crates.io in this environment.
+//! Objects keep insertion order so artifacts are deterministic and
+//! diffable across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Build with the constructors, render with
+/// [`Json::pretty`] or [`Json::compact`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    /// Render on one line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(f) => {
+                if f.is_finite() {
+                    // Shortest round-trip form; valid JSON for finite values.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    // JSON has no Inf/NaN literal.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => render_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].render(out, ind)
+            }),
+            Json::Obj(pairs) => render_seq(out, indent, '{', '}', pairs.len(), |out, i, ind| {
+                escape_into(out, &pairs[i].0);
+                out.push_str(": ");
+                pairs[i].1.render(out, ind);
+            }),
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        if let Some(level) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level + 1));
+            item(out, i, Some(level + 1));
+        } else {
+            item(out, i, None);
+        }
+        if i + 1 < len {
+            out.push(',');
+            if indent.is_none() {
+                out.push(' ');
+            }
+        }
+    }
+    if let Some(level) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(level));
+    }
+    out.push(close);
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_renders_nested_structures() {
+        let j = Json::obj(vec![
+            ("name", Json::str("solar-cell")),
+            ("converged", Json::Bool(true)),
+            ("periods", Json::Int(12)),
+            ("rel", Json::Num(0.5)),
+            ("tags", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(
+            j.compact(),
+            r#"{"name": "solar-cell", "converged": true, "periods": 12, "rel": 0.5, "tags": [1, 2], "none": null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_and_terminates_with_newline() {
+        let j = Json::obj(vec![("a", Json::Arr(vec![Json::Int(1)]))]);
+        assert_eq!(j.pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::str("a\"b\\c\nd");
+        assert_eq!(j.compact(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::INFINITY).compact(), "null");
+        assert_eq!(Json::Num(f64::NAN).compact(), "null");
+        assert_eq!(Json::Num(2.5).compact(), "2.5");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).compact(), "{}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # em-scenarios — declarative workloads and the batch runner
+//!
+//! The paper's THIIM solver exists to sweep *many* device configurations
+//! (solar-cell stacks, nanowire arrays, gratings) through the same
+//! MWD-accelerated Maxwell kernel. This crate makes those workloads
+//! first-class data instead of hand-rolled example programs:
+//!
+//! - [`spec`]: the declarative [`ScenarioSpec`](spec::ScenarioSpec) —
+//!   grid, material stack / geometry, source, PML, engine, convergence
+//!   criteria, wavelength sweep and output artifacts — with validation
+//!   and precise error messages;
+//! - [`toml`]: a hand-rolled parser/serializer for the TOML subset the
+//!   scenario files use (no crates.io in this environment, consistent
+//!   with the vendored `proptest`/`criterion` shims);
+//! - [`codec`]: the explicit `ScenarioSpec` ⇄ TOML mapping with
+//!   unknown-key detection;
+//! - [`library`]: the built-in catalog — the paper's tandem solar cell
+//!   and silver nanowire plus a Bragg mirror, a bare-vacuum calibration
+//!   slab, a high-contrast photonic grating and a thin-absorber sweep —
+//!   all routed through [`em_solver::SolverBuilder`], the same path the
+//!   examples use (scenario runs are bit-identical to hand-rolled ones);
+//! - [`runner`]: the concurrent batch runner — a bounded worker pool
+//!   sharing one [`mwd_core::ThreadBudget`] with each job's intra-solve
+//!   thread groups, deterministic result ordering, and one JSON artifact
+//!   per job plus a batch summary;
+//! - [`json`]: the minimal JSON writer those artifacts (and the bench
+//!   harness's `BENCH_results.json`) use.
+//!
+//! The `mwd` CLI binary in the umbrella crate (`list`, `show`, `run`,
+//! `batch`) is a thin shell over this crate.
+
+pub mod codec;
+pub mod json;
+pub mod library;
+pub mod runner;
+pub mod spec;
+pub mod toml;
+
+pub use json::Json;
+pub use library::{builtin, builtin_names, builtins};
+pub use runner::{run_batch, BatchOptions, BatchReport, JobOutcome};
+pub use spec::{
+    ConvergenceDecl, EngineDecl, GridSpec, LayerDecl, OutputsDecl, PhysicsSpec, PmlDecl,
+    ScenarioJob, ScenarioSpec, SceneDecl, SlabDecl, SourceDecl, SphereDecl, SweepDecl, SweepPoint,
+    TextureDecl,
+};

@@ -1,0 +1,498 @@
+//! The concurrent batch runner.
+//!
+//! Expands a set of scenario specs (including their wavelength sweeps)
+//! into a flat job list and executes it on a bounded pool of worker
+//! threads. The pool size and the engine threads available to each job
+//! share one [`ThreadBudget`]: auto-sized pools are shrunk until
+//! `workers x widest engine` fits the budget, so `batch` never
+//! oversubscribes the host no matter how jobs and intra-solve thread
+//! groups combine (an explicitly pinned pool size is taken as is).
+//!
+//! Results come back in deterministic job order regardless of which
+//! worker finished first, and — when an output directory is given —
+//! are written as one JSON artifact per job plus a `batch_summary.json`
+//! / `batch_summary.csv` pair, all after the concurrent phase so the
+//! files appear in a stable order.
+
+use crate::json::Json;
+use crate::spec::{ConvergenceDecl, EngineDecl, ScenarioJob, ScenarioSpec};
+use em_solver::analysis;
+use mwd_core::ThreadBudget;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options for [`run_batch`].
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Worker-pool size; 0 derives it from `budget`, the job count and
+    /// the widest engine's thread demand (so the batch never
+    /// oversubscribes the budget). An explicit value pins the pool size
+    /// and is taken at face value.
+    pub workers: usize,
+    /// Engine-kind override (`--engine`): replaces every job's engine
+    /// with [`EngineDecl::auto`] of this kind.
+    pub engine_kind: Option<String>,
+    /// Engine threads per job; defaults to the budget's share.
+    pub threads: Option<usize>,
+    /// Validate, expand and plan, but do not step any solver.
+    pub dry_run: bool,
+    /// Where to write per-job artifacts and the batch summary; `None`
+    /// writes nothing.
+    pub out_dir: Option<PathBuf>,
+    /// Thread budget shared between workers and intra-solve threads.
+    pub budget: ThreadBudget,
+    /// Suppress per-job status lines.
+    pub quiet: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 0,
+            engine_kind: None,
+            threads: None,
+            dry_run: false,
+            out_dir: None,
+            budget: ThreadBudget::host(),
+            quiet: true,
+        }
+    }
+}
+
+/// The result of one job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Position in the deterministic batch order.
+    pub job: usize,
+    pub scenario: String,
+    pub sweep_index: usize,
+    pub lambda_nm: f64,
+    pub lambda_cells: f64,
+    pub dims: String,
+    pub engine: String,
+    pub threads: usize,
+    pub dry_run: bool,
+    pub converged: bool,
+    pub periods: usize,
+    pub steps: usize,
+    pub rel_change: f64,
+    pub energy: f64,
+    pub back_iteration_cells: usize,
+    /// `(slab name, absorbed power)` per requested output slab.
+    pub absorption: Vec<(String, f64)>,
+    /// Laterally averaged |E|^2(z), if the spec requested it.
+    pub intensity_profile: Option<Vec<f64>>,
+    pub wall_secs: f64,
+    pub error: Option<String>,
+    /// Artifact path, once written.
+    pub artifact: Option<PathBuf>,
+}
+
+impl JobOutcome {
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("job", Json::Int(self.job as i64)),
+            ("scenario", Json::str(&self.scenario)),
+            ("sweep_index", Json::Int(self.sweep_index as i64)),
+            ("lambda_nm", Json::Num(self.lambda_nm)),
+            ("lambda_cells", Json::Num(self.lambda_cells)),
+            ("dims", Json::str(&self.dims)),
+            ("engine", Json::str(&self.engine)),
+            ("threads", Json::Int(self.threads as i64)),
+            ("dry_run", Json::Bool(self.dry_run)),
+            ("converged", Json::Bool(self.converged)),
+            ("periods", Json::Int(self.periods as i64)),
+            ("steps", Json::Int(self.steps as i64)),
+            ("rel_change", Json::Num(self.rel_change)),
+            ("energy", Json::Num(self.energy)),
+            (
+                "back_iteration_cells",
+                Json::Int(self.back_iteration_cells as i64),
+            ),
+            ("wall_secs", Json::Num(self.wall_secs)),
+        ];
+        if !self.absorption.is_empty() {
+            pairs.push((
+                "absorption",
+                Json::Obj(
+                    self.absorption
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(profile) = &self.intensity_profile {
+            pairs.push((
+                "intensity_profile",
+                Json::Arr(profile.iter().map(|&v| Json::Num(v)).collect()),
+            ));
+        }
+        match &self.error {
+            Some(e) => pairs.push(("error", Json::str(e))),
+            None => pairs.push(("error", Json::Null)),
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// What [`run_batch`] returns: ordered outcomes plus pool telemetry.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One outcome per job, in deterministic job order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Worker-pool size used.
+    pub workers: usize,
+    /// Engine threads granted to each job.
+    pub threads_per_job: usize,
+    /// Peak number of jobs observed running simultaneously.
+    pub max_in_flight: usize,
+    pub wall_secs: f64,
+}
+
+impl BatchReport {
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.error.is_some()).count()
+    }
+}
+
+/// Execute every job of every spec on a bounded worker pool.
+///
+/// Fails fast (before any solver runs) if a spec does not validate or
+/// the engine override is unknown; individual job failures during the
+/// run are reported per outcome instead of aborting the batch.
+pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchReport, String> {
+    for spec in specs {
+        spec.validate()?;
+    }
+
+    // Expand sweeps into the flat, deterministic job list.
+    let mut jobs: Vec<(&ScenarioSpec, ScenarioJob)> = Vec::new();
+    for spec in specs {
+        for job in spec.jobs() {
+            jobs.push((spec, job));
+        }
+    }
+    if jobs.is_empty() {
+        return Err("batch contains no jobs".to_string());
+    }
+
+    let mut workers = if opts.workers > 0 {
+        opts.workers.min(jobs.len())
+    } else {
+        opts.budget.split(jobs.len()).workers
+    };
+    // Each concurrent job's engine threads come out of the same budget
+    // as the workers themselves: an explicit worker count (e.g. `mwd
+    // run`'s sequential 1) grants each job a larger share.
+    let threads_per_job = opts
+        .threads
+        .unwrap_or_else(|| opts.budget.total() / workers)
+        .max(1);
+
+    // Resolve every job's engine up front so `--engine` typos and
+    // engine/grid mismatches fail before work starts.
+    let mut engines: Vec<EngineDecl> = Vec::with_capacity(jobs.len());
+    for (spec, _) in &jobs {
+        let decl = match &opts.engine_kind {
+            Some(kind) => EngineDecl::auto(kind, threads_per_job)?,
+            None => spec.engine,
+        };
+        decl.to_engine(spec.dims())
+            .map_err(|e| format!("scenario `{}`: [engine] {e}", spec.name))?;
+        engines.push(decl);
+    }
+
+    // Spec-declared engines carry their own thread counts; unless the
+    // caller pinned the pool size, shrink it so the worst-case demand
+    // `workers * max(engine threads)` stays within the budget.
+    if opts.workers == 0 {
+        let widest = engines.iter().map(EngineDecl::threads).max().unwrap_or(1);
+        workers = workers.min((opts.budget.total() / widest).max(1));
+    }
+
+    let t0 = std::time::Instant::now();
+    let next = AtomicUsize::new(0);
+    let in_flight = AtomicUsize::new(0);
+    let max_in_flight = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let running = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                max_in_flight.fetch_max(running, Ordering::SeqCst);
+                let (spec, job) = &jobs[i];
+                if !opts.quiet {
+                    println!(
+                        "[{:>2}/{}] {} lambda={} nm on {} ...",
+                        i + 1,
+                        jobs.len(),
+                        job.scenario,
+                        job.lambda_nm,
+                        engines[i].label()
+                    );
+                }
+                let outcome = run_job(spec, job, engines[i], i, opts.dry_run);
+                if !opts.quiet {
+                    let status = match (&outcome.error, outcome.dry_run, outcome.converged) {
+                        (Some(e), _, _) => format!("FAILED: {e}"),
+                        (None, true, _) => "dry-run ok".to_string(),
+                        (None, false, true) => format!("converged in {} periods", outcome.periods),
+                        (None, false, false) => {
+                            format!("stopped after {} periods", outcome.periods)
+                        }
+                    };
+                    println!(
+                        "[{:>2}/{}] {} lambda={} nm: {} ({:.2}s)",
+                        i + 1,
+                        jobs.len(),
+                        job.scenario,
+                        job.lambda_nm,
+                        status,
+                        outcome.wall_secs
+                    );
+                }
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let mut outcomes: Vec<JobOutcome> = slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every job slot is filled"))
+        .collect();
+
+    // Artifacts are written after the concurrent phase, in job order,
+    // so output files appear deterministically.
+    if let Some(dir) = &opts.out_dir {
+        if !opts.dry_run {
+            write_artifacts(dir, &mut outcomes)?;
+        }
+    }
+
+    Ok(BatchReport {
+        outcomes,
+        workers,
+        threads_per_job,
+        max_in_flight: max_in_flight.load(Ordering::SeqCst),
+        wall_secs: t0.elapsed().as_secs_f64(),
+    })
+}
+
+fn run_job(
+    spec: &ScenarioSpec,
+    job: &ScenarioJob,
+    decl: EngineDecl,
+    index: usize,
+    dry_run: bool,
+) -> JobOutcome {
+    let t0 = std::time::Instant::now();
+    let mut outcome = JobOutcome {
+        job: index,
+        scenario: job.scenario.clone(),
+        sweep_index: job.sweep_index,
+        lambda_nm: job.lambda_nm,
+        lambda_cells: job.lambda_cells,
+        dims: format!("{}", spec.dims()),
+        engine: decl.label(),
+        threads: decl.threads(),
+        dry_run,
+        converged: false,
+        periods: 0,
+        steps: 0,
+        rel_change: f64::INFINITY,
+        energy: 0.0,
+        back_iteration_cells: 0,
+        absorption: Vec::new(),
+        intensity_profile: None,
+        wall_secs: 0.0,
+        error: None,
+        artifact: None,
+    };
+    let result = (|| -> Result<(), String> {
+        let engine = decl.to_engine(spec.dims())?;
+        if dry_run {
+            // Prove the scene resolves (materials, preset) without
+            // paying for coefficient assembly or stepping.
+            spec.build_scene()?;
+            return Ok(());
+        }
+        let mut solver = spec.build_solver(job)?;
+        outcome.back_iteration_cells = solver.back_iteration_cells;
+        let ConvergenceDecl { tol, max_periods } = spec.convergence;
+        let report = solver.run_to_convergence(&engine, tol, max_periods)?;
+        outcome.converged = report.converged;
+        outcome.periods = report.periods;
+        outcome.steps = report.steps;
+        outcome.rel_change = report.rel_change;
+        outcome.energy = solver.fields().energy();
+        for slab in &spec.outputs.absorption {
+            let a = analysis::absorption_in_slab(
+                solver.fields(),
+                &solver.config.scene,
+                job.lambda_nm,
+                solver.omega,
+                slab.z_lo,
+                slab.z_hi,
+            );
+            outcome.absorption.push((slab.name.clone(), a));
+        }
+        if spec.outputs.intensity_profile {
+            outcome.intensity_profile = Some(analysis::intensity_profile_z(solver.fields()));
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        outcome.error = Some(e);
+    }
+    outcome.wall_secs = t0.elapsed().as_secs_f64();
+    outcome
+}
+
+fn write_artifacts(dir: &Path, outcomes: &mut [JobOutcome]) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create output directory {}: {e}", dir.display()))?;
+    for o in outcomes.iter_mut() {
+        let path = dir.join(format!(
+            "{:02}_{}_{:04.0}nm.json",
+            o.job, o.scenario, o.lambda_nm
+        ));
+        std::fs::write(&path, o.to_json().pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        o.artifact = Some(path);
+    }
+
+    let summary = Json::Arr(outcomes.iter().map(|o| o.to_json()).collect());
+    let spath = dir.join("batch_summary.json");
+    std::fs::write(&spath, summary.pretty())
+        .map_err(|e| format!("cannot write {}: {e}", spath.display()))?;
+
+    let mut csv = String::from(
+        "job,scenario,lambda_nm,engine,converged,periods,steps,rel_change,energy,wall_secs,error\n",
+    );
+    for o in outcomes.iter() {
+        // Engine labels and error messages contain commas; `{:?}` gives
+        // them CSV-safe double quoting (scenario names are restricted to
+        // [A-Za-z0-9_-] by validation and need none).
+        csv.push_str(&format!(
+            "{},{},{},{:?},{},{},{},{:e},{:e},{:.3},{:?}\n",
+            o.job,
+            o.scenario,
+            o.lambda_nm,
+            o.engine,
+            o.converged,
+            o.periods,
+            o.steps,
+            o.rel_change,
+            o.energy,
+            o.wall_secs,
+            o.error.as_deref().unwrap_or("")
+        ));
+    }
+    let cpath = dir.join("batch_summary.csv");
+    std::fs::write(&cpath, csv).map_err(|e| format!("cannot write {}: {e}", cpath.display()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GridSpec, PhysicsSpec, SceneDecl};
+
+    fn tiny_spec(name: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.to_string(),
+            description: String::new(),
+            grid: GridSpec {
+                nx: 4,
+                ny: 4,
+                nz: 24,
+            },
+            physics: PhysicsSpec {
+                lambda_cells: 8.0,
+                lambda_nm: 550.0,
+                cfl: 0.95,
+            },
+            pml: Some(crate::spec::PmlDecl::with_thickness(4)),
+            source: Some(crate::spec::SourceDecl::x_polarized(18, 1.0)),
+            scene: SceneDecl::vacuum(),
+            engine: crate::spec::EngineDecl::NaivePeriodicXY,
+            convergence: crate::spec::ConvergenceDecl {
+                tol: 1e-30, // never converges: deterministic work amount
+                max_periods: 2,
+            },
+            sweep: None,
+            outputs: Default::default(),
+        }
+    }
+
+    #[test]
+    fn batch_returns_outcomes_in_job_order() {
+        let specs = vec![tiny_spec("a"), tiny_spec("b"), tiny_spec("c")];
+        let report = run_batch(
+            &specs,
+            &BatchOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.workers, 2);
+        assert!(report.max_in_flight <= 2, "pool must stay bounded");
+        let names: Vec<&str> = report
+            .outcomes
+            .iter()
+            .map(|o| o.scenario.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.job, i);
+            assert!(o.error.is_none(), "{:?}", o.error);
+            assert_eq!(o.periods, 2);
+            assert!(o.energy > 0.0);
+        }
+    }
+
+    #[test]
+    fn dry_run_steps_nothing() {
+        let specs = vec![tiny_spec("a")];
+        let report = run_batch(
+            &specs,
+            &BatchOptions {
+                dry_run: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes[0].dry_run);
+        assert_eq!(report.outcomes[0].steps, 0);
+        assert!(report.outcomes[0].error.is_none());
+    }
+
+    #[test]
+    fn unknown_engine_override_fails_before_running() {
+        let specs = vec![tiny_spec("a")];
+        let err = run_batch(
+            &specs,
+            &BatchOptions {
+                engine_kind: Some("warp-drive".to_string()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("warp-drive"), "{err}");
+    }
+
+    #[test]
+    fn empty_batch_is_an_error() {
+        assert!(run_batch(&[], &BatchOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Acceptance tests for the concurrent batch runner: bounded worker
+//! pool with real concurrency, one JSON artifact per job, deterministic
+//! output ordering, and thread-budget sharing.
+
+use em_scenarios::runner::{run_batch, BatchOptions};
+use em_scenarios::spec::{
+    ConvergenceDecl, EngineDecl, GridSpec, PhysicsSpec, PmlDecl, ScenarioSpec, SceneDecl,
+    SourceDecl,
+};
+use mwd_core::ThreadBudget;
+use std::path::PathBuf;
+
+/// A deterministic-workload spec: impossible tolerance means it always
+/// runs exactly `max_periods` periods (a few hundred ms in debug), long
+/// enough that pool overlap is observable even on a one-core host.
+fn work_spec(name: &str) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        description: "batch-runner test workload".to_string(),
+        grid: GridSpec {
+            nx: 8,
+            ny: 8,
+            nz: 32,
+        },
+        physics: PhysicsSpec {
+            lambda_cells: 8.0,
+            lambda_nm: 550.0,
+            cfl: 0.95,
+        },
+        pml: Some(PmlDecl::with_thickness(6)),
+        source: Some(SourceDecl::x_polarized(24, 1.0)),
+        scene: SceneDecl::vacuum(),
+        engine: EngineDecl::NaivePeriodicXY,
+        convergence: ConvergenceDecl {
+            tol: 1e-30,
+            max_periods: 4,
+        },
+        sweep: None,
+        outputs: Default::default(),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("em_scenarios_batch_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn batch_runs_three_plus_scenarios_concurrently_with_one_artifact_per_job() {
+    let specs: Vec<ScenarioSpec> = ["job-a", "job-b", "job-c", "job-d", "job-e", "job-f"]
+        .iter()
+        .map(|n| work_spec(n))
+        .collect();
+    let dir = temp_dir("concurrent");
+    let report = run_batch(
+        &specs,
+        &BatchOptions {
+            workers: 3,
+            out_dir: Some(dir.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // Bounded pool, and genuinely concurrent: with six multi-hundred-ms
+    // jobs and three workers, at least two (in practice all three) are
+    // in flight together; the pool cap is never exceeded.
+    assert_eq!(report.workers, 3);
+    assert!(
+        report.max_in_flight <= 3,
+        "pool exceeded its bound: {}",
+        report.max_in_flight
+    );
+    assert!(
+        report.max_in_flight >= 2,
+        "no overlap observed across 6 jobs on 3 workers"
+    );
+
+    // Deterministic ordering regardless of completion order.
+    let names: Vec<&str> = report
+        .outcomes
+        .iter()
+        .map(|o| o.scenario.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        vec!["job-a", "job-b", "job-c", "job-d", "job-e", "job-f"]
+    );
+
+    // One JSON artifact per job, named by job order, plus the summary.
+    for (i, o) in report.outcomes.iter().enumerate() {
+        assert!(o.error.is_none(), "{:?}", o.error);
+        assert_eq!(o.periods, 4, "deterministic workload length");
+        let artifact = o.artifact.as_ref().expect("artifact path recorded");
+        assert!(artifact.is_file(), "{}", artifact.display());
+        let body = std::fs::read_to_string(artifact).unwrap();
+        assert!(body.contains(&format!("\"job\": {i}")), "{body}");
+        assert!(body.contains(&format!("\"scenario\": \"{}\"", o.scenario)));
+        assert!(body.contains("\"energy\""));
+    }
+    assert!(dir.join("batch_summary.json").is_file());
+    let csv = std::fs::read_to_string(dir.join("batch_summary.csv")).unwrap();
+    assert_eq!(csv.lines().count(), 1 + 6, "header + one row per job");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_batches_produce_identical_artifacts() {
+    // Naive engines are deterministic, so two runs of the same batch
+    // must produce byte-identical JSON artifacts (modulo wall_secs,
+    // which is why wall time lives in its own line).
+    let specs = vec![work_spec("repeat")];
+    let (d1, d2) = (temp_dir("rep1"), temp_dir("rep2"));
+    for dir in [&d1, &d2] {
+        run_batch(
+            &specs,
+            &BatchOptions {
+                workers: 1,
+                out_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+    let strip_wall = |p: PathBuf| -> String {
+        std::fs::read_to_string(p)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("wall_secs"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = strip_wall(d1.join("00_repeat_0550nm.json"));
+    let b = strip_wall(d2.join("00_repeat_0550nm.json"));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "artifacts must be reproducible");
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d2);
+}
+
+#[test]
+fn engine_override_applies_to_every_job_and_stays_bit_identical() {
+    // The same workload through --engine mwd must produce the same
+    // converged state as the naive engine: temporal blocking is
+    // bit-identical, so even the energies match exactly.
+    let specs = vec![work_spec("override")];
+    let naive = run_batch(
+        &specs,
+        &BatchOptions {
+            workers: 1,
+            engine_kind: Some("naive".to_string()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mwd = run_batch(
+        &specs,
+        &BatchOptions {
+            workers: 1,
+            engine_kind: Some("mwd".to_string()),
+            threads: Some(2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(naive.outcomes[0].engine.starts_with("naive"));
+    assert!(mwd.outcomes[0].engine.starts_with("mwd"));
+    assert_eq!(mwd.outcomes[0].threads, 2);
+    assert_eq!(
+        naive.outcomes[0].energy.to_bits(),
+        mwd.outcomes[0].energy.to_bits(),
+        "MWD override must stay bit-identical to naive"
+    );
+}
+
+#[test]
+fn auto_pool_shrinks_for_thread_hungry_spec_engines() {
+    // Four jobs whose spec engine wants 6 threads each (2 groups x
+    // 1x1x3) on an 8-thread budget: an auto-sized pool must drop to one
+    // worker so workers x engine-threads stays within the budget.
+    let specs: Vec<ScenarioSpec> = (0..4)
+        .map(|i| {
+            let mut s = work_spec(&format!("hungry-{i}"));
+            s.engine = EngineDecl::Mwd {
+                dw: 4,
+                bz: 2,
+                tg_x: 1,
+                tg_z: 1,
+                tg_c: 3,
+                groups: 2,
+            };
+            s
+        })
+        .collect();
+    let report = run_batch(
+        &specs,
+        &BatchOptions {
+            budget: ThreadBudget::new(8),
+            dry_run: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.workers, 1, "6-thread engines cap an 8-thread pool");
+
+    // An explicitly pinned pool size is honored as is.
+    let pinned = run_batch(
+        &specs,
+        &BatchOptions {
+            workers: 2,
+            budget: ThreadBudget::new(8),
+            dry_run: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(pinned.workers, 2);
+}
+
+#[test]
+fn single_worker_run_gets_the_whole_budget_per_job() {
+    // `mwd run` pins workers = 1; each sequential job's engine share is
+    // then the full budget, not total/jobs.
+    let specs: Vec<ScenarioSpec> = (0..3).map(|i| work_spec(&format!("seq-{i}"))).collect();
+    let report = run_batch(
+        &specs,
+        &BatchOptions {
+            workers: 1,
+            budget: ThreadBudget::new(8),
+            dry_run: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.workers, 1);
+    assert_eq!(report.threads_per_job, 8);
+}
+
+#[test]
+fn thread_budget_is_shared_between_workers_and_jobs() {
+    let specs: Vec<ScenarioSpec> = (0..4).map(|i| work_spec(&format!("budget-{i}"))).collect();
+    let report = run_batch(
+        &specs,
+        &BatchOptions {
+            budget: ThreadBudget::new(8),
+            dry_run: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.workers, 4);
+    assert_eq!(report.threads_per_job, 2);
+    assert!(report.workers * report.threads_per_job <= 8);
+}
+
+#[test]
+fn sweep_jobs_order_is_deterministic_within_a_scenario() {
+    let mut spec = work_spec("sweep");
+    spec.sweep = Some(em_scenarios::SweepDecl {
+        lambdas: vec![
+            em_scenarios::SweepPoint {
+                nm: 450.0,
+                cells: 8.0,
+            },
+            em_scenarios::SweepPoint {
+                nm: 650.0,
+                cells: 12.0,
+            },
+        ],
+    });
+    let report = run_batch(
+        &[spec],
+        &BatchOptions {
+            workers: 2,
+            dry_run: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let nm: Vec<f64> = report.outcomes.iter().map(|o| o.lambda_nm).collect();
+    assert_eq!(nm, vec![450.0, 650.0]);
+    assert_eq!(report.outcomes[0].sweep_index, 0);
+    assert_eq!(report.outcomes[1].sweep_index, 1);
+}

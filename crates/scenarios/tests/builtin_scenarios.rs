@@ -1,0 +1,75 @@
+//! The built-in catalog honors the repo's central contract: on every
+//! scenario's real physics (materials, PML, sources, back iteration),
+//! the MWD temporal-blocking engine reproduces the naive sweep
+//! bit-for-bit.
+
+use em_scenarios::library;
+use em_solver::Engine;
+use mwd_core::{MwdConfig, TgShape};
+
+#[test]
+fn every_builtin_mwd_run_is_bit_identical_to_the_naive_sweep() {
+    let mwd_cfg = MwdConfig {
+        dw: 4,
+        bz: 2,
+        tg: TgShape { x: 1, z: 1, c: 3 },
+        groups: 2,
+    };
+    for spec in library::builtins() {
+        mwd_cfg
+            .validate(spec.dims())
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let jobs = spec.jobs();
+        let job = &jobs[0];
+        let mut naive = spec.build_solver(job).expect("solver builds");
+        let mut mwd = spec.build_solver(job).expect("solver builds");
+        // Seed nontrivial fields so six steps exercise real data flow.
+        naive.state.fields.fill_deterministic(17);
+        mwd.state.fields.fill_deterministic(17);
+
+        naive.step_n(&Engine::Naive, 6).unwrap();
+        mwd.step_n(&Engine::Mwd(mwd_cfg), 6).unwrap();
+        assert!(
+            naive.fields().bit_eq(mwd.fields()),
+            "{}: MWD diverged from naive bits",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn builtin_solvers_expose_the_expected_physics() {
+    // The solar cell and the nanowire contain silver, so the Eq. 5 back
+    // iteration must be active; the calibration slab must not need it.
+    let job = |spec: &em_scenarios::ScenarioSpec| spec.jobs().remove(0);
+
+    let cell = library::solar_cell();
+    let s = cell.build_solver(&job(&cell)).unwrap();
+    assert!(s.back_iteration_cells > 0, "solar cell needs Eq. 5");
+
+    let wire = library::silver_nanowire();
+    let s = wire.build_solver(&job(&wire)).unwrap();
+    assert!(s.back_iteration_cells > 0, "nanowire needs Eq. 5");
+
+    let slab = library::vacuum_slab();
+    let s = slab.build_solver(&job(&slab)).unwrap();
+    assert_eq!(s.back_iteration_cells, 0, "vacuum has no negative eps");
+}
+
+#[test]
+fn builtin_engines_run_on_their_own_specs() {
+    // Each spec's declared engine must actually step its own grid
+    // (one step is enough to catch validation mismatches).
+    for spec in library::builtins() {
+        let jobs = spec.jobs();
+        let job = &jobs[0];
+        let engine = spec
+            .engine()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let mut solver = spec.build_solver(job).expect("solver builds");
+        solver
+            .step_n(&engine, 2)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(solver.state.fields.energy().is_finite());
+    }
+}

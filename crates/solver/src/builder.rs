@@ -1,0 +1,138 @@
+//! Fluent construction of [`SolverConfig`] / [`ThiimSolver`].
+//!
+//! Every workload — the examples, the scenario library, the benches —
+//! used to assemble a `SolverConfig` by hand, mutating `pml` and
+//! `source` after construction. [`SolverBuilder`] is that setup code
+//! extracted once: it produces exactly the `SolverConfig` the manual
+//! path produced (same defaults, same field values), so solvers built
+//! through it are bit-identical to the pre-builder ones.
+
+use crate::geometry::Scene;
+use crate::pml::PmlSpec;
+use crate::solver::{SolverConfig, ThiimSolver};
+use crate::source::SourceSpec;
+use em_field::GridDims;
+
+/// Builder for a THIIM problem description.
+#[derive(Clone, Debug)]
+pub struct SolverBuilder {
+    config: SolverConfig,
+}
+
+impl SolverBuilder {
+    /// Start from a grid: vacuum scene, 10-cell / 550 nm wavelength, the
+    /// [`SolverConfig::new`] CFL default, no PML, no source.
+    pub fn new(dims: GridDims) -> Self {
+        SolverBuilder {
+            config: SolverConfig::new(dims, Scene::vacuum(), 10.0, 550.0),
+        }
+    }
+
+    /// Replace the scene.
+    pub fn scene(mut self, scene: Scene) -> Self {
+        self.config.scene = scene;
+        self
+    }
+
+    /// Vacuum wavelength in cells (grid resolution) and nm (dispersion).
+    pub fn wavelength(mut self, lambda_cells: f64, lambda_nm: f64) -> Self {
+        self.config.lambda_cells = lambda_cells;
+        self.config.lambda_nm = lambda_nm;
+        self
+    }
+
+    /// CFL safety factor.
+    pub fn cfl(mut self, cfl: f64) -> Self {
+        self.config.cfl = cfl;
+        self
+    }
+
+    /// Attach a PML description.
+    pub fn pml(mut self, pml: PmlSpec) -> Self {
+        self.config.pml = Some(pml);
+        self
+    }
+
+    /// Default PML of the given thickness at both z ends.
+    pub fn pml_thickness(self, thickness: usize) -> Self {
+        self.pml(PmlSpec::new(thickness))
+    }
+
+    /// Attach a source description.
+    pub fn source(mut self, source: SourceSpec) -> Self {
+        self.config.source = Some(source);
+        self
+    }
+
+    /// x-polarized unit-phase source sheet at one z plane.
+    pub fn source_plane(self, z_plane: usize, amplitude: f64) -> Self {
+        self.source(SourceSpec::x_polarized(z_plane, amplitude))
+    }
+
+    /// The assembled problem description.
+    pub fn config(self) -> SolverConfig {
+        self.config
+    }
+
+    /// Build the solver (assembles the 28 coefficient arrays).
+    pub fn build(self) -> ThiimSolver {
+        ThiimSolver::new(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Engine;
+
+    #[test]
+    fn builder_matches_manual_config() {
+        let dims = GridDims::new(4, 4, 32);
+        let scene = Scene::tandem_solar_cell(4, 4, 32);
+
+        let mut manual = SolverConfig::new(dims, scene.clone(), 11.0, 550.0);
+        manual.pml = Some(PmlSpec::new(6));
+        manual.source = Some(SourceSpec::x_polarized(26, 1.0));
+
+        let built = SolverBuilder::new(dims)
+            .scene(scene)
+            .wavelength(11.0, 550.0)
+            .pml_thickness(6)
+            .source_plane(26, 1.0)
+            .config();
+
+        assert_eq!(built.dims, manual.dims);
+        assert_eq!(built.lambda_cells, manual.lambda_cells);
+        assert_eq!(built.lambda_nm, manual.lambda_nm);
+        assert_eq!(built.cfl, manual.cfl);
+        assert_eq!(built.pml, manual.pml);
+        assert_eq!(built.source, manual.source);
+    }
+
+    #[test]
+    fn built_solver_is_bit_identical_to_manual_one() {
+        let dims = GridDims::new(4, 4, 24);
+        let mut manual_cfg = SolverConfig::new(dims, Scene::vacuum(), 8.0, 550.0);
+        manual_cfg.pml = Some(PmlSpec::new(4));
+        manual_cfg.source = Some(SourceSpec::x_polarized(18, 1.0));
+        let mut manual = ThiimSolver::new(manual_cfg);
+
+        let mut built = SolverBuilder::new(dims)
+            .wavelength(8.0, 550.0)
+            .pml_thickness(4)
+            .source_plane(18, 1.0)
+            .build();
+
+        manual.step_n(&Engine::NaivePeriodicXY, 20).unwrap();
+        built.step_n(&Engine::NaivePeriodicXY, 20).unwrap();
+        assert!(manual.fields().bit_eq(built.fields()));
+    }
+
+    #[test]
+    fn defaults_are_vacuum_without_boundary_machinery() {
+        let cfg = SolverBuilder::new(GridDims::cubic(8)).config();
+        assert_eq!(cfg.scene.materials.len(), 1);
+        assert!(cfg.pml.is_none());
+        assert!(cfg.source.is_none());
+    }
+}

@@ -16,12 +16,15 @@
 //! - [`source`]: time-harmonic plane-wave drive;
 //! - [`solver`]: the iteration driver with convergence monitoring,
 //!   runnable on any engine (naive / spatial / MWD);
+//! - [`builder`]: fluent one-stop construction of solver configs, shared
+//!   by the examples, the scenario library and the benches;
 //! - [`analysis`]: Poynting flux and per-layer absorption.
 //!
 //! Units are normalized: cell size = 1, vacuum light speed = 1,
 //! eps0 = mu0 = 1. Wavelengths are given in cells.
 
 pub mod analysis;
+pub mod builder;
 pub mod coeffs;
 pub mod fit;
 pub mod geometry;
@@ -30,6 +33,7 @@ pub mod pml;
 pub mod solver;
 pub mod source;
 
+pub use builder::SolverBuilder;
 pub use coeffs::{build_coefficients, CoeffOptions};
 pub use geometry::{Layer, Scene, Sphere};
 pub use materials::{Material, MaterialId};

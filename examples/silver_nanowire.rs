@@ -3,50 +3,38 @@
 //! with `Re(eps) < 0`, the regular FDFD iteration diverges and the back
 //! iteration (Eq. 5) converges — shown side by side.
 //!
+//! The stable half is a thin wrapper over the built-in `silver-nanowire`
+//! scenario (also runnable as `mwd run silver-nanowire`); the divergence
+//! demo keeps using the raw coefficient API, since forcing the unstable
+//! forward iteration is exactly what scenarios refuse to describe.
+//!
 //!     cargo run --release --example silver_nanowire
 
-use thiim_mwd::field::{GridDims, State};
+use thiim_mwd::field::State;
+use thiim_mwd::scenarios::library;
 use thiim_mwd::solver::coeffs::{build_coefficients, CoeffOptions};
-use thiim_mwd::solver::{
-    Engine, Material, PmlSpec, Scene, SolverConfig, SourceSpec, Sphere, ThiimSolver,
-};
-
-fn make_scene(n: usize) -> Scene {
-    let mut scene = Scene::vacuum();
-    let ag = scene.add_material(Material::silver());
-    // A "wire": chain of overlapping silver spheres along y mid-plane.
-    let r = n as f64 * 0.12;
-    for j in 0..n {
-        scene.spheres.push(Sphere {
-            center: [n as f64 / 2.0, j as f64 + 0.5, n as f64 * 0.45],
-            radius: r,
-            material: ag,
-        });
-    }
-    scene
-}
+use thiim_mwd::solver::Material;
 
 fn main() {
-    let n = 24;
-    let dims = GridDims::new(n, n, 2 * n);
-    let scene = make_scene(n);
-    let lambda_nm = 550.0;
-    let lambda_cells = 10.0;
+    let spec = library::silver_nanowire();
+    let jobs = spec.jobs();
+    let job = &jobs[0];
 
-    let mut cfg = SolverConfig::new(dims, scene.clone(), lambda_cells, lambda_nm);
-    cfg.pml = Some(PmlSpec::new(6));
-    cfg.source = Some(SourceSpec::x_polarized(2 * n - 10, 1.0));
-
-    println!("silver nanowire in vacuum, {dims} grid, lambda = {lambda_nm} nm");
-    let (re, im) = Material::silver().eps(lambda_nm);
+    println!(
+        "silver nanowire in vacuum, {} grid, lambda = {} nm",
+        spec.dims(),
+        job.lambda_nm
+    );
+    let (re, im) = Material::silver().eps(job.lambda_nm);
     println!("Ag permittivity: {re:.1} + {im:.2}i  (negative => back iteration)\n");
 
     // THIIM back iteration: stable.
-    let mut solver = ThiimSolver::new(cfg.clone());
+    let mut solver = spec.build_solver(job).expect("builtin scenario builds");
     println!("back-iteration cells: {}", solver.back_iteration_cells);
+    let engine = spec.engine().expect("builtin engine is valid");
     for period in 1..=8 {
         solver
-            .step_n(&Engine::NaivePeriodicXY, solver.steps_per_period())
+            .step_n(&engine, solver.steps_per_period())
             .expect("run");
         println!(
             "  period {period}: field energy = {:.4e} (bounded)",
@@ -55,10 +43,11 @@ fn main() {
     }
 
     // Regular iteration on the same problem: diverges.
-    let mut state = State::zeros(dims);
-    let mut opt = CoeffOptions::new(lambda_cells, lambda_nm);
-    opt.pml = cfg.pml;
-    opt.source = cfg.source;
+    let scene = spec.build_scene().expect("scene builds");
+    let mut state = State::zeros(spec.dims());
+    let mut opt = CoeffOptions::new(job.lambda_cells, job.lambda_nm);
+    opt.pml = solver.config.pml;
+    opt.source = solver.config.source;
     opt.force_forward_iteration = true;
     build_coefficients(&mut state, &scene, &opt);
     let spp = solver.steps_per_period();

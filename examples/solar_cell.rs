@@ -1,78 +1,56 @@
 //! The paper's motivating application (Fig. 1): optical simulation of a
-//! tandem thin-film solar cell — glass superstrate, front TCO, a-Si:H and
-//! uc-Si:H junctions with textured interfaces, back TCO, and a silver
-//! reflector with embedded SiO2 nanoparticles. The silver's negative
-//! permittivity exercises the THIIM back iteration (Eq. 5).
+//! tandem thin-film solar cell. Since the scenario subsystem landed this
+//! example is a thin wrapper over the built-in `solar-cell` scenario —
+//! the grid, stack, sweep and absorption accounting all live in
+//! `em_scenarios::library`, and the same workload runs from the CLI as
+//! `mwd run solar-cell`.
 //!
 //!     cargo run --release --example solar_cell
 
-use thiim_mwd::field::GridDims;
-use thiim_mwd::solver::analysis;
-use thiim_mwd::solver::{Engine, PmlSpec, Scene, SolverConfig, SourceSpec, ThiimSolver};
+use thiim_mwd::scenarios::library;
+use thiim_mwd::scenarios::runner::{run_batch, BatchOptions};
 
 fn main() {
-    let (nx, ny, nz) = (24, 24, 72);
-    let dims = GridDims::new(nx, ny, nz);
-    let scene = Scene::tandem_solar_cell(nx, ny, nz);
+    let spec = library::solar_cell();
+    let scene = spec.build_scene().expect("builtin scene builds");
 
-    println!("tandem thin-film solar cell on a {dims} grid");
+    println!("tandem thin-film solar cell on a {} grid", spec.dims());
     println!("layers (bottom-up): Ag | TCO | uc-Si:H | a-Si:H | TCO | glass | vacuum");
     println!(
         "{} SiO2 nanoparticles at the back reflector\n",
         scene.spheres.len()
     );
 
-    // Sweep three vacuum wavelengths across the visible spectrum. The
+    // The sweep in the spec covers three visible wavelengths; the
     // production workflow runs 80-160 of these per cell design (paper
     // Sec. VI) — exactly why the kernel's throughput matters.
-    for (lambda_nm, lambda_cells) in [(450.0, 9.0), (550.0, 11.0), (650.0, 13.0)] {
-        let mut cfg = SolverConfig::new(dims, scene.clone(), lambda_cells, lambda_nm);
-        cfg.pml = Some(PmlSpec::new(8));
-        cfg.source = Some(SourceSpec::x_polarized(nz - 12, 1.0));
-        let mut solver = ThiimSolver::new(cfg);
+    let report = run_batch(
+        std::slice::from_ref(&spec),
+        &BatchOptions {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("batch runs");
 
-        let report = solver
-            .run_to_convergence(&Engine::NaivePeriodicXY, 2e-2, 60)
-            .expect("engine runs");
-
-        // Absorption split by region (cell fractions of the stack).
-        let z = |f: f64| (f * nz as f64) as usize;
-        let in_asi = analysis::absorption_in_slab(
-            solver.fields(),
-            &scene,
-            lambda_nm,
-            solver.omega,
-            z(0.48),
-            z(0.62),
-        );
-        let in_ucsi = analysis::absorption_in_slab(
-            solver.fields(),
-            &scene,
-            lambda_nm,
-            solver.omega,
-            z(0.20),
-            z(0.48),
-        );
-        let in_ag = analysis::absorption_in_slab(
-            solver.fields(),
-            &scene,
-            lambda_nm,
-            solver.omega,
-            0,
-            z(0.12),
-        );
-        let total = in_asi + in_ucsi + in_ag;
-
+    for o in &report.outcomes {
         println!(
             "lambda {:>3.0} nm | {} periods ({} steps, converged: {}) | back-iter cells: {}",
-            lambda_nm, report.periods, report.steps, report.converged, solver.back_iteration_cells
+            o.lambda_nm, o.periods, o.steps, o.converged, o.back_iteration_cells
         );
+        let total: f64 = o.absorption.iter().map(|(_, a)| a).sum();
         if total > 0.0 {
+            let share = |name: &str| {
+                o.absorption
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0.0, |(_, a)| 100.0 * a / total)
+            };
             println!(
                 "  absorption share: a-Si {:4.1}%  uc-Si {:4.1}%  Ag (loss) {:4.1}%",
-                100.0 * in_asi / total,
-                100.0 * in_ucsi / total,
-                100.0 * in_ag / total
+                share("a-Si"),
+                share("uc-Si"),
+                share("Ag")
             );
         }
     }

@@ -1,0 +1,255 @@
+//! `mwd` — the scenario CLI.
+//!
+//! ```text
+//! mwd list [--names]
+//! mwd show <scenario>
+//! mwd run <scenario>... [--engine K] [--threads N] [--dry-run] [--out DIR]
+//! mwd batch [<scenario>... | --all] [--workers N] [--engine K]
+//!           [--threads N] [--dry-run] [--out DIR]
+//! ```
+//!
+//! A `<scenario>` is a built-in name (`mwd list`) or a path to a
+//! scenario TOML file. `run` executes its scenarios sequentially;
+//! `batch` fans them out over a bounded worker pool that shares the
+//! host's thread budget with each job's engine threads.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use thiim_mwd::scenarios::runner::{run_batch, BatchOptions, BatchReport};
+use thiim_mwd::scenarios::spec::EngineDecl;
+use thiim_mwd::scenarios::{library, ScenarioSpec};
+
+const USAGE: &str = "mwd — declarative THIIM scenario runner
+
+USAGE:
+    mwd list [--names]                  list built-in scenarios
+    mwd show <scenario>                 print a scenario as TOML
+    mwd run <scenario>... [options]     run scenarios sequentially
+    mwd batch [<scenario>...] [options] run scenarios on a worker pool
+    mwd help                            this text
+
+SCENARIOS:
+    a built-in name (see `mwd list`) or a path to a scenario .toml file;
+    `batch` with no scenarios (or with --all) runs the whole catalog
+
+OPTIONS:
+    --engine <kind>    override every job's engine: naive,
+                       naive-periodic-xy, spatial, mwd, mwd-periodic-x
+    --threads <n>      engine threads per job (default: budget share)
+    --workers <n>      batch worker-pool size (default: thread budget)
+    --dry-run          validate and plan without stepping any solver
+    --out <dir>        artifact directory (default: results/scenarios)
+    --quiet            suppress per-job status lines
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(&args[1..]),
+        "show" => cmd_show(&args[1..]),
+        "run" => cmd_run_or_batch(&args[1..], false),
+        "batch" => cmd_run_or_batch(&args[1..], true),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`; try `mwd help`")),
+    }
+}
+
+fn cmd_list(args: &[String]) -> Result<ExitCode, String> {
+    let names_only = match args {
+        [] => false,
+        [flag] if flag == "--names" => true,
+        _ => return Err("usage: mwd list [--names]".to_string()),
+    };
+    for spec in library::builtins() {
+        if names_only {
+            println!("{}", spec.name);
+        } else {
+            println!("{}", spec.summary());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_show(args: &[String]) -> Result<ExitCode, String> {
+    let [name] = args else {
+        return Err("usage: mwd show <scenario>".to_string());
+    };
+    let spec = resolve_scenario(name)?;
+    spec.validate()?;
+    print!("{}", spec.to_toml_string());
+    Ok(ExitCode::SUCCESS)
+}
+
+struct CliOpts {
+    scenarios: Vec<String>,
+    all: bool,
+    engine: Option<String>,
+    threads: Option<usize>,
+    workers: Option<usize>,
+    dry_run: bool,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
+    let mut o = CliOpts {
+        scenarios: Vec::new(),
+        all: false,
+        engine: None,
+        threads: None,
+        workers: None,
+        dry_run: false,
+        out: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--all" => o.all = true,
+            "--dry-run" => o.dry_run = true,
+            "--quiet" => o.quiet = true,
+            "--engine" => o.engine = Some(value("--engine")?),
+            "--threads" => {
+                o.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs a positive integer".to_string())?,
+                )
+            }
+            "--workers" => {
+                o.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs a positive integer".to_string())?,
+                )
+            }
+            "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option `{flag}`; try `mwd help`"))
+            }
+            name => o.scenarios.push(name.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn resolve_scenario(name: &str) -> Result<ScenarioSpec, String> {
+    if let Some(spec) = library::builtin(name) {
+        return Ok(spec);
+    }
+    let path = std::path::Path::new(name);
+    if path.is_file() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        return ScenarioSpec::from_toml_str(&text).map_err(|e| format!("{}: {e}", path.display()));
+    }
+    Err(format!(
+        "`{name}` is neither a built-in scenario nor a scenario file; \
+         built-ins: {}",
+        library::builtin_names().join(", ")
+    ))
+}
+
+fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
+    let o = parse_opts(args)?;
+    let specs: Vec<ScenarioSpec> = if o.scenarios.is_empty() || o.all {
+        if !batch && !o.all {
+            return Err("usage: mwd run <scenario>... (or `mwd run --all`)".to_string());
+        }
+        library::builtins()
+    } else {
+        o.scenarios
+            .iter()
+            .map(|n| resolve_scenario(n))
+            .collect::<Result<_, _>>()?
+    };
+
+    let opts = BatchOptions {
+        // `run` means "execute in order": a single worker; `batch` sizes
+        // the pool from the shared thread budget unless overridden.
+        workers: if batch { o.workers.unwrap_or(0) } else { 1 },
+        engine_kind: o.engine.clone(),
+        threads: o.threads,
+        dry_run: o.dry_run,
+        out_dir: Some(o.out.unwrap_or_else(|| PathBuf::from("results/scenarios"))),
+        budget: mwd_core::ThreadBudget::host(),
+        quiet: o.quiet,
+    };
+    if let Some(kind) = &o.engine {
+        // Fail on typos before any validation output scrolls past.
+        EngineDecl::auto(kind, 1)?;
+    }
+
+    let report = run_batch(&specs, &opts)?;
+    print_report(&report, o.dry_run);
+    if report.failures() > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_report(report: &BatchReport, dry_run: bool) {
+    println!();
+    println!(
+        "{:>3}  {:<18} {:>7}  {:<34} {:>9} {:>7}  status",
+        "job", "scenario", "lambda", "engine", "periods", "wall"
+    );
+    for o in &report.outcomes {
+        let status = match (&o.error, o.dry_run, o.converged) {
+            (Some(e), _, _) => format!("FAILED: {e}"),
+            (None, true, _) => "dry-run ok".to_string(),
+            (None, false, true) => "converged".to_string(),
+            (None, false, false) => "not converged".to_string(),
+        };
+        println!(
+            "{:>3}  {:<18} {:>4} nm  {:<34} {:>9} {:>6.2}s  {}",
+            o.job, o.scenario, o.lambda_nm, o.engine, o.periods, o.wall_secs, status
+        );
+    }
+    println!();
+    if dry_run {
+        println!(
+            "dry run: {} jobs validated on {} worker(s)",
+            report.outcomes.len(),
+            report.workers
+        );
+    } else {
+        println!(
+            "{} jobs on {} worker(s) x {} thread(s), peak {} in flight, {:.2}s wall, {} failed",
+            report.outcomes.len(),
+            report.workers,
+            report.threads_per_job,
+            report.max_in_flight,
+            report.wall_secs,
+            report.failures()
+        );
+        if let Some(a) = report.outcomes.iter().find_map(|o| o.artifact.as_ref()) {
+            println!(
+                "artifacts: {}",
+                a.parent().unwrap_or(std::path::Path::new(".")).display()
+            );
+        }
+    }
+}

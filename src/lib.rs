@@ -17,7 +17,9 @@
 //! - [`models`]: the paper's analytic models (Eqs. 8-12);
 //! - [`tuner`]: the cache-model-guided auto-tuner;
 //! - [`solver`]: the solar-cell optics application (materials, PML,
-//!   back iteration, plane-wave source).
+//!   back iteration, plane-wave source);
+//! - [`scenarios`]: declarative workload specs, the built-in scenario
+//!   catalog and the concurrent batch runner behind the `mwd` CLI.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@
 pub use autotune as tuner;
 pub use em_field as field;
 pub use em_kernels as kernels;
+pub use em_scenarios as scenarios;
 pub use em_solver as solver;
 pub use mem_sim as memsim;
 pub use mwd_core as mwd;

@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use em_field::{Component, GridDims, State};
-use em_kernels::{step_naive, step_spatial, update_component_row, RawGrid, SpatialConfig};
+use em_kernels::simd::{detected_isa, Isa};
+use em_kernels::{
+    step_naive, step_spatial, update_component_row, update_component_rows, RawGrid, SpatialConfig,
+};
 
 fn filled(dims: GridDims) -> State {
     let mut s = State::zeros(dims);
@@ -33,6 +36,35 @@ fn bench_row_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar vs dispatched SIMD on the same rows: element throughput is
+/// cells/s, so criterion's `Melem/s` reads directly as MLUP/s per
+/// variant. Every ISA at or below the detected one is measured.
+fn bench_row_kernel_isas(c: &mut Criterion) {
+    let dims = GridDims::new(256, 8, 8);
+    let state = filled(dims);
+    let comp = Component::Hyx; // Listing-1 type: source + z shift
+    let cells = (dims.nx * dims.ny) as u64;
+    let mut group = c.benchmark_group("row_kernel_isa");
+    group.throughput(Throughput::Elements(cells));
+    for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512] {
+        if isa > detected_isa() {
+            continue;
+        }
+        let g = RawGrid::new(&state).with_isa(isa);
+        let label = if isa == detected_isa() {
+            format!("{}(dispatched)", isa.name())
+        } else {
+            isa.name().to_string()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &comp, |b, &comp| {
+            b.iter(|| unsafe {
+                update_component_rows(&g, comp, 4..5, 0..dims.ny, 0..dims.nx);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_sweeps(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_step");
     for n in [16usize, 32, 48] {
@@ -51,5 +83,10 @@ fn bench_sweeps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_row_kernels, bench_sweeps);
+criterion_group!(
+    benches,
+    bench_row_kernels,
+    bench_row_kernel_isas,
+    bench_sweeps
+);
 criterion_main!(benches);

@@ -2,23 +2,35 @@
 //!
 //! ```text
 //! cargo run --release -p em_bench --bin bench_report -- \
-//!     [--dims N] [--steps N] [--threads N] [--with-scenarios]
+//!     [--dims N] [--steps N] [--threads N] [--max-threads N] \
+//!     [--engine FILTER] [--with-scenarios]
 //! ```
 //!
 //! Measures wall-clock MLUP/s per engine (naive / spatial / 1WD / MWD)
 //! on a synthetic state, optionally times every built-in scenario, and
 //! writes the machine-readable report CI uploads as an artifact.
+//!
+//! Threading: by default every core `available_parallelism` reports is
+//! used. `--max-threads N` caps that default (an explicit cap — there is
+//! no silent one), and `--threads N` pins the count exactly, ignoring
+//! the cap. Both the host's available parallelism and the threads
+//! actually used are recorded in the report.
+//!
+//! `--engine FILTER` times only engines whose label contains FILTER
+//! (case-insensitive), so CI and local runs can measure a single engine
+//! without paying for the full matrix.
 
-use em_bench::report::{measure_kernels, measure_scenario, BenchReport};
+use em_bench::report::{
+    available_parallelism, measure_kernels_filtered, measure_scenario_filtered, BenchReport,
+};
 use em_field::GridDims;
 
 fn main() {
     let mut dims_n = 48usize;
     let mut steps = 4usize;
-    let mut threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(4);
+    let mut threads: Option<usize> = None;
+    let mut max_threads: Option<usize> = None;
+    let mut engine_filter: Option<String> = None;
     let mut with_scenarios = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,23 +44,62 @@ fn main() {
         match a.as_str() {
             "--dims" => dims_n = num("--dims"),
             "--steps" => steps = num("--steps"),
-            "--threads" => threads = num("--threads"),
+            "--threads" => threads = Some(num("--threads")),
+            "--max-threads" => max_threads = Some(num("--max-threads")),
+            "--engine" => {
+                engine_filter = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--engine needs a filter string"))
+                        .clone(),
+                )
+            }
             "--with-scenarios" => with_scenarios = true,
             other => die(&format!(
                 "unknown option `{other}` \
-                 (usage: bench_report [--dims N] [--steps N] [--threads N] [--with-scenarios])"
+                 (usage: bench_report [--dims N] [--steps N] [--threads N] \
+                 [--max-threads N] [--engine FILTER] [--with-scenarios])"
             )),
         }
     }
 
+    let host = available_parallelism();
+    let threads = match (threads, max_threads) {
+        (Some(t), _) => t,
+        (None, Some(cap)) => host.min(cap.max(1)),
+        (None, None) => host,
+    };
+    if threads == 0 {
+        die("--threads must be at least 1");
+    }
+    let filter = engine_filter.as_deref();
+
     let dims = GridDims::cubic(dims_n);
-    println!("kernel benchmark: {dims} grid, {steps} steps, {threads} threads");
-    let mut runs = vec![measure_kernels(dims, steps, threads)];
+    println!(
+        "kernel benchmark: {dims} grid, {steps} steps, {threads} threads \
+         (host reports {host}), isa {}",
+        em_kernels::active_isa()
+    );
+    let kernels = measure_kernels_filtered(dims, steps, threads, filter);
+    if kernels.engines.is_empty() {
+        die(&format!(
+            "--engine `{}` matches no kernel engine (try: naive, spatial, 1wd, mwd)",
+            filter.unwrap_or_default()
+        ));
+    }
+    let mut runs = vec![kernels];
 
     if with_scenarios {
         for spec in em_scenarios::builtins() {
             println!("scenario benchmark: {} ({})", spec.name, spec.dims());
-            match measure_scenario(&spec, steps.min(2), threads) {
+            match measure_scenario_filtered(&spec, steps.min(2), threads, filter) {
+                // A filter can match kernel engines but no scenario
+                // engine (e.g. `--engine 1wd`): skip instead of writing
+                // an empty measurement into the artifact.
+                Ok(run) if run.engines.is_empty() => println!(
+                    "scenario {}: no engine matches `{}`, skipped",
+                    spec.name,
+                    filter.unwrap_or_default()
+                ),
                 Ok(run) => runs.push(run),
                 Err(e) => die(&format!("scenario {}: {e}", spec.name)),
             }

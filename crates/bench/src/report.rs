@@ -39,12 +39,24 @@ pub struct BenchRun {
 #[derive(Clone, Debug)]
 pub struct BenchReport {
     pub git_rev: String,
-    pub host_threads: usize,
+    /// What `std::thread::available_parallelism` reported on this host.
+    /// The threads *actually used* are recorded per run (`BenchRun::threads`);
+    /// the two differ whenever a cap or an explicit `--threads` was applied.
+    pub host_available_parallelism: usize,
+    /// Instruction set the row kernels dispatched to (`scalar`/`avx2`/`avx512`).
+    pub simd_isa: String,
     pub runs: Vec<BenchRun>,
 }
 
 fn mlups(dims: GridDims, steps: usize, secs: f64) -> f64 {
     (dims.cells() * steps) as f64 / secs.max(1e-12) / 1e6
+}
+
+/// What the host reports as available parallelism (1 if unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The current git revision, read from `.git` directly (no subprocess):
@@ -99,12 +111,26 @@ fn rev_from_git_dir(git_dir: &std::path::Path) -> Option<String> {
 /// Time the four engines on a deterministic synthetic state (the
 /// quickstart configuration: same seed, same grid for every engine).
 pub fn measure_kernels(dims: GridDims, steps: usize, threads: usize) -> BenchRun {
+    measure_kernels_filtered(dims, steps, threads, None)
+}
+
+/// [`measure_kernels`] restricted to engines whose label contains
+/// `filter` (case-insensitive substring); `None` measures all.
+pub fn measure_kernels_filtered(
+    dims: GridDims,
+    steps: usize,
+    threads: usize,
+    filter: Option<&str>,
+) -> BenchRun {
     let mut proto = State::zeros(dims);
     proto.fields.fill_deterministic(42);
     proto.coeffs.fill_deterministic(43);
 
     let mut engines = Vec::new();
     let mut time = |label: String, f: &mut dyn FnMut(&mut State)| {
+        if !engine_matches(&label, filter) {
+            return;
+        }
         let mut s = proto.clone();
         let t0 = std::time::Instant::now();
         f(&mut s);
@@ -127,9 +153,11 @@ pub fn measure_kernels(dims: GridDims, steps: usize, threads: usize) -> BenchRun
     time(format!("1wd(dw=4, bz=2, groups={threads})"), &mut |s| {
         run_mwd(s, &one_wd, steps).expect("1WD runs");
     });
+    // dw=16/bz=4 keeps the wavefront tile L2-resident at bench grid
+    // sizes, where the SIMD row kernels run compute-bound.
     let shared = MwdConfig {
-        dw: 8,
-        bz: 2,
+        dw: 16,
+        bz: 4,
         tg: mwd_core::TgShape {
             x: 1,
             z: 1,
@@ -138,7 +166,10 @@ pub fn measure_kernels(dims: GridDims, steps: usize, threads: usize) -> BenchRun
         groups: 1,
     };
     time(
-        format!("mwd(dw=8, bz=2, tg=1x1x{}, groups=1)", shared.tg.c),
+        format!(
+            "mwd(dw={}, bz={}, tg=1x1x{}, groups=1)",
+            shared.dw, shared.bz, shared.tg.c
+        ),
         &mut |s| {
             run_mwd(s, &shared, steps).expect("MWD runs");
         },
@@ -153,12 +184,31 @@ pub fn measure_kernels(dims: GridDims, steps: usize, threads: usize) -> BenchRun
     }
 }
 
+/// Case-insensitive substring match used by `--engine` filtering.
+pub fn engine_matches(label: &str, filter: Option<&str>) -> bool {
+    match filter {
+        None => true,
+        Some(f) => label.to_ascii_lowercase().contains(&f.to_ascii_lowercase()),
+    }
+}
+
 /// Time engines on a real scenario workload: the solver is rebuilt per
 /// engine (fresh fields) and stepped `steps` times.
 pub fn measure_scenario(
     spec: &ScenarioSpec,
     steps: usize,
     threads: usize,
+) -> Result<BenchRun, String> {
+    measure_scenario_filtered(spec, steps, threads, None)
+}
+
+/// [`measure_scenario`] restricted to engines whose label contains
+/// `filter` (case-insensitive substring); `None` measures all.
+pub fn measure_scenario_filtered(
+    spec: &ScenarioSpec,
+    steps: usize,
+    threads: usize,
+    filter: Option<&str>,
 ) -> Result<BenchRun, String> {
     spec.validate()?;
     let dims = spec.dims();
@@ -184,6 +234,9 @@ pub fn measure_scenario(
         ),
     ];
     for (label, engine) in candidates {
+        if !engine_matches(&label, filter) {
+            continue;
+        }
         let mut solver = spec.build_solver(&job)?;
         let t0 = std::time::Instant::now();
         solver.step_n(&engine, steps)?;
@@ -239,9 +292,8 @@ impl BenchReport {
     pub fn new(runs: Vec<BenchRun>) -> Self {
         BenchReport {
             git_rev: git_rev(),
-            host_threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            host_available_parallelism: available_parallelism(),
+            simd_isa: em_kernels::active_isa().name().to_string(),
             runs,
         }
     }
@@ -249,7 +301,11 @@ impl BenchReport {
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("git_rev", Json::str(&self.git_rev)),
-            ("host_threads", Json::Int(self.host_threads as i64)),
+            (
+                "host_available_parallelism",
+                Json::Int(self.host_available_parallelism as i64),
+            ),
+            ("simd_isa", Json::str(&self.simd_isa)),
             (
                 "runs",
                 Json::Arr(self.runs.iter().map(|r| r.to_json()).collect()),
@@ -294,10 +350,34 @@ mod tests {
     fn report_json_has_the_tracked_fields() {
         let report = BenchReport::new(vec![measure_kernels(GridDims::cubic(8), 1, 1)]);
         let text = report.to_json().pretty();
-        for key in ["git_rev", "host_threads", "runs", "engines", "mlups"] {
+        for key in [
+            "git_rev",
+            "host_available_parallelism",
+            "simd_isa",
+            "runs",
+            "engines",
+            "mlups",
+        ] {
             assert!(text.contains(key), "missing `{key}`:\n{text}");
         }
         assert!(!report.git_rev.is_empty());
+        assert!(["scalar", "avx2", "avx512"].contains(&report.simd_isa.as_str()));
+    }
+
+    #[test]
+    fn engine_filter_selects_a_subset() {
+        let run = measure_kernels_filtered(GridDims::cubic(8), 1, 1, Some("1wd"));
+        assert_eq!(run.engines.len(), 1);
+        assert!(run.engines[0].engine.contains("1wd"));
+        let none = measure_kernels_filtered(GridDims::cubic(8), 1, 1, Some("nope"));
+        assert!(none.engines.is_empty());
+    }
+
+    #[test]
+    fn engine_matches_is_case_insensitive_substring() {
+        assert!(engine_matches("mwd(dw=8)", None));
+        assert!(engine_matches("MWD(dw=8)", Some("mwd")));
+        assert!(!engine_matches("naive", Some("mwd")));
     }
 
     #[test]

@@ -151,6 +151,27 @@ pub fn split_range(
     start..end.min(range.end)
 }
 
+/// [`split_range`] with chunk boundaries rounded to multiples of `lane`
+/// (relative to `range.start`): whole lanes are distributed balanced
+/// across the parts, so every chunk but the last is a whole number of
+/// lanes. Used for the TG x-chunk split so the SIMD row kernels process
+/// each chunk without scalar tails. Still a partition of `range`; when
+/// `parts` exceeds the lane count some trailing parts are empty.
+pub fn split_range_aligned(
+    range: std::ops::Range<usize>,
+    parts: usize,
+    i: usize,
+    lane: usize,
+) -> std::ops::Range<usize> {
+    debug_assert!(lane > 0);
+    let len = range.end.saturating_sub(range.start);
+    let lanes = len.div_ceil(lane);
+    let lr = split_range(0..lanes, parts, i);
+    let start = (range.start + lr.start * lane).min(range.end);
+    let end = (range.start + lr.end * lane).min(range.end);
+    start..end
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +274,46 @@ mod tests {
     fn split_range_with_offset() {
         let r = split_range(5..15, 3, 1);
         assert_eq!(r, 9..12);
+    }
+
+    #[test]
+    fn split_range_aligned_is_a_lane_partition() {
+        for (len, parts, lane) in [
+            (48usize, 3usize, 8usize),
+            (50, 3, 8),
+            (7, 2, 8),
+            (17, 4, 4),
+            (0, 2, 8),
+            (64, 16, 8),
+        ] {
+            let mut covered = vec![0usize; len];
+            for i in 0..parts {
+                let r = split_range_aligned(0..len, parts, i, lane);
+                if !r.is_empty() {
+                    // Every chunk starts on a lane boundary.
+                    assert_eq!(r.start % lane, 0, "len={len} parts={parts} i={i}");
+                    // Every chunk except the one holding the ragged end
+                    // is a whole number of lanes.
+                    if r.end != len || len % lane == 0 {
+                        assert_eq!(r.len() % lane, 0, "len={len} parts={parts} i={i}");
+                    }
+                }
+                for j in r {
+                    covered[j] += 1;
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "len={len} parts={parts} lane={lane}: {covered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_range_aligned_respects_offset() {
+        let r = split_range_aligned(4..20, 2, 0, 8);
+        assert_eq!(r, 4..12);
+        let r = split_range_aligned(4..20, 2, 1, 8);
+        assert_eq!(r, 12..20);
     }
 }

@@ -25,7 +25,7 @@
 //! thread count, `run_mwd` must produce exactly the bits of `step_naive`.
 
 use crate::barrier::SpinBarrier;
-use crate::config::{split_range, MwdConfig};
+use crate::config::{split_range, split_range_aligned, MwdConfig};
 use crate::queue::ReadyQueue;
 use crate::tiling::{Tile, TilePlan};
 use crate::wavefront::WavefrontSpec;
@@ -268,7 +268,11 @@ fn execute_tile(
             let zwin = wf.window(p, row.lag, dims.nz);
             if !zwin.is_empty() {
                 let my_z = split_range(zwin, cfg.tg.z, iz);
-                let my_x = split_range(0..dims.nx, cfg.tg.x, ix);
+                // x chunks are lane-aligned so every member's rows hit
+                // the SIMD fast path without per-chunk scalar tails (the
+                // split stays a partition; results are bit-identical for
+                // any chunking because cell updates are independent).
+                let my_x = split_range_aligned(0..dims.nx, cfg.tg.x, ix, em_kernels::LANE_WIDTH);
                 if !my_z.is_empty() && !my_x.is_empty() {
                     let comps = Component::of(row.kind);
                     for &comp in &comps[ic * comps_per..(ic + 1) * comps_per] {

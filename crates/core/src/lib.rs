@@ -30,7 +30,7 @@ pub mod wavefront;
 
 pub use barrier::SpinBarrier;
 pub use budget::{BudgetSplit, ThreadBudget};
-pub use config::{split_range, MwdConfig, TgShape};
+pub use config::{split_range, split_range_aligned, MwdConfig, TgShape};
 pub use diamond::{diamond_rows, DiamondRow, DiamondWidth};
 pub use executor::{
     run_mwd, run_mwd_bc, run_mwd_with_plan, run_mwd_with_plan_bc, MwdBoundary, RunStats,

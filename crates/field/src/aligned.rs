@@ -3,8 +3,14 @@
 //! The stencil arrays are the unit of all memory-traffic accounting in the
 //! paper, so their base addresses are aligned to 64-byte cache lines: this
 //! keeps SIMD loads unsplit and makes the per-row byte counts used by the
-//! cache simulator exact (a row of `nx` complex numbers occupies exactly
-//! `nx * 16 / 64` lines when `nx` is a multiple of 4).
+//! cache simulator exact (a plane row of `nx` doubles occupies exactly
+//! `nx * 8 / 64` lines when `nx` is a multiple of 8).
+//!
+//! The same 64-byte unit doubles as the SIMD *lane-width guarantee*: any
+//! offset that is a multiple of [`LANE_F64`] doubles from the buffer base
+//! is aligned for the widest vector registers in use (AVX-512, 8 x f64).
+//! `Array3C` rounds its re/im plane stride up with [`round_up_lane`] so
+//! both planes of every array inherit this guarantee.
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut};
@@ -13,6 +19,16 @@ use std::slice;
 
 /// Alignment for all field storage, one x86 cache line.
 pub const ALIGN: usize = 64;
+
+/// Doubles per cache line — also the widest SIMD lane count (AVX-512)
+/// the row kernels dispatch to. Offsets that are multiples of this from
+/// an [`AlignedBuf`] base are 64-byte aligned.
+pub const LANE_F64: usize = ALIGN / std::mem::size_of::<f64>();
+
+/// Round an element count up to the next multiple of [`LANE_F64`].
+pub const fn round_up_lane(len: usize) -> usize {
+    len.div_ceil(LANE_F64) * LANE_F64
+}
 
 /// A heap buffer of `f64` zero-initialized and aligned to [`ALIGN`] bytes.
 ///
@@ -189,5 +205,18 @@ mod tests {
             let b = AlignedBuf::zeroed(len);
             assert_eq!(b.as_ptr() as usize % ALIGN, 0, "len={len}");
         }
+    }
+
+    #[test]
+    fn lane_constants_are_consistent() {
+        assert_eq!(LANE_F64, 8);
+        assert_eq!(round_up_lane(0), 0);
+        assert_eq!(round_up_lane(1), 8);
+        assert_eq!(round_up_lane(8), 8);
+        assert_eq!(round_up_lane(9), 16);
+        // A lane-rounded offset from an aligned base stays aligned.
+        let b = AlignedBuf::zeroed(round_up_lane(13) * 2);
+        let second = unsafe { b.as_ptr().add(round_up_lane(13)) };
+        assert_eq!(second as usize % ALIGN, 0);
     }
 }

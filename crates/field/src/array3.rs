@@ -1,17 +1,27 @@
-//! Interleaved-complex 3-D arrays with a one-cell zero halo.
+//! Split re/im 3-D arrays with a one-cell zero halo.
 //!
-//! Layout mirrors the paper's C code: a flat `f64` buffer holding
-//! `re, im` pairs, with x contiguous, then y, then z:
-//! `idx(x, y, z) = 2 * (((z+1) * py + (y+1)) * px + (x+1))` where
-//! `px = nx + 2` etc. include the halo. Interior coordinates are
-//! `0..nx`; the halo at `-1` and `n` stays zero, which realizes the
-//! homogeneous Dirichlet boundaries the paper benchmarks with.
+//! Unlike the paper's C code (which interleaves `re, im` pairs), each
+//! array stores two contiguous `f64` planes: all real parts first, then
+//! all imaginary parts, each with x contiguous, then y, then z:
+//! `idx(x, y, z) = ((z+1) * py + (y+1)) * px + (x+1)` where `px = nx + 2`
+//! etc. include the halo, and the imaginary part of a value lives at
+//! `idx + im_offset()`. The split layout makes every kernel access
+//! unit-stride, which is what lets the SIMD row kernels in `em_kernels`
+//! fill whole vector registers with one load.
+//!
+//! The plane stride is rounded up to a whole number of cache lines
+//! ([`crate::aligned::round_up_lane`]) so both planes start 64-byte
+//! aligned; the padding gap between the planes is never written and
+//! stays zero. Interior coordinates are `0..nx`; the halo at `-1` and
+//! `n` stays zero, which realizes the homogeneous Dirichlet boundaries
+//! the paper benchmarks with.
 
-use crate::aligned::AlignedBuf;
+use crate::aligned::{round_up_lane, AlignedBuf};
 use crate::complex::Cplx;
 use crate::grid::GridDims;
 
-/// One double-complex field or coefficient array.
+/// One double-complex field or coefficient array, stored as split
+/// re/im planes.
 #[derive(Clone, Debug)]
 pub struct Array3C {
     buf: AlignedBuf,
@@ -20,17 +30,22 @@ pub struct Array3C {
     px: usize,
     py: usize,
     pz: usize,
+    /// f64 distance from a value's real part to its imaginary part:
+    /// the lane-rounded plane size `round_up_lane(px * py * pz)`.
+    plane: usize,
 }
 
 impl Array3C {
     pub fn zeros(dims: GridDims) -> Self {
         let (px, py, pz) = (dims.nx + 2, dims.ny + 2, dims.nz + 2);
+        let plane = round_up_lane(px * py * pz);
         Array3C {
-            buf: AlignedBuf::zeroed(2 * px * py * pz),
+            buf: AlignedBuf::zeroed(2 * plane),
             dims,
             px,
             py,
             pz,
+            plane,
         }
     }
 
@@ -45,19 +60,26 @@ impl Array3C {
         (self.px, self.py, self.pz)
     }
 
-    /// f64 distance between consecutive y rows.
+    /// f64 distance between consecutive y rows (within one plane).
     #[inline]
     pub fn y_stride(&self) -> usize {
-        2 * self.px
+        self.px
     }
 
-    /// f64 distance between consecutive z planes.
+    /// f64 distance between consecutive z planes (within one plane).
     #[inline]
     pub fn z_stride(&self) -> usize {
-        2 * self.px * self.py
+        self.px * self.py
     }
 
-    /// Flat index of the real part of interior cell `(x, y, z)`.
+    /// f64 distance from a value's real part to its imaginary part.
+    #[inline]
+    pub fn im_offset(&self) -> usize {
+        self.plane
+    }
+
+    /// Flat index of the real part of interior cell `(x, y, z)`; the
+    /// imaginary part lives at `idx + im_offset()`.
     /// Halo cells are addressable with coordinates `-1` and `n`.
     #[inline]
     pub fn idx(&self, x: isize, y: isize, z: isize) -> usize {
@@ -76,20 +98,20 @@ impl Array3C {
         let xi = (x + 1) as usize;
         let yi = (y + 1) as usize;
         let zi = (z + 1) as usize;
-        2 * ((zi * self.py + yi) * self.px + xi)
+        (zi * self.py + yi) * self.px + xi
     }
 
     #[inline]
     pub fn get(&self, x: isize, y: isize, z: isize) -> Cplx {
         let i = self.idx(x, y, z);
-        Cplx::new(self.buf[i], self.buf[i + 1])
+        Cplx::new(self.buf[i], self.buf[i + self.plane])
     }
 
     #[inline]
     pub fn set(&mut self, x: isize, y: isize, z: isize, v: Cplx) {
         let i = self.idx(x, y, z);
         self.buf[i] = v.re;
-        self.buf[i + 1] = v.im;
+        self.buf[i + self.plane] = v.im;
     }
 
     #[inline]
@@ -109,7 +131,7 @@ impl Array3C {
         self.buf.as_ptr_shared()
     }
 
-    /// Total `f64` length including halo.
+    /// Total `f64` length including halo and inter-plane padding.
     #[inline]
     pub fn flat_len(&self) -> usize {
         self.buf.len()
@@ -174,13 +196,14 @@ impl Array3C {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aligned::{ALIGN, LANE_F64};
 
     #[test]
     fn zeros_has_zero_halo_and_interior() {
         let a = Array3C::zeros(GridDims::new(3, 4, 5));
         assert!(a.halo_is_zero());
         assert_eq!(a.get(2, 3, 4), Cplx::ZERO);
-        assert_eq!(a.flat_len(), 2 * 5 * 6 * 7);
+        assert_eq!(a.flat_len(), 2 * round_up_lane(5 * 6 * 7));
     }
 
     #[test]
@@ -194,9 +217,38 @@ mod tests {
     #[test]
     fn strides_relate_neighbors() {
         let a = Array3C::zeros(GridDims::new(4, 3, 2));
-        assert_eq!(a.idx(1, 0, 0) - a.idx(0, 0, 0), 2);
+        assert_eq!(a.idx(1, 0, 0) - a.idx(0, 0, 0), 1);
         assert_eq!(a.idx(0, 1, 0) - a.idx(0, 0, 0), a.y_stride());
         assert_eq!(a.idx(0, 0, 1) - a.idx(0, 0, 0), a.z_stride());
+    }
+
+    #[test]
+    fn planes_are_split_and_lane_aligned() {
+        let a = Array3C::zeros(GridDims::new(3, 4, 5));
+        let (px, py, pz) = a.padded_extents();
+        assert_eq!(a.im_offset(), round_up_lane(px * py * pz));
+        assert_eq!(a.im_offset() % LANE_F64, 0);
+        // Both plane base addresses are cache-line aligned.
+        let base = a.as_slice().as_ptr() as usize;
+        assert_eq!(base % ALIGN, 0);
+        assert_eq!(
+            (base + a.im_offset() * std::mem::size_of::<f64>()) % ALIGN,
+            0
+        );
+    }
+
+    #[test]
+    fn re_and_im_land_in_their_planes() {
+        let mut a = Array3C::zeros(GridDims::new(2, 2, 2));
+        a.set(1, 0, 1, Cplx::new(2.0, -7.0));
+        let i = a.idx(1, 0, 1);
+        assert_eq!(a.as_slice()[i], 2.0);
+        assert_eq!(a.as_slice()[i + a.im_offset()], -7.0);
+        // Nothing leaked into the inter-plane padding.
+        let (px, py, pz) = a.padded_extents();
+        for p in (px * py * pz)..a.im_offset() {
+            assert_eq!(a.as_slice()[p], 0.0, "padding at {p} must stay zero");
+        }
     }
 
     #[test]

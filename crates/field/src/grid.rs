@@ -40,10 +40,21 @@ impl GridDims {
         self.cells() * Self::BYTES_PER_CELL
     }
 
-    /// Bytes in one x-row of one array, halo excluded: the block unit used
-    /// by the row-granularity cache simulator.
+    /// Bytes in one *logical* x-row of one array, halo excluded: the block
+    /// unit used by the row-granularity cache simulator. With the split
+    /// re/im layout a logical row is two plane rows of
+    /// [`Self::plane_row_bytes`] each — the total moved per row is
+    /// unchanged from the interleaved layout, so all code-balance numbers
+    /// of the paper carry over.
     pub const fn row_bytes(&self) -> usize {
-        self.nx * 16
+        2 * self.plane_row_bytes()
+    }
+
+    /// Bytes in one x-row of one re or im *plane* of one array: `nx`
+    /// doubles. Two of these (at `im_offset()` distance) make up a logical
+    /// row of [`Self::row_bytes`].
+    pub const fn plane_row_bytes(&self) -> usize {
+        self.nx * 8
     }
 
     pub fn validate(&self) -> Result<(), String> {
@@ -83,6 +94,13 @@ mod tests {
         // through the simulator substrate rather than natively.
         let g = GridDims::cubic(384);
         assert_eq!(g.state_bytes(), 384usize.pow(3) * 640);
+    }
+
+    #[test]
+    fn row_bytes_is_two_plane_rows() {
+        let g = GridDims::new(48, 4, 4);
+        assert_eq!(g.plane_row_bytes(), 48 * 8);
+        assert_eq!(g.row_bytes(), 48 * 16);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! # em-field — storage substrate for the THIIM/FDFD split-field stencil
 //!
 //! This crate provides the data layer of the reproduction: double-complex
-//! 3-D arrays stored exactly like the paper's production code (interleaved
-//! `re, im` pairs of `f64`, x fastest, then y, then z), the twelve Berenger
+//! 3-D arrays stored as *split re/im planes* (two contiguous `f64` planes
+//! per array, x fastest, then y, then z — unlike the paper's production
+//! code, which interleaves `re, im` pairs), the twelve Berenger
 //! split-field components of the electric and magnetic fields, and the 28
 //! domain-sized coefficient arrays, for a total of 40 arrays and 640 bytes
-//! per grid cell (Sec. III of the paper).
+//! per grid cell (Sec. III of the paper). The split layout keeps every
+//! kernel access unit-stride so the row updates vectorize; see
+//! [`array3`] for the plane-stride and alignment guarantees.
 //!
 //! Component naming follows the paper's Fig. 3 / Listings 1–2 convention:
 //! the **first** subscript is the vector component the array contributes to,
@@ -25,7 +28,7 @@ pub mod fields;
 pub mod grid;
 pub mod norms;
 
-pub use aligned::AlignedBuf;
+pub use aligned::{AlignedBuf, LANE_F64};
 pub use array3::Array3C;
 pub use complex::Cplx;
 pub use component::{Axis, Component, FieldKind, SourceArray, TotalComponent};

@@ -6,17 +6,38 @@ use crate::complex::Cplx;
 use crate::component::Component;
 use crate::fields::FieldSet;
 
+/// Visit every interior x-row of `a` as two contiguous slices
+/// `(re_row, im_row)` — the split-plane layout makes each row
+/// unit-stride, so reductions stream instead of gathering cell by cell.
+fn for_each_interior_row(a: &Array3C, mut f: impl FnMut(&[f64], &[f64])) {
+    let d = a.dims();
+    let (buf, im) = (a.as_slice(), a.im_offset());
+    for z in 0..d.nz {
+        for y in 0..d.ny {
+            let base = a.idx(0, y as isize, z as isize);
+            f(&buf[base..base + d.nx], &buf[im + base..im + base + d.nx]);
+        }
+    }
+}
+
 /// L2 norm over the interior of a single array.
 pub fn l2(a: &Array3C) -> f64 {
-    a.iter_interior()
-        .map(|(_, v)| v.norm_sqr())
-        .sum::<f64>()
-        .sqrt()
+    let mut sum = 0.0;
+    for_each_interior_row(a, |re, im| {
+        sum += re.iter().map(|v| v * v).sum::<f64>() + im.iter().map(|v| v * v).sum::<f64>();
+    });
+    sum.sqrt()
 }
 
 /// L-infinity norm over the interior of a single array.
 pub fn linf(a: &Array3C) -> f64 {
-    a.iter_interior().map(|(_, v)| v.abs()).fold(0.0, f64::max)
+    let mut m = 0.0f64;
+    for_each_interior_row(a, |re, im| {
+        for (r, i) in re.iter().zip(im) {
+            m = m.max(Cplx::new(*r, *i).abs());
+        }
+    });
+    m
 }
 
 /// L2 norm of the difference of two arrays.

@@ -19,8 +19,11 @@
 //! Levi-Civita curl sign. With `D = center - neighbor` the same expression
 //! `dst*t + src - sign*c*D` reproduces both listings: Listing 1 (`Hyx`,
 //! sign +1, z-shift, with source) and Listing 2 (`Hzx`, sign -1, y-shift,
-//! no source). All arithmetic is double-complex on interleaved `re, im`
-//! pairs, exactly as in the C code.
+//! no source). All arithmetic is double-complex on *split re/im planes*
+//! (unlike the interleaved C code), which makes every access unit-stride
+//! and lets the [`simd`] module run the row body in full vector lanes —
+//! scalar, AVX2 and AVX-512 paths are bit-for-bit identical because the
+//! per-cell operation order is fixed and FMA contraction is never used.
 //!
 //! ## Safety architecture
 //!
@@ -34,11 +37,13 @@
 pub mod boundary;
 pub mod flops;
 pub mod raw;
+pub mod simd;
 pub mod spatial;
 pub mod sweep;
 pub mod update;
 
 pub use raw::RawGrid;
+pub use simd::{active_isa, detected_isa, Isa, LANE_WIDTH};
 pub use spatial::{step_spatial, step_spatial_mt, SpatialConfig};
 pub use sweep::{run_naive, step_naive};
 pub use update::{

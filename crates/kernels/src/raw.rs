@@ -25,10 +25,16 @@ pub struct RawGrid<'a> {
     c: [*const f64; 12],
     src: [*const f64; 4],
     dims: GridDims,
-    /// f64 distance between y rows.
+    /// f64 distance between y rows (within one re/im plane).
     pub y_stride: usize,
-    /// f64 distance between z planes.
+    /// f64 distance between z planes (within one re/im plane).
     pub z_stride: usize,
+    /// f64 distance from a value's real part to its imaginary part
+    /// (identical for every array: same dims, same plane padding).
+    pub im_off: usize,
+    /// Instruction set the row kernels dispatch to, selected once at
+    /// construction via [`crate::simd::active_isa`].
+    pub isa: crate::simd::Isa,
     _marker: std::marker::PhantomData<&'a State>,
 }
 
@@ -65,8 +71,17 @@ impl<'a> RawGrid<'a> {
             dims,
             y_stride: probe.y_stride(),
             z_stride: probe.z_stride(),
+            im_off: probe.im_offset(),
+            isa: crate::simd::active_isa(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// The same view with a forced instruction set — used by the parity
+    /// tests and the scalar-vs-SIMD microbenchmarks.
+    pub fn with_isa(mut self, isa: crate::simd::Isa) -> Self {
+        self.isa = isa;
+        self
     }
 
     #[inline]
@@ -95,18 +110,19 @@ impl<'a> RawGrid<'a> {
     }
 
     /// Flat f64 index of the real part of interior cell `(x, y, z)`
-    /// (identical for every array).
+    /// (identical for every array); the imaginary part lives at
+    /// `idx + self.im_off`.
     #[inline]
     pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
         debug_assert!(x < self.dims.nx && y < self.dims.ny && z < self.dims.nz);
-        (z + 1) * self.z_stride + (y + 1) * self.y_stride + 2 * (x + 1)
+        (z + 1) * self.z_stride + (y + 1) * self.y_stride + (x + 1)
     }
 
-    /// Signed f64 offset of a unit step along `axis`.
+    /// Signed f64 offset of a unit step along `axis` (within one plane).
     #[inline]
     pub fn axis_stride(&self, axis: em_field::Axis) -> usize {
         match axis {
-            em_field::Axis::X => 2,
+            em_field::Axis::X => 1,
             em_field::Axis::Y => self.y_stride,
             em_field::Axis::Z => self.z_stride,
         }
@@ -132,9 +148,17 @@ mod tests {
     fn strides_match_axes() {
         let state = State::zeros(GridDims::new(5, 4, 3));
         let g = RawGrid::new(&state);
-        assert_eq!(g.axis_stride(Axis::X), 2);
+        assert_eq!(g.axis_stride(Axis::X), 1);
         assert_eq!(g.axis_stride(Axis::Y), g.idx(0, 1, 0) - g.idx(0, 0, 0));
         assert_eq!(g.axis_stride(Axis::Z), g.idx(0, 0, 1) - g.idx(0, 0, 0));
+    }
+
+    #[test]
+    fn im_offset_is_shared_by_all_arrays() {
+        let state = State::zeros(GridDims::new(5, 4, 3));
+        let g = RawGrid::new(&state);
+        assert_eq!(g.im_off, state.fields.comp(Component::Exy).im_offset());
+        assert_eq!(g.im_off, state.coeffs.t(Component::Hzy).im_offset());
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! Row-granularity cache traffic simulator.
 //!
-//! Blocks are whole x-rows of one array: `(array, y, z)`, `Nx * 16` bytes
-//! each. The shared last-level cache is an [`LruCache`] with write-back /
+//! Blocks are whole *logical* x-rows of one array: `(array, y, z)`,
+//! `Nx * 16` bytes each. With the split re/im storage
+//! (`em_field::Array3C`) a logical row is physically two plane rows of
+//! `Nx * 8` bytes (`GridDims::plane_row_bytes`) at `im_offset()`
+//! distance; the kernels always touch both planes of a row together, so
+//! tracking them as one block keeps the simulator faithful while the
+//! per-row byte count — and with it every code-balance number of the
+//! paper (Eqs. 8, 9, 12) — is unchanged from the interleaved layout.
+//! The shared last-level cache is an [`LruCache`] with write-back /
 //! write-allocate semantics; every miss fetches a row from memory, every
 //! dirty eviction writes one back — the two numbers LIKWID's MEM group
 //! reports on the real machine.

@@ -3,7 +3,10 @@
 /// Double-precision flops per lattice-site update: 4*22 + 8*20.
 pub const FLOPS_PER_LUP: f64 = 248.0;
 
-/// Bytes of state per grid cell: 40 double-complex arrays.
+/// Bytes of state per grid cell: 40 double-complex arrays. The split
+/// re/im layout stores each array's 16 bytes/cell as 8 in the re plane
+/// plus 8 in the im plane; the total — and every balance model below —
+/// is identical to the interleaved layout's.
 pub const BYTES_PER_CELL: f64 = 640.0;
 
 /// Eq. 8 — naive code balance: the four z-shift loop nests move 18

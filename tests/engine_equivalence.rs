@@ -175,6 +175,60 @@ fn mwd_corner_case_matrix_is_bit_identical_to_naive() {
     }
 }
 
+/// Split re/im layout + SIMD dispatch oracle at the engine level: every
+/// engine — which runs on whatever ISA `active_isa` selected for this
+/// host — must reproduce, bit for bit, a hand-rolled sweep forced onto
+/// the *scalar* kernel. This chains the engine schedules, the new plane
+/// layout and the ISA dispatch into one end-to-end equivalence.
+#[test]
+fn engines_on_dispatched_isa_match_forced_scalar_kernels() {
+    use thiim_mwd::field::Component;
+    use thiim_mwd::kernels::simd::Isa;
+    use thiim_mwd::kernels::{update::update_component_rows, RawGrid};
+
+    let dims = GridDims::new(11, 9, 7);
+    let steps = 4;
+    let scalar = filled(dims, 424);
+    for _ in 0..steps {
+        let g = RawGrid::new(&scalar).with_isa(Isa::Scalar);
+        for comp in Component::H_ALL.into_iter().chain(Component::E_ALL) {
+            // SAFETY: single-threaded full-grid sweep (the `step_naive`
+            // schedule).
+            unsafe { update_component_rows(&g, comp, 0..dims.nz, 0..dims.ny, 0..dims.nx) };
+        }
+    }
+
+    let mut naive = filled(dims, 424);
+    run_naive(&mut naive, steps);
+    assert!(
+        naive.fields.bit_eq(&scalar.fields),
+        "naive (isa {}) deviates from forced-scalar kernels",
+        thiim_mwd::kernels::active_isa()
+    );
+
+    let mut spatial = filled(dims, 424);
+    for _ in 0..steps {
+        step_spatial_mt(&mut spatial, SpatialConfig::new(3, 2), 2);
+    }
+    assert!(spatial.fields.bit_eq(&scalar.fields), "spatial deviates");
+
+    for cfg in [
+        MwdConfig::one_wd(4, 2, 2),
+        MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: TgShape { x: 2, z: 2, c: 3 },
+            groups: 1,
+        },
+    ] {
+        let mut tiled = filled(dims, 424);
+        run_mwd(&mut tiled, &cfg, steps).unwrap();
+        if let Some(m) = norms::first_mismatch(&tiled.fields, &scalar.fields) {
+            panic!("{cfg:?}: first mismatch vs forced-scalar {m:?}");
+        }
+    }
+}
+
 #[test]
 fn mwd_intermediate_time_blocks_compose() {
     // Temporal blocking over nt must equal blocking over nt1 + nt2.

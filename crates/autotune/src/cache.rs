@@ -1,0 +1,611 @@
+//! The persistent, per-host tuning cache and the staged resolver.
+//!
+//! The paper's auto-tuner is only worth its cost if each `(machine,
+//! grid, thread budget)` point is paid for once. This module makes the
+//! search a cached subsystem: [`resolve`] answers "which [`MwdConfig`]
+//! should this job run?" by staged lookup —
+//!
+//! 1. **cache hit**: a previous answer for the same [`TuneKey`]
+//!    (host fingerprint, grid, engine kind, thread count) is returned
+//!    as-is, with no model, simulator or native work;
+//! 2. **model-pruned search**: the candidate space is pruned against the
+//!    cache window (Eq. 11) and ranked with the closed-form
+//!    [`ModelEvaluator`], then the top few finalists are re-scored by
+//!    the cache-simulator-backed [`SimEvaluator`];
+//! 3. **optional native refinement**: the best sim-ranked finalists are
+//!    probed with wall-clock [`NativeEvaluator`] runs on a proxy grid;
+//! 4. **store**: the winner is recorded and, for a file-backed cache,
+//!    persisted as JSON next to the other result artifacts.
+//!
+//! Everything up to the native stage is deterministic, so two misses on
+//! the same key pick the same winner; the native stage trades that for
+//! measured truth, which is exactly what the cache then pins down.
+
+use crate::fingerprint::host_fingerprint;
+use crate::jsonio::{self, JValue};
+use crate::prune::{prune, CacheWindow};
+use crate::space::SearchSpace;
+use crate::tuner::{Evaluator, ModelEvaluator, NativeEvaluator, SimEvaluator};
+use em_field::GridDims;
+use mwd_core::MwdConfig;
+use perf_models::MachineSpec;
+use std::path::{Path, PathBuf};
+
+/// Which stage of the pipeline produced a cached configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Closed-form model ranking only (degenerate spaces).
+    Model,
+    /// Cache-simulator scoring of the model finalists.
+    Sim,
+    /// Wall-clock native probes of the sim finalists.
+    Native,
+}
+
+impl Stage {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Model => "model",
+            Stage::Sim => "sim",
+            Stage::Native => "native",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Stage, String> {
+        match s {
+            "model" => Ok(Stage::Model),
+            "sim" => Ok(Stage::Sim),
+            "native" => Ok(Stage::Native),
+            other => Err(format!("unknown tuning stage `{other}`")),
+        }
+    }
+}
+
+/// What a tuning answer is keyed by. Two jobs with equal keys are
+/// interchangeable as far as the tuner is concerned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneKey {
+    /// Host fingerprint: threads + active ISA + machine model
+    /// (see [`host_fingerprint`]).
+    pub fingerprint: String,
+    pub dims: GridDims,
+    /// Engine kind the configuration is for (`mwd` / `mwd-periodic-x`).
+    pub engine: String,
+    /// Total threads the configuration must occupy (the job's
+    /// thread-budget slice).
+    pub threads: usize,
+}
+
+impl TuneKey {
+    /// The key for this host running `machine` as its model.
+    pub fn for_host(
+        machine: &MachineSpec,
+        dims: GridDims,
+        engine: &str,
+        threads: usize,
+    ) -> TuneKey {
+        TuneKey {
+            fingerprint: host_fingerprint(machine),
+            dims,
+            engine: engine.to_string(),
+            threads,
+        }
+    }
+
+    /// Canonical identity string (also the de-duplication key on disk).
+    pub fn id(&self) -> String {
+        key_id(
+            &self.fingerprint,
+            &format!("{}", self.dims),
+            &self.engine,
+            self.threads,
+        )
+    }
+}
+
+/// The one place the identity encoding lives: [`TuneKey::id`] and the
+/// stored entries' keys must never drift apart.
+fn key_id(fingerprint: &str, dims: &str, engine: &str, threads: usize) -> String {
+    format!("{fingerprint}|{dims}|{engine}|t{threads}")
+}
+
+/// One stored tuning answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneEntry {
+    pub fingerprint: String,
+    /// `NXxNYxNZ`, matching [`GridDims`]'s `Display`.
+    pub dims: String,
+    pub engine: String,
+    pub threads: usize,
+    pub config: MwdConfig,
+    pub score_mlups: f64,
+    pub stage: Stage,
+    /// Native probes spent producing this entry (0 for model/sim).
+    pub native_probes: usize,
+}
+
+impl TuneEntry {
+    fn key_id(&self) -> String {
+        key_id(&self.fingerprint, &self.dims, &self.engine, self.threads)
+    }
+
+    fn to_json(&self) -> JValue {
+        JValue::Obj(vec![
+            ("fingerprint".to_string(), JValue::str(&self.fingerprint)),
+            ("dims".to_string(), JValue::str(&self.dims)),
+            ("engine".to_string(), JValue::str(&self.engine)),
+            ("threads".to_string(), JValue::Num(self.threads as f64)),
+            ("config".to_string(), JValue::str(self.config.to_compact())),
+            ("score_mlups".to_string(), JValue::Num(self.score_mlups)),
+            ("stage".to_string(), JValue::str(self.stage.as_str())),
+            (
+                "native_probes".to_string(),
+                JValue::Num(self.native_probes as f64),
+            ),
+        ])
+    }
+
+    fn from_json(v: &JValue) -> Result<TuneEntry, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry is missing string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(JValue::as_f64)
+                .ok_or_else(|| format!("entry is missing numeric field `{key}`"))
+        };
+        Ok(TuneEntry {
+            fingerprint: str_field("fingerprint")?,
+            dims: str_field("dims")?,
+            engine: str_field("engine")?,
+            threads: num_field("threads")? as usize,
+            config: MwdConfig::from_compact(&str_field("config")?)?,
+            score_mlups: num_field("score_mlups")?,
+            stage: Stage::parse(&str_field("stage")?)?,
+            native_probes: num_field("native_probes")? as usize,
+        })
+    }
+}
+
+const CACHE_VERSION: f64 = 1.0;
+
+/// The tuning cache: an ordered set of [`TuneEntry`]s, optionally backed
+/// by a JSON file. In-memory caches (no path) give `engine = "auto"`
+/// resolution without touching the filesystem.
+#[derive(Clone, Debug)]
+pub struct TuneCache {
+    path: Option<PathBuf>,
+    entries: Vec<TuneEntry>,
+    dirty: bool,
+}
+
+/// The conventional on-disk location, next to the other result
+/// artifacts.
+pub fn default_cache_path() -> PathBuf {
+    PathBuf::from("results").join("tune_cache.json")
+}
+
+impl TuneCache {
+    /// An empty, unpersisted cache.
+    pub fn in_memory() -> TuneCache {
+        TuneCache {
+            path: None,
+            entries: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    /// Load a file-backed cache; a missing file is an empty cache (first
+    /// run), a malformed one is an error naming the path.
+    pub fn load(path: &Path) -> Result<TuneCache, String> {
+        let mut cache = TuneCache {
+            path: Some(path.to_path_buf()),
+            entries: Vec::new(),
+            dirty: false,
+        };
+        if !path.exists() {
+            return Ok(cache);
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read tuning cache {}: {e}", path.display()))?;
+        let doc =
+            jsonio::parse(&text).map_err(|e| format!("tuning cache {}: {e}", path.display()))?;
+        let version = doc.get("version").and_then(JValue::as_f64).unwrap_or(0.0);
+        if version != CACHE_VERSION {
+            return Err(format!(
+                "tuning cache {}: unsupported version {version} (expected {CACHE_VERSION})",
+                path.display()
+            ));
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(JValue::as_arr)
+            .ok_or_else(|| format!("tuning cache {}: missing `entries` array", path.display()))?;
+        for (i, e) in entries.iter().enumerate() {
+            let entry = TuneEntry::from_json(e)
+                .map_err(|e| format!("tuning cache {} entry #{i}: {e}", path.display()))?;
+            cache.entries.push(entry);
+        }
+        Ok(cache)
+    }
+
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    pub fn entries(&self) -> &[TuneEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, key: &TuneKey) -> Option<&TuneEntry> {
+        let id = key.id();
+        self.entries.iter().find(|e| e.key_id() == id)
+    }
+
+    /// Insert or replace the entry for its key.
+    pub fn put(&mut self, entry: TuneEntry) {
+        let id = entry.key_id();
+        match self.entries.iter_mut().find(|e| e.key_id() == id) {
+            Some(slot) => {
+                if *slot == entry {
+                    return;
+                }
+                *slot = entry;
+            }
+            None => self.entries.push(entry),
+        }
+        self.dirty = true;
+    }
+
+    fn to_json(&self) -> JValue {
+        JValue::Obj(vec![
+            ("version".to_string(), JValue::Num(CACHE_VERSION)),
+            (
+                "entries".to_string(),
+                JValue::Arr(self.entries.iter().map(TuneEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Persist to the backing file if there is one and entries changed.
+    /// Returns whether a write happened.
+    pub fn save(&mut self) -> Result<bool, String> {
+        let Some(path) = &self.path else {
+            return Ok(false);
+        };
+        if !self.dirty {
+            return Ok(false);
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        // Write-then-rename so a crash mid-write (or a concurrent
+        // reader) never sees a torn file — `load` hard-errors on
+        // malformed JSON, so a torn write would otherwise wedge every
+        // later tuned run until the file is deleted by hand.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json().pretty())
+            .map_err(|e| format!("cannot write tuning cache {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("cannot move tuning cache into {}: {e}", path.display())
+        })?;
+        self.dirty = false;
+        Ok(true)
+    }
+}
+
+/// Knobs for [`resolve`]'s miss path.
+#[derive(Clone, Debug)]
+pub struct ResolveOptions {
+    /// The modeled machine driving pruning, model and simulator scores.
+    pub machine: MachineSpec,
+    pub window: CacheWindow,
+    /// Sim-score at most this many model-ranked finalists.
+    pub sim_top: usize,
+    /// Cap on the simulator's proxy ny/nz (0 = the [`SimEvaluator`]
+    /// default). The ranking is Nx-dominated, so a tight cap keeps
+    /// resolution interactive without reordering realistic spaces.
+    pub sim_proxy_cap: usize,
+    /// Natively probe at most this many sim-ranked finalists
+    /// (0 disables the native stage).
+    pub refine_top: usize,
+    /// Steps per native probe.
+    pub probe_steps: usize,
+    /// Retune even on a cache hit.
+    pub force: bool,
+}
+
+impl Default for ResolveOptions {
+    fn default() -> Self {
+        ResolveOptions {
+            machine: MachineSpec::HASWELL_E5_2699_V3,
+            window: CacheWindow::default(),
+            sim_top: 4,
+            sim_proxy_cap: 32,
+            refine_top: 0,
+            probe_steps: 4,
+            force: false,
+        }
+    }
+}
+
+/// What [`resolve`] hands back: the configuration to run plus where it
+/// came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Resolution {
+    pub config: MwdConfig,
+    pub score_mlups: f64,
+    pub stage: Stage,
+    pub cache_hit: bool,
+    /// Native probes spent by *this* resolution (0 on a hit).
+    pub native_probes: usize,
+}
+
+/// Resolve a key through the staged pipeline, consulting and updating
+/// `cache` (the caller persists file-backed caches via
+/// [`TuneCache::save`]).
+pub fn resolve(
+    cache: &mut TuneCache,
+    key: &TuneKey,
+    opts: &ResolveOptions,
+) -> Result<Resolution, String> {
+    if !opts.force {
+        if let Some(entry) = cache.get(key) {
+            return Ok(Resolution {
+                config: entry.config,
+                score_mlups: entry.score_mlups,
+                stage: entry.stage,
+                cache_hit: true,
+                native_probes: 0,
+            });
+        }
+    }
+    let (config, score_mlups, stage, native_probes) = tune_miss(key, opts)?;
+    cache.put(TuneEntry {
+        fingerprint: key.fingerprint.clone(),
+        dims: format!("{}", key.dims),
+        engine: key.engine.clone(),
+        threads: key.threads,
+        config,
+        score_mlups,
+        stage,
+        native_probes,
+    });
+    Ok(Resolution {
+        config,
+        score_mlups,
+        stage,
+        cache_hit: false,
+        native_probes,
+    })
+}
+
+/// The miss path: model-pruned search, sim scoring, optional native
+/// refinement. Deterministic up to the native stage.
+fn tune_miss(
+    key: &TuneKey,
+    opts: &ResolveOptions,
+) -> Result<(MwdConfig, f64, Stage, usize), String> {
+    let dims = key.dims;
+    let threads = key.threads.max(1);
+    let space = SearchSpace::default_for(threads);
+    let cands = space.candidates(dims, threads);
+    if cands.is_empty() {
+        return Err(format!(
+            "no valid MWD candidate for {dims} at {threads} thread(s)"
+        ));
+    }
+    let (mut kept, _) = prune(cands.clone(), dims, &opts.machine, opts.window);
+    if kept.is_empty() {
+        // Degenerate grids/windows: rank everything instead of failing.
+        kept = cands;
+    }
+
+    // Stage: model ranking of every pruned survivor (closed form, cheap).
+    let mut model = ModelEvaluator {
+        machine: opts.machine,
+        dims,
+        threads,
+    };
+    let mut ranked: Vec<(MwdConfig, f64)> = kept
+        .into_iter()
+        .map(|c| {
+            let s = model.evaluate(&c);
+            (c, s)
+        })
+        .collect();
+    // Stable sort: ties keep enumeration order, so the ranking is
+    // deterministic for a fixed MachineSpec.
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    // Stage: cache-simulator scoring of the model finalists.
+    let sim_top = opts.sim_top.max(1).min(ranked.len());
+    let mut sim = SimEvaluator::new(opts.machine, dims, threads);
+    if opts.sim_proxy_cap > 0 {
+        sim.proxy_cap = opts.sim_proxy_cap;
+    }
+    let mut finalists: Vec<(MwdConfig, f64)> = ranked[..sim_top]
+        .iter()
+        .map(|(c, _)| (*c, sim.evaluate(c)))
+        .collect();
+    finalists.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let (mut best, mut best_score) = finalists[0];
+    let mut stage = Stage::Sim;
+
+    // Stage: native refinement of the sim finalists on a proxy grid.
+    let mut probes = 0;
+    if opts.refine_top > 0 {
+        let k = opts.refine_top.min(finalists.len());
+        let proxy = GridDims {
+            nx: dims.nx,
+            ny: dims.ny.clamp(1, 24),
+            nz: dims.nz.clamp(1, 24),
+        };
+        let mut native = NativeEvaluator::new(proxy, opts.probe_steps.max(1));
+        let mut measured: Option<(MwdConfig, f64)> = None;
+        for (cand, _) in &finalists[..k] {
+            let s = native.evaluate(cand);
+            probes += 1;
+            if s > 0.0 && measured.as_ref().is_none_or(|(_, ms)| s > *ms) {
+                measured = Some((*cand, s));
+            }
+        }
+        if let Some((cand, s)) = measured {
+            best = cand;
+            best_score = s;
+            stage = Stage::Native;
+        }
+    }
+    Ok((best, best_score, stage, probes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HSW: MachineSpec = MachineSpec::HASWELL_E5_2699_V3;
+
+    fn key(dims: GridDims, threads: usize) -> TuneKey {
+        TuneKey::for_host(&HSW, dims, "mwd", threads)
+    }
+
+    fn quick_opts() -> ResolveOptions {
+        ResolveOptions {
+            sim_top: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_returns_the_same_config_without_work() {
+        let mut cache = TuneCache::in_memory();
+        let k = key(GridDims::cubic(32), 2);
+        let first = resolve(&mut cache, &k, &quick_opts()).unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.config.validate(k.dims).is_ok());
+        assert_eq!(first.config.threads(), 2);
+        let second = resolve(&mut cache, &k, &quick_opts()).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.native_probes, 0);
+        assert_eq!(second.config, first.config);
+        assert_eq!(second.score_mlups, first.score_mlups);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let mut cache = TuneCache::in_memory();
+        let o = quick_opts();
+        resolve(&mut cache, &key(GridDims::cubic(32), 2), &o).unwrap();
+        resolve(&mut cache, &key(GridDims::cubic(32), 1), &o).unwrap();
+        resolve(&mut cache, &key(GridDims::new(16, 16, 48), 2), &o).unwrap();
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn force_retunes_but_stays_deterministic() {
+        let mut cache = TuneCache::in_memory();
+        let k = key(GridDims::cubic(32), 2);
+        let first = resolve(&mut cache, &k, &quick_opts()).unwrap();
+        let forced = resolve(
+            &mut cache,
+            &k,
+            &ResolveOptions {
+                force: true,
+                ..quick_opts()
+            },
+        )
+        .unwrap();
+        assert!(!forced.cache_hit);
+        assert_eq!(forced.config, first.config, "sim path is deterministic");
+        assert_eq!(forced.score_mlups, first.score_mlups);
+    }
+
+    #[test]
+    fn cache_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("autotune_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("tune_cache.json");
+
+        let mut cache = TuneCache::load(&path).unwrap();
+        assert!(cache.is_empty(), "missing file loads empty");
+        let k = key(GridDims::cubic(32), 2);
+        let first = resolve(&mut cache, &k, &quick_opts()).unwrap();
+        assert!(cache.save().unwrap(), "dirty cache writes");
+        assert!(!cache.save().unwrap(), "clean cache does not rewrite");
+
+        let mut reloaded = TuneCache::load(&path).unwrap();
+        assert_eq!(reloaded.entries(), cache.entries());
+        let hit = resolve(&mut reloaded, &k, &quick_opts()).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.config, first.config);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_cache_files_error_with_the_path() {
+        let dir = std::env::temp_dir().join(format!("autotune_cache_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tune_cache.json");
+        std::fs::write(&path, "{\"version\": 99, \"entries\": []}\n").unwrap();
+        let err = TuneCache::load(&path).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(TuneCache::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn native_refinement_probes_and_still_caches() {
+        let mut cache = TuneCache::in_memory();
+        let k = key(GridDims::new(8, 12, 12), 2);
+        let opts = ResolveOptions {
+            sim_top: 2,
+            refine_top: 2,
+            probe_steps: 2,
+            ..Default::default()
+        };
+        let r = resolve(&mut cache, &k, &opts).unwrap();
+        assert!(!r.cache_hit);
+        assert_eq!(r.native_probes, 2);
+        assert_eq!(r.stage, Stage::Native);
+        assert!(r.config.validate(k.dims).is_ok());
+        // Second resolution is a pure hit: zero native probes.
+        let hit = resolve(&mut cache, &k, &opts).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.native_probes, 0);
+        assert_eq!(hit.config, r.config);
+    }
+
+    #[test]
+    fn entry_json_roundtrips() {
+        let entry = TuneEntry {
+            fingerprint: "2t-avx2-test".to_string(),
+            dims: "24x24x72".to_string(),
+            engine: "mwd-periodic-x".to_string(),
+            threads: 4,
+            config: MwdConfig::one_wd(8, 2, 4),
+            score_mlups: 123.5,
+            stage: Stage::Native,
+            native_probes: 3,
+        };
+        let back = TuneEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(back, entry);
+    }
+}

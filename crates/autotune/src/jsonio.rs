@@ -1,0 +1,378 @@
+//! Minimal JSON reading and writing for the tuning cache.
+//!
+//! The workspace's existing JSON support (`em_scenarios::json`) is a
+//! write-only artifact formatter in a crate *above* this one, and the
+//! persistent tuning cache must be read back across processes — so this
+//! module carries both directions, hand-rolled in the same no-crates.io
+//! spirit as the scenario TOML codec. The subset is full JSON minus
+//! exotic escapes: objects (insertion-ordered), arrays, strings with the
+//! common escapes plus `\uXXXX`, numbers, booleans and null.
+//!
+//! The CLI integration tests also use [`parse`] to check artifact
+//! schemas, which keeps the reader honest against the writer in
+//! `em_scenarios::json` (both emit the same dialect).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects preserve insertion order so that
+/// `parse(render(v)) == v` and rendered files are diffable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JValue>),
+    Obj(Vec<(String, JValue)>),
+}
+
+impl JValue {
+    pub fn str(s: impl Into<String>) -> JValue {
+        JValue::Str(s.into())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JValue> {
+        match self {
+            JValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JValue]> {
+        match self {
+            JValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render with two-space indentation and a trailing newline (the
+    /// same shape `em_scenarios::json` produces).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, level: usize) {
+        match self {
+            JValue::Null => out.push_str("null"),
+            JValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JValue::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n:?}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JValue::Str(s) => escape_into(out, s),
+            JValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                    item.render(out, level + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+                out.push(']');
+            }
+            JValue::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(level + 1));
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.render(out, level + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<JValue, String> {
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if let Some((i, c)) = p.chars.peek() {
+        return Err(format!("trailing content at byte {i}: `{c}`"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected `{want}` at byte {i}, found `{c}`")),
+            None => Err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn value(&mut self) -> Result<JValue, String> {
+        match self.chars.peek().copied() {
+            None => Err("unexpected end of input".to_string()),
+            Some((_, '{')) => self.object(),
+            Some((_, '[')) => self.array(),
+            Some((_, '"')) => Ok(JValue::Str(self.string()?)),
+            Some((_, 't')) => self.keyword("true", JValue::Bool(true)),
+            Some((_, 'f')) => self.keyword("false", JValue::Bool(false)),
+            Some((_, 'n')) => self.keyword("null", JValue::Null),
+            Some((i, c)) if c == '-' || c.is_ascii_digit() => self.number(i),
+            Some((i, c)) => Err(format!("unexpected `{c}` at byte {i}")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: JValue) -> Result<JValue, String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self, start: usize) -> Result<JValue, String> {
+        let mut end = self.text.len();
+        while let Some((i, c)) = self.chars.peek().copied() {
+            if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+                self.chars.next();
+            } else {
+                end = i;
+                break;
+            }
+        }
+        let lit = &self.text[start..end];
+        lit.parse::<f64>()
+            .map(JValue::Num)
+            .map_err(|_| format!("bad number literal `{lit}` at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some((_, '"')) => return Ok(out),
+                Some((i, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (j, c) = self
+                                .chars
+                                .next()
+                                .ok_or("unterminated \\u escape".to_string())?;
+                            let d = c
+                                .to_digit(16)
+                                .ok_or_else(|| format!("bad hex digit `{c}` at byte {j}"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid \\u{code:04x} escape"))?,
+                        );
+                    }
+                    Some((j, c)) => return Err(format!("bad escape `\\{c}` at byte {j}")),
+                    None => return Err(format!("unterminated escape at byte {i}")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JValue, String> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, '}'))) {
+            self.chars.next();
+            return Ok(JValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => return Ok(JValue::Obj(pairs)),
+                Some((i, c)) => return Err(format!("expected `,` or `}}` at byte {i}, got `{c}`")),
+                None => return Err("unterminated object".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JValue, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, ']'))) {
+            self.chars.next();
+            return Ok(JValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, ']')) => return Ok(JValue::Arr(items)),
+                Some((i, c)) => return Err(format!("expected `,` or `]` at byte {i}, got `{c}`")),
+                None => return Err("unterminated array".to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JValue::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), JValue::Num(-1250.0));
+        assert_eq!(parse(r#""a\nb\u0041""#).unwrap(), JValue::str("a\nbA"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&JValue::Null));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn pretty_roundtrips() {
+        let v = JValue::Obj(vec![
+            ("name".to_string(), JValue::str("tune \"cache\"")),
+            ("hit".to_string(), JValue::Bool(false)),
+            ("score".to_string(), JValue::Num(17.25)),
+            ("count".to_string(), JValue::Num(3.0)),
+            (
+                "items".to_string(),
+                JValue::Arr(vec![JValue::Num(1.0), JValue::Null]),
+            ),
+            ("empty".to_string(), JValue::Obj(vec![])),
+        ]);
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_numbers_render_without_fraction() {
+        assert_eq!(JValue::Num(3.0).pretty(), "3\n");
+        assert_eq!(JValue::Num(3.5).pretty(), "3.5\n");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn reads_the_scenario_writer_dialect() {
+        // The shape `em_scenarios::json::Json::pretty` emits.
+        let doc = "{\n  \"job\": 0,\n  \"energy\": 1.25e-3,\n  \"error\": null\n}\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("job").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("energy").unwrap().as_f64(), Some(0.00125));
+        assert_eq!(v.get("error"), Some(&JValue::Null));
+    }
+}

@@ -11,11 +11,25 @@
 //! against the usable cache window, and [`tuner`] scores the survivors
 //! with a pluggable evaluator — simulator-backed for the paper-scale
 //! figures, wall-clock for native runs.
+//!
+//! On top of the search sits the persistent subsystem the serving path
+//! uses: [`fingerprint`] identifies the host (threads + SIMD ISA +
+//! machine model), [`cache`] stores tuned winners per `(fingerprint,
+//! grid, engine, thread budget)` key and resolves misses through the
+//! staged lookup → model-pruned search → optional native refinement
+//! pipeline, and [`jsonio`] reads/writes the cache file.
 
+pub mod cache;
+pub mod fingerprint;
+pub mod jsonio;
 pub mod prune;
 pub mod space;
 pub mod tuner;
 
+pub use cache::{
+    default_cache_path, resolve, Resolution, ResolveOptions, Stage, TuneCache, TuneEntry, TuneKey,
+};
+pub use fingerprint::{host_fingerprint, machine_slug};
 pub use prune::{cache_fit, CacheWindow};
 pub use space::{Candidate, SearchSpace};
 pub use tuner::{autotune, Evaluator, ModelEvaluator, NativeEvaluator, SimEvaluator, TuneResult};

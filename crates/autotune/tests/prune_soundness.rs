@@ -1,0 +1,110 @@
+//! Property tests for the tuner's pruning stage and determinism.
+//!
+//! The pruning soundness property re-derives candidate feasibility from
+//! Eq. 11 first principles (`groups x cache_block_bytes` against the
+//! window over the usable L3) rather than through `cache_fit`, so a
+//! regression in either `prune` or `total_block_bytes` breaks the test
+//! instead of cancelling out.
+
+use autotune::{autotune, cache_fit, CacheWindow, Candidate, ModelEvaluator, SearchSpace};
+use em_field::GridDims;
+use perf_models::{cache_block_bytes, MachineSpec};
+use proptest::prelude::*;
+
+const HSW: MachineSpec = MachineSpec::HASWELL_E5_2699_V3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `prune` is a partition, and it never discards a candidate whose
+    /// cache-block footprint fits the window (nor keeps one that does
+    /// not) — over random grids, thread counts, window bounds and L3
+    /// capacities.
+    #[test]
+    fn prune_keeps_exactly_the_window_fitting_candidates(
+        nx in 8usize..256,
+        ny in 8usize..64,
+        nz in 8usize..64,
+        threads in 1usize..9,
+        lo in 0.0f64..0.5,
+        span in 0.05f64..1.5,
+        l3_mib in 2usize..64,
+    ) {
+        let dims = GridDims::new(nx, ny, nz);
+        let machine = MachineSpec {
+            l3_bytes: l3_mib * 1024 * 1024,
+            ..HSW
+        };
+        let window = CacheWindow { lo_frac: lo, hi_frac: lo + span };
+        let cands = SearchSpace::default_for(threads).candidates(dims, threads);
+        prop_assert!(!cands.is_empty());
+        let (kept, pruned) = autotune::prune::prune(cands.clone(), dims, &machine, window);
+        prop_assert_eq!(kept.len() + pruned, cands.len());
+
+        // Ground truth straight from Eq. 11.
+        let usable = machine.usable_l3();
+        let fits = |c: &Candidate| {
+            let total = c.groups as f64 * cache_block_bytes(dims.nx, c.dw, c.bz);
+            total >= window.lo_frac * usable && total <= window.hi_frac * usable
+        };
+        for c in &cands {
+            let in_kept = kept.contains(c);
+            prop_assert_eq!(
+                in_kept,
+                fits(c),
+                "candidate {:?} (fits={}) mishandled by prune",
+                c,
+                fits(c)
+            );
+            prop_assert_eq!(cache_fit(c, dims, &machine, window), fits(c));
+        }
+        // Pruning preserves order among the kept candidates (the tuner's
+        // deterministic tie-breaking depends on it).
+        let expected: Vec<Candidate> = cands.iter().copied().filter(fits).collect();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// For a fixed `MachineSpec`, `autotune` is a pure function of its
+    /// inputs: same winner, same score, same evaluation trace.
+    #[test]
+    fn autotune_is_deterministic_for_a_fixed_machine(
+        nx in 8usize..128,
+        nyz in 8usize..48,
+        threads in 1usize..7,
+    ) {
+        let dims = GridDims::new(nx, nyz, nyz);
+        let space = SearchSpace::default_for(threads);
+        let run = || {
+            let mut ev = ModelEvaluator {
+                machine: HSW,
+                dims,
+                threads,
+            };
+            autotune(&space, dims, &HSW, threads, CacheWindow::default(), &mut ev)
+                .expect("non-empty spaces always tune")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.best, b.best, "winner must be deterministic");
+        prop_assert_eq!(
+            a.best_score.to_bits(),
+            b.best_score.to_bits(),
+            "score must be bit-identical"
+        );
+        prop_assert_eq!(a.pruned, b.pruned);
+        prop_assert_eq!(a.scores.len(), b.scores.len());
+        for ((ca, sa), (cb, sb)) in a.scores.iter().zip(&b.scores) {
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        // The winner is the argmax of its own trace and runs on the grid.
+        let max = a
+            .scores
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(max.to_bits(), a.best_score.to_bits());
+        prop_assert!(a.best.validate(dims).is_ok());
+        prop_assert_eq!(a.best.threads(), threads);
+    }
+}

@@ -19,11 +19,18 @@
 //! `--engine FILTER` times only engines whose label contains FILTER
 //! (case-insensitive), so CI and local runs can measure a single engine
 //! without paying for the full matrix.
+//!
+//! `--tune` appends a measurement of the *tuned* MWD configuration for
+//! the benchmark grid, resolved through the persistent tuning cache
+//! (`--cache FILE`, default `results/tune_cache.json`); the report then
+//! records the tuned config and whether it was a cache hit.
 
 use em_bench::report::{
-    available_parallelism, measure_kernels_filtered, measure_scenario_filtered, BenchReport,
+    available_parallelism, measure_kernels_filtered, measure_scenario_filtered,
+    measure_tuned_kernel, BenchReport,
 };
 use em_field::GridDims;
+use std::path::PathBuf;
 
 fn main() {
     let mut dims_n = 48usize;
@@ -32,6 +39,8 @@ fn main() {
     let mut max_threads: Option<usize> = None;
     let mut engine_filter: Option<String> = None;
     let mut with_scenarios = false;
+    let mut tune = false;
+    let mut cache: Option<PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -54,10 +63,18 @@ fn main() {
                 )
             }
             "--with-scenarios" => with_scenarios = true,
+            "--tune" => tune = true,
+            "--cache" => {
+                cache = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--cache needs a path")),
+                ));
+                tune = true;
+            }
             other => die(&format!(
                 "unknown option `{other}` \
                  (usage: bench_report [--dims N] [--steps N] [--threads N] \
-                 [--max-threads N] [--engine FILTER] [--with-scenarios])"
+                 [--max-threads N] [--engine FILTER] [--with-scenarios] \
+                 [--tune] [--cache FILE])"
             )),
         }
     }
@@ -87,6 +104,23 @@ fn main() {
         ));
     }
     let mut runs = vec![kernels];
+
+    if tune {
+        let path = cache.unwrap_or_else(autotune::default_cache_path);
+        match measure_tuned_kernel(dims, steps, threads, Some(&path)) {
+            Ok(run) => {
+                let t = run.tuned.as_ref().expect("tuned run records provenance");
+                println!(
+                    "tuned mwd: {} ({}, cache {})",
+                    t.config,
+                    t.stage,
+                    if t.cache_hit { "hit" } else { "miss" }
+                );
+                runs.push(run);
+            }
+            Err(e) => die(&format!("--tune: {e}")),
+        }
+    }
 
     if with_scenarios {
         for spec in em_scenarios::builtins() {

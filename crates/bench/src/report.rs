@@ -9,12 +9,13 @@
 //! catalog (coefficients, PML, sources and all).
 
 use crate::harness::results_dir;
+use autotune::{ResolveOptions, TuneCache, TuneKey};
 use em_field::{GridDims, State};
 use em_kernels::{run_naive, step_spatial_mt, SpatialConfig};
 use em_scenarios::{Json, ScenarioSpec};
 use em_solver::Engine;
 use mwd_core::{run_mwd, MwdConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// One engine's measurement.
 #[derive(Clone, Debug)]
@@ -22,6 +23,32 @@ pub struct EnginePerf {
     pub engine: String,
     pub mlups: f64,
     pub wall_secs: f64,
+}
+
+/// How a run's MWD configuration came out of the tuning cache
+/// (recorded when the report was produced with `--tune`).
+#[derive(Clone, Debug)]
+pub struct TunedBench {
+    /// `MwdConfig::to_compact` form of the tuned configuration.
+    pub config: String,
+    pub cache_hit: bool,
+    /// Tuning-pipeline stage (`model` / `sim` / `native`).
+    pub stage: String,
+    pub native_probes: usize,
+    /// The tuner's own score for the winner (model/sim/native MLUP/s).
+    pub score_mlups: f64,
+}
+
+impl TunedBench {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("config", Json::str(&self.config)),
+            ("cache_hit", Json::Bool(self.cache_hit)),
+            ("stage", Json::str(&self.stage)),
+            ("native_probes", Json::Int(self.native_probes as i64)),
+            ("score_mlups", Json::Num(self.score_mlups)),
+        ])
+    }
 }
 
 /// One benchmarked workload (kernel-level or scenario-driven).
@@ -33,6 +60,9 @@ pub struct BenchRun {
     pub steps: usize,
     pub threads: usize,
     pub engines: Vec<EnginePerf>,
+    /// Tuning provenance, when the run's configuration came from the
+    /// tuning cache.
+    pub tuned: Option<TunedBench>,
 }
 
 /// The full report written to `results/BENCH_results.json`.
@@ -181,7 +211,56 @@ pub fn measure_kernels_filtered(
         steps,
         threads,
         engines,
+        tuned: None,
     }
+}
+
+/// Resolve the tuned MWD configuration for `dims` at `threads` through
+/// the tuning cache (persistent when `cache_path` is given), measure it
+/// on the synthetic kernel state, and record the provenance. This is
+/// what `bench_report --tune` appends to the report: the performance
+/// trajectory then tracks *tuned* MWD, not a hardcoded configuration.
+pub fn measure_tuned_kernel(
+    dims: GridDims,
+    steps: usize,
+    threads: usize,
+    cache_path: Option<&Path>,
+) -> Result<BenchRun, String> {
+    let mut cache = match cache_path {
+        Some(p) => TuneCache::load(p)?,
+        None => TuneCache::in_memory(),
+    };
+    // Fingerprint under the same machine model `resolve` tunes with.
+    let ropts = ResolveOptions::default();
+    let key = TuneKey::for_host(&ropts.machine, dims, "mwd", threads);
+    let r = autotune::resolve(&mut cache, &key, &ropts)?;
+    cache.save()?;
+
+    let mut s = State::zeros(dims);
+    s.fields.fill_deterministic(42);
+    s.coeffs.fill_deterministic(43);
+    let t0 = std::time::Instant::now();
+    run_mwd(&mut s, &r.config, steps).map_err(|e| format!("tuned config does not run: {e}"))?;
+    let wall = t0.elapsed().as_secs_f64();
+
+    Ok(BenchRun {
+        scenario: None,
+        dims,
+        steps,
+        threads,
+        engines: vec![EnginePerf {
+            engine: format!("tuned-mwd({})", r.config.to_compact()),
+            mlups: mlups(dims, steps, wall),
+            wall_secs: wall,
+        }],
+        tuned: Some(TunedBench {
+            config: r.config.to_compact(),
+            cache_hit: r.cache_hit,
+            stage: r.stage.as_str().to_string(),
+            native_probes: r.native_probes,
+            score_mlups: r.score_mlups,
+        }),
+    })
 }
 
 /// Case-insensitive substring match used by `--engine` filtering.
@@ -253,12 +332,13 @@ pub fn measure_scenario_filtered(
         steps,
         threads,
         engines,
+        tuned: None,
     })
 }
 
 impl BenchRun {
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             (
                 "scenario",
                 match &self.scenario {
@@ -284,7 +364,11 @@ impl BenchRun {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(t) = &self.tuned {
+            pairs.push(("tuned", t.to_json()));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -362,6 +446,33 @@ mod tests {
         }
         assert!(!report.git_rev.is_empty());
         assert!(["scalar", "avx2", "avx512"].contains(&report.simd_isa.as_str()));
+    }
+
+    #[test]
+    fn tuned_measurement_records_provenance_and_hits_on_reuse() {
+        let dir = std::env::temp_dir().join(format!("bench_tuned_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("tune_cache.json");
+        let dims = GridDims::cubic(12);
+
+        let first = measure_tuned_kernel(dims, 2, 2, Some(&path)).unwrap();
+        let t = first.tuned.as_ref().expect("provenance recorded");
+        assert!(!t.cache_hit, "first resolution is a miss");
+        assert_eq!(first.engines.len(), 1);
+        assert!(first.engines[0].engine.starts_with("tuned-mwd("));
+        assert!(first.engines[0].mlups > 0.0);
+
+        let second = measure_tuned_kernel(dims, 2, 2, Some(&path)).unwrap();
+        let t2 = second.tuned.as_ref().unwrap();
+        assert!(t2.cache_hit, "second resolution hits the cache");
+        assert_eq!(t2.native_probes, 0);
+        assert_eq!(t2.config, t.config);
+
+        let text = BenchReport::new(vec![second]).to_json().pretty();
+        for key in ["tuned", "cache_hit", "stage", "config"] {
+            assert!(text.contains(key), "missing `{key}`:\n{text}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

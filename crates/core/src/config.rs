@@ -59,6 +59,25 @@ impl TgShape {
         (ix, iz, ic)
     }
 
+    /// Parse the `XxZxC` form produced by [`Display`](std::fmt::Display).
+    pub fn from_compact(s: &str) -> Result<TgShape, String> {
+        let parts: Vec<&str> = s.split('x').collect();
+        let [x, z, c] = parts.as_slice() else {
+            return Err(format!("TG shape must be `XxZxC`, got `{s}`"));
+        };
+        let dim = |what: &str, v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("TG {what} must be a positive integer, got `{v}`"))
+        };
+        let tg = TgShape {
+            x: dim("x", x)?,
+            z: dim("z", z)?,
+            c: dim("c", c)?,
+        };
+        tg.validate()?;
+        Ok(tg)
+    }
+
     /// All factorizations `x*z*c = size` with valid `c`, used by the
     /// auto-tuner's search space.
     pub fn enumerate(size: usize) -> Vec<TgShape> {
@@ -75,6 +94,12 @@ impl TgShape {
             }
         }
         out
+    }
+}
+
+impl std::fmt::Display for TgShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.x, self.z, self.c)
     }
 }
 
@@ -109,6 +134,60 @@ impl MwdConfig {
 
     pub fn wavefront(&self) -> Result<WavefrontSpec, String> {
         WavefrontSpec::new(self.bz)
+    }
+
+    /// The canonical single-line form, e.g. `dw=8,bz=2,tg=1x1x2,groups=1`.
+    /// Round-trips through [`from_compact`](Self::from_compact); used as
+    /// the on-disk representation in tuning caches and reports.
+    pub fn to_compact(&self) -> String {
+        format!(
+            "dw={},bz={},tg={},groups={}",
+            self.dw, self.bz, self.tg, self.groups
+        )
+    }
+
+    /// Parse the [`to_compact`](Self::to_compact) form. Fields may appear
+    /// in any order but must all be present exactly once.
+    pub fn from_compact(s: &str) -> Result<MwdConfig, String> {
+        let mut dw = None;
+        let mut bz = None;
+        let mut tg = None;
+        let mut groups = None;
+        for part in s.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("MWD config field `{part}` is not `key=value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let int = || -> Result<usize, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("MWD config `{key}` must be an integer, got `{value}`"))
+            };
+            let slot = match key {
+                "dw" => &mut dw,
+                "bz" => &mut bz,
+                "groups" => &mut groups,
+                "tg" => {
+                    if tg.replace(TgShape::from_compact(value)?).is_some() {
+                        return Err("MWD config field `tg` appears twice".to_string());
+                    }
+                    continue;
+                }
+                other => return Err(format!("unknown MWD config field `{other}` in `{s}`")),
+            };
+            if slot.replace(int()?).is_some() {
+                return Err(format!("MWD config field `{key}` appears twice"));
+            }
+        }
+        let need = |what: &str, v: Option<usize>| {
+            v.ok_or_else(|| format!("MWD config `{s}` is missing `{what}`"))
+        };
+        Ok(MwdConfig {
+            dw: need("dw", dw)?,
+            bz: need("bz", bz)?,
+            tg: tg.ok_or_else(|| format!("MWD config `{s}` is missing `tg`"))?,
+            groups: need("groups", groups)?,
+        })
     }
 
     pub fn validate(&self, dims: GridDims) -> Result<(), String> {
@@ -248,6 +327,46 @@ mod tests {
         assert_eq!(cfg.threads(), 6);
         assert_eq!(cfg.tg.size(), 1);
         assert_eq!(cfg.groups, 6);
+    }
+
+    #[test]
+    fn compact_form_roundtrips() {
+        for cfg in [
+            MwdConfig::one_wd(4, 2, 6),
+            MwdConfig {
+                dw: 16,
+                bz: 3,
+                tg: TgShape { x: 2, z: 3, c: 6 },
+                groups: 2,
+            },
+        ] {
+            let s = cfg.to_compact();
+            assert_eq!(MwdConfig::from_compact(&s).unwrap(), cfg, "{s}");
+        }
+        assert_eq!(
+            MwdConfig::one_wd(8, 2, 3).to_compact(),
+            "dw=8,bz=2,tg=1x1x1,groups=3"
+        );
+        // Field order does not matter.
+        assert_eq!(
+            MwdConfig::from_compact("groups=3,tg=1x1x1,bz=2,dw=8").unwrap(),
+            MwdConfig::one_wd(8, 2, 3)
+        );
+    }
+
+    #[test]
+    fn compact_form_rejects_malformed_input() {
+        for bad in [
+            "",
+            "dw=8",
+            "dw=8,bz=2,tg=1x1,groups=1",
+            "dw=8,bz=2,tg=1x1x4,groups=1",
+            "dw=8,bz=2,tg=1x1x1,groups=1,extra=7",
+            "dw=8,dw=8,bz=2,tg=1x1x1,groups=1",
+            "dw=eight,bz=2,tg=1x1x1,groups=1",
+        ] {
+            assert!(MwdConfig::from_compact(bad).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]

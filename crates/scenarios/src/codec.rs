@@ -193,6 +193,15 @@ fn engine_from(t: &Table) -> Result<EngineDecl, String> {
     let ctx = "[engine]";
     let kind = get_str(t, "kind", ctx)?;
     match kind.as_str() {
+        "auto" => {
+            check_keys(t, ctx, &["kind", "threads"])?;
+            Ok(EngineDecl::Auto {
+                threads: match t.get("threads") {
+                    None => 0,
+                    Some(_) => get_usize(t, "threads", ctx)?,
+                },
+            })
+        }
         "naive" => {
             check_keys(t, ctx, &["kind"])?;
             Ok(EngineDecl::Naive)
@@ -562,6 +571,9 @@ impl ScenarioSpec {
         let mut t = Table::new();
         t.set_value("kind", Value::Str(self.engine.kind().to_string()));
         match self.engine {
+            EngineDecl::Auto { threads } => {
+                t.set_value("threads", Value::Int(threads as i64));
+            }
             EngineDecl::Naive | EngineDecl::NaivePeriodicXY => {}
             EngineDecl::Spatial { by, bz, threads } => {
                 t.set_value("by", Value::Int(by as i64));

@@ -38,7 +38,7 @@ pub mod toml;
 
 pub use json::Json;
 pub use library::{builtin, builtin_names, builtins};
-pub use runner::{run_batch, BatchOptions, BatchReport, JobOutcome};
+pub use runner::{run_batch, BatchOptions, BatchReport, JobOutcome, TunePlan, TuneRecord};
 pub use spec::{
     ConvergenceDecl, EngineDecl, GridSpec, LayerDecl, OutputsDecl, PhysicsSpec, PmlDecl,
     ScenarioJob, ScenarioSpec, SceneDecl, SlabDecl, SourceDecl, SphereDecl, SweepDecl, SweepPoint,

@@ -16,6 +16,7 @@
 
 use crate::json::Json;
 use crate::spec::{ConvergenceDecl, EngineDecl, ScenarioJob, ScenarioSpec};
+use autotune::{ResolveOptions, TuneCache, TuneKey};
 use em_solver::analysis;
 use mwd_core::ThreadBudget;
 use std::path::{Path, PathBuf};
@@ -44,6 +45,23 @@ pub struct BatchOptions {
     pub budget: ThreadBudget,
     /// Suppress per-job status lines.
     pub quiet: bool,
+    /// Resolve MWD-family engines through the tuning cache (`--tune`).
+    /// `engine = "auto"` jobs always resolve, with these options or —
+    /// when `None` — against an in-memory cache.
+    pub tune: Option<TunePlan>,
+}
+
+/// How a batch resolves tuned configurations.
+#[derive(Clone, Debug, Default)]
+pub struct TunePlan {
+    /// Persistent cache file; `None` keeps the cache in memory for this
+    /// batch only.
+    pub cache_path: Option<PathBuf>,
+    /// Retune even when the cache already has an answer.
+    pub force: bool,
+    /// Natively probe this many sim-ranked finalists per miss
+    /// (0 = model/sim stages only).
+    pub refine_top: usize,
 }
 
 impl Default for BatchOptions {
@@ -56,7 +74,35 @@ impl Default for BatchOptions {
             out_dir: None,
             budget: ThreadBudget::host(),
             quiet: true,
+            tune: None,
         }
+    }
+}
+
+/// How one job's configuration came out of the tuning cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneRecord {
+    /// Whether the cache already had the answer (no search ran).
+    pub cache_hit: bool,
+    /// Pipeline stage that produced the configuration
+    /// (`model` / `sim` / `native`).
+    pub stage: String,
+    /// Native probes spent resolving *this* job (0 on a hit).
+    pub native_probes: usize,
+    pub score_mlups: f64,
+    /// The resolved configuration, in `MwdConfig::to_compact` form.
+    pub config: String,
+}
+
+impl TuneRecord {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cache_hit", Json::Bool(self.cache_hit)),
+            ("stage", Json::str(&self.stage)),
+            ("native_probes", Json::Int(self.native_probes as i64)),
+            ("score_mlups", Json::Num(self.score_mlups)),
+            ("config", Json::str(&self.config)),
+        ])
     }
 }
 
@@ -87,6 +133,8 @@ pub struct JobOutcome {
     pub error: Option<String>,
     /// Artifact path, once written.
     pub artifact: Option<PathBuf>,
+    /// How the engine configuration was resolved, when tuning applied.
+    pub tuned: Option<TuneRecord>,
 }
 
 impl JobOutcome {
@@ -129,6 +177,9 @@ impl JobOutcome {
                 Json::Arr(profile.iter().map(|&v| Json::Num(v)).collect()),
             ));
         }
+        if let Some(t) = &self.tuned {
+            pairs.push(("tuned", t.to_json()));
+        }
         match &self.error {
             Some(e) => pairs.push(("error", Json::str(e))),
             None => pairs.push(("error", Json::Null)),
@@ -154,6 +205,57 @@ pub struct BatchReport {
 impl BatchReport {
     pub fn failures(&self) -> usize {
         self.outcomes.iter().filter(|o| o.error.is_some()).count()
+    }
+
+    /// `(cache hits, misses, native probes)` across the tuned jobs.
+    pub fn tune_stats(&self) -> (usize, usize, usize) {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut probes = 0;
+        for t in self.outcomes.iter().filter_map(|o| o.tuned.as_ref()) {
+            if t.cache_hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            probes += t.native_probes;
+        }
+        (hits, misses, probes)
+    }
+}
+
+/// Whether tuning applies to a declared engine and, if so, which cache
+/// engine kind it resolves under and the declared thread count
+/// (0 = "this job's budget share").
+fn tune_target(decl: EngineDecl, tune_requested: bool) -> Option<(&'static str, usize)> {
+    match decl {
+        EngineDecl::Auto { threads } => Some(("mwd", threads)),
+        EngineDecl::Mwd { .. } if tune_requested => Some(("mwd", 0)),
+        EngineDecl::MwdPeriodicX { .. } if tune_requested => Some(("mwd-periodic-x", 0)),
+        _ => None,
+    }
+}
+
+/// A resolved [`MwdConfig`] as the engine declaration it runs under.
+fn tuned_decl(engine_kind: &str, cfg: mwd_core::MwdConfig) -> EngineDecl {
+    if engine_kind == "mwd-periodic-x" {
+        EngineDecl::MwdPeriodicX {
+            dw: cfg.dw,
+            bz: cfg.bz,
+            tg_x: cfg.tg.x,
+            tg_z: cfg.tg.z,
+            tg_c: cfg.tg.c,
+            groups: cfg.groups,
+        }
+    } else {
+        EngineDecl::Mwd {
+            dw: cfg.dw,
+            bz: cfg.bz,
+            tg_x: cfg.tg.x,
+            tg_z: cfg.tg.z,
+            tg_c: cfg.tg.c,
+            groups: cfg.groups,
+        }
     }
 }
 
@@ -191,17 +293,72 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
         .unwrap_or_else(|| opts.budget.total() / workers)
         .max(1);
 
-    // Resolve every job's engine up front so `--engine` typos and
-    // engine/grid mismatches fail before work starts.
+    // Resolve every job's engine up front so `--engine` typos, tuning
+    // failures and engine/grid mismatches fail before work starts.
+    // MWD-family engines go through the tuning cache when the caller
+    // asked for it; `auto` engines always do (in memory if no plan).
+    let plan = opts.tune.clone().unwrap_or_default();
+    let mut cache: Option<TuneCache> = None;
+    let mut freshly_tuned: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut engines: Vec<EngineDecl> = Vec::with_capacity(jobs.len());
-    for (spec, _) in &jobs {
-        let decl = match &opts.engine_kind {
+    let mut tune_records: Vec<Option<TuneRecord>> = vec![None; jobs.len()];
+    for (i, (spec, _)) in jobs.iter().enumerate() {
+        let mut decl = match &opts.engine_kind {
             Some(kind) => EngineDecl::auto(kind, threads_per_job)?,
             None => spec.engine,
         };
+        if let Some((engine_kind, decl_threads)) = tune_target(decl, opts.tune.is_some()) {
+            if cache.is_none() {
+                cache = Some(match &plan.cache_path {
+                    Some(p) => TuneCache::load(p)?,
+                    None => TuneCache::in_memory(),
+                });
+            }
+            let threads = if decl_threads == 0 {
+                threads_per_job
+            } else {
+                decl_threads
+            };
+            let ropts = ResolveOptions {
+                // A dry run plans "without stepping any solver", which
+                // rules out wall-clock probes; the analytic model/sim
+                // stages still resolve the plan's configurations.
+                refine_top: if opts.dry_run { 0 } else { plan.refine_top },
+                force: plan.force,
+                ..Default::default()
+            };
+            // Keying the fingerprint by `ropts.machine` ties the cached
+            // identity to the machine model `resolve` actually tunes
+            // with — they must never diverge.
+            let key = TuneKey::for_host(&ropts.machine, spec.dims(), engine_kind, threads);
+            let ropts = ResolveOptions {
+                // `--force` retunes each distinct key once per batch;
+                // repeat jobs on the same key then hit the fresh entry.
+                force: ropts.force && !freshly_tuned.contains(&key.id()),
+                ..ropts
+            };
+            let r = autotune::resolve(cache.as_mut().expect("cache created above"), &key, &ropts)
+                .map_err(|e| format!("scenario `{}`: tuning failed: {e}", spec.name))?;
+            freshly_tuned.insert(key.id());
+            decl = tuned_decl(engine_kind, r.config);
+            tune_records[i] = Some(TuneRecord {
+                cache_hit: r.cache_hit,
+                stage: r.stage.as_str().to_string(),
+                native_probes: r.native_probes,
+                score_mlups: r.score_mlups,
+                config: r.config.to_compact(),
+            });
+        }
         decl.to_engine(spec.dims())
             .map_err(|e| format!("scenario `{}`: [engine] {e}", spec.name))?;
         engines.push(decl);
+    }
+    // Persist new answers before stepping anything: even an aborted
+    // batch keeps its tuning work (a dry run plans but never writes).
+    if let Some(c) = &mut cache {
+        if !opts.dry_run {
+            c.save()?;
+        }
     }
 
     // Spec-declared engines carry their own thread counts; unless the
@@ -238,7 +395,14 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
                         engines[i].label()
                     );
                 }
-                let outcome = run_job(spec, job, engines[i], i, opts.dry_run);
+                let outcome = run_job(
+                    spec,
+                    job,
+                    engines[i],
+                    i,
+                    opts.dry_run,
+                    tune_records[i].clone(),
+                );
                 if !opts.quiet {
                     let status = match (&outcome.error, outcome.dry_run, outcome.converged) {
                         (Some(e), _, _) => format!("FAILED: {e}"),
@@ -259,14 +423,29 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
                     );
                 }
                 in_flight.fetch_sub(1, Ordering::SeqCst);
-                *slots[i].lock().unwrap() = Some(outcome);
+                store_outcome(&slots[i], outcome);
             });
         }
     });
 
     let mut outcomes: Vec<JobOutcome> = slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every job slot is filled"))
+        .enumerate()
+        .map(|(i, m)| {
+            take_outcome(m, || {
+                let (spec, job) = &jobs[i];
+                let mut o = blank_outcome(
+                    spec,
+                    job,
+                    engines[i],
+                    i,
+                    opts.dry_run,
+                    tune_records[i].clone(),
+                );
+                o.error = Some("worker crashed before recording an outcome".to_string());
+                o
+            })
+        })
         .collect();
 
     // Artifacts are written after the concurrent phase, in job order,
@@ -286,15 +465,38 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
     })
 }
 
-fn run_job(
+/// Write an outcome into its slot even when a previous panic poisoned
+/// the lock: the payload is a plain `Option` write, so the poison flag
+/// carries no information worth aborting for.
+fn store_outcome(slot: &Mutex<Option<JobOutcome>>, outcome: JobOutcome) {
+    let mut guard = slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = Some(outcome);
+}
+
+/// Recover a slot's outcome, shrugging off lock poisoning; a slot a
+/// crashed worker never filled becomes `fallback()` (a per-job error)
+/// instead of aborting the whole batch.
+fn take_outcome(
+    slot: Mutex<Option<JobOutcome>>,
+    fallback: impl FnOnce() -> JobOutcome,
+) -> JobOutcome {
+    slot.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(fallback)
+}
+
+/// The pre-execution outcome skeleton for one job.
+fn blank_outcome(
     spec: &ScenarioSpec,
     job: &ScenarioJob,
     decl: EngineDecl,
     index: usize,
     dry_run: bool,
+    tuned: Option<TuneRecord>,
 ) -> JobOutcome {
-    let t0 = std::time::Instant::now();
-    let mut outcome = JobOutcome {
+    JobOutcome {
         job: index,
         scenario: job.scenario.clone(),
         sweep_index: job.sweep_index,
@@ -315,40 +517,69 @@ fn run_job(
         wall_secs: 0.0,
         error: None,
         artifact: None,
-    };
-    let result = (|| -> Result<(), String> {
-        let engine = decl.to_engine(spec.dims())?;
-        if dry_run {
-            // Prove the scene resolves (materials, preset) without
-            // paying for coefficient assembly or stepping.
-            spec.build_scene()?;
-            return Ok(());
-        }
-        let mut solver = spec.build_solver(job)?;
-        outcome.back_iteration_cells = solver.back_iteration_cells;
-        let ConvergenceDecl { tol, max_periods } = spec.convergence;
-        let report = solver.run_to_convergence(&engine, tol, max_periods)?;
-        outcome.converged = report.converged;
-        outcome.periods = report.periods;
-        outcome.steps = report.steps;
-        outcome.rel_change = report.rel_change;
-        outcome.energy = solver.fields().energy();
-        for slab in &spec.outputs.absorption {
-            let a = analysis::absorption_in_slab(
-                solver.fields(),
-                &solver.config.scene,
-                job.lambda_nm,
-                solver.omega,
-                slab.z_lo,
-                slab.z_hi,
-            );
-            outcome.absorption.push((slab.name.clone(), a));
-        }
-        if spec.outputs.intensity_profile {
-            outcome.intensity_profile = Some(analysis::intensity_profile_z(solver.fields()));
-        }
-        Ok(())
-    })();
+        tuned,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_job(
+    spec: &ScenarioSpec,
+    job: &ScenarioJob,
+    decl: EngineDecl,
+    index: usize,
+    dry_run: bool,
+    tuned: Option<TuneRecord>,
+) -> JobOutcome {
+    let t0 = std::time::Instant::now();
+    let mut outcome = blank_outcome(spec, job, decl, index, dry_run, tuned);
+    // A panicking solver (as opposed to one returning `Err`) must also
+    // land in this job's outcome: letting it unwind would poison the
+    // job slot and tear down the scoped pool mid-batch.
+    let caught =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<(), String> {
+            let engine = decl.to_engine(spec.dims())?;
+            if dry_run {
+                // Prove the scene resolves (materials, preset) without
+                // paying for coefficient assembly or stepping.
+                spec.build_scene()?;
+                return Ok(());
+            }
+            let mut solver = spec.build_solver(job)?;
+            outcome.back_iteration_cells = solver.back_iteration_cells;
+            let ConvergenceDecl { tol, max_periods } = spec.convergence;
+            let report = solver.run_to_convergence(&engine, tol, max_periods)?;
+            outcome.converged = report.converged;
+            outcome.periods = report.periods;
+            outcome.steps = report.steps;
+            outcome.rel_change = report.rel_change;
+            outcome.energy = solver.fields().energy();
+            for slab in &spec.outputs.absorption {
+                let a = analysis::absorption_in_slab(
+                    solver.fields(),
+                    &solver.config.scene,
+                    job.lambda_nm,
+                    solver.omega,
+                    slab.z_lo,
+                    slab.z_hi,
+                );
+                outcome.absorption.push((slab.name.clone(), a));
+            }
+            if spec.outputs.intensity_profile {
+                outcome.intensity_profile = Some(analysis::intensity_profile_z(solver.fields()));
+            }
+            Ok(())
+        }));
+    let result =
+        caught.unwrap_or_else(|p| Err(format!("job panicked: {}", panic_message(p.as_ref()))));
     if let Err(e) = result {
         outcome.error = Some(e);
     }
@@ -494,5 +725,91 @@ mod tests {
     #[test]
     fn empty_batch_is_an_error() {
         assert!(run_batch(&[], &BatchOptions::default()).is_err());
+    }
+
+    fn poisoned_slot(initial: Option<JobOutcome>) -> Mutex<Option<JobOutcome>> {
+        let slot = Mutex::new(initial);
+        // Poison by panicking while holding the lock (what an unwinding
+        // worker would have done before the catch_unwind fix).
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = slot.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(r.is_err());
+        assert!(slot.is_poisoned());
+        slot
+    }
+
+    fn fallback_outcome(name: &str) -> JobOutcome {
+        let spec = tiny_spec(name);
+        let job = spec.jobs().remove(0);
+        blank_outcome(&spec, &job, spec.engine, 0, false, None)
+    }
+
+    #[test]
+    fn store_outcome_survives_a_poisoned_slot() {
+        let slot = poisoned_slot(None);
+        store_outcome(&slot, fallback_outcome("stored"));
+        let got = take_outcome(slot, || unreachable!("slot was filled"));
+        assert_eq!(got.scenario, "stored");
+    }
+
+    #[test]
+    fn take_outcome_recovers_poisoned_and_empty_slots() {
+        // Poisoned but filled: the stored outcome wins.
+        let slot = poisoned_slot(Some(fallback_outcome("kept")));
+        assert_eq!(take_outcome(slot, || unreachable!()).scenario, "kept");
+        // Poisoned and empty: the fallback (a per-job error) is used.
+        let slot = poisoned_slot(None);
+        let got = take_outcome(slot, || {
+            let mut o = fallback_outcome("fell-back");
+            o.error = Some("worker crashed".to_string());
+            o
+        });
+        assert_eq!(got.scenario, "fell-back");
+        assert!(got.error.is_some());
+    }
+
+    #[test]
+    fn panicking_job_body_lands_in_its_outcome() {
+        let spec = tiny_spec("boom");
+        let job = spec.jobs().remove(0);
+        // Drive run_job's catch_unwind through a decl whose engine
+        // resolution is fine but whose body panics: simulate by calling
+        // panic_message directly on the payload shapes catch_unwind
+        // produces, and the run_job path with a healthy spec for the
+        // no-panic side.
+        let ok = run_job(&spec, &job, spec.engine, 0, true, None);
+        assert!(ok.error.is_none());
+        let s: Box<dyn std::any::Any + Send> = Box::new("str payload");
+        assert_eq!(panic_message(s.as_ref()), "str payload");
+        let s: Box<dyn std::any::Any + Send> = Box::new("string payload".to_string());
+        assert_eq!(panic_message(s.as_ref()), "string payload");
+        let s: Box<dyn std::any::Any + Send> = Box::new(17usize);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn auto_engine_resolves_through_an_in_memory_cache() {
+        let mut spec = tiny_spec("auto");
+        spec.engine = EngineDecl::Auto { threads: 0 };
+        let report = run_batch(
+            &[spec],
+            &BatchOptions {
+                workers: 1,
+                threads: Some(1),
+                budget: ThreadBudget::new(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let o = &report.outcomes[0];
+        assert!(o.error.is_none(), "{:?}", o.error);
+        let t = o.tuned.as_ref().expect("auto engine records tuning");
+        assert!(!t.cache_hit, "in-memory cache starts cold");
+        assert_eq!(t.native_probes, 0, "no plan means no native stage");
+        assert!(o.engine.starts_with("mwd("), "resolved label: {}", o.engine);
+        assert_eq!(o.threads, 1);
+        assert!(mwd_core::MwdConfig::from_compact(&t.config).is_ok());
     }
 }

@@ -253,6 +253,12 @@ impl SceneDecl {
 /// Execution engine selection, as data.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineDecl {
+    /// Let the auto-tuner pick the MWD configuration for this grid at
+    /// run time (resolved through the tuning cache by the batch runner;
+    /// `threads = 0` means "this job's thread-budget share").
+    Auto {
+        threads: usize,
+    },
     Naive,
     NaivePeriodicXY,
     Spatial {
@@ -279,7 +285,8 @@ pub enum EngineDecl {
 }
 
 impl EngineDecl {
-    pub const KINDS: [&'static str; 5] = [
+    pub const KINDS: [&'static str; 6] = [
+        "auto",
         "naive",
         "naive-periodic-xy",
         "spatial",
@@ -292,6 +299,7 @@ impl EngineDecl {
     pub fn auto(kind: &str, threads: usize) -> Result<EngineDecl, String> {
         let threads = threads.max(1);
         match kind {
+            "auto" => Ok(EngineDecl::Auto { threads }),
             "naive" => Ok(EngineDecl::Naive),
             "naive-periodic-xy" => Ok(EngineDecl::NaivePeriodicXY),
             "spatial" => Ok(EngineDecl::Spatial {
@@ -324,6 +332,7 @@ impl EngineDecl {
 
     pub fn kind(&self) -> &'static str {
         match self {
+            EngineDecl::Auto { .. } => "auto",
             EngineDecl::Naive => "naive",
             EngineDecl::NaivePeriodicXY => "naive-periodic-xy",
             EngineDecl::Spatial { .. } => "spatial",
@@ -335,6 +344,8 @@ impl EngineDecl {
     /// Human-readable engine description for status lines and artifacts.
     pub fn label(&self) -> String {
         match *self {
+            EngineDecl::Auto { threads: 0 } => "auto".to_string(),
+            EngineDecl::Auto { threads } => format!("auto(threads={threads})"),
             EngineDecl::Naive | EngineDecl::NaivePeriodicXY => self.kind().to_string(),
             EngineDecl::Spatial { by, bz, threads } => {
                 format!("spatial(by={by}, bz={bz}, threads={threads})")
@@ -363,6 +374,7 @@ impl EngineDecl {
     /// Threads this engine occupies while stepping.
     pub fn threads(&self) -> usize {
         match *self {
+            EngineDecl::Auto { threads } => threads.max(1),
             EngineDecl::Naive | EngineDecl::NaivePeriodicXY => 1,
             EngineDecl::Spatial { threads, .. } => threads,
             EngineDecl::Mwd {
@@ -405,6 +417,11 @@ impl EngineDecl {
     /// Validate against the grid and produce the runnable [`Engine`].
     pub fn to_engine(&self, dims: GridDims) -> Result<Engine, String> {
         match *self {
+            EngineDecl::Auto { .. } => Err(
+                "engine `auto` must be resolved through the tuning cache before execution \
+                 (the batch runner does this; see `mwd tune`)"
+                    .to_string(),
+            ),
             EngineDecl::Naive => Ok(Engine::Naive),
             EngineDecl::NaivePeriodicXY => Ok(Engine::NaivePeriodicXY),
             EngineDecl::Spatial { by, bz, threads } => {
@@ -683,9 +700,13 @@ impl ScenarioSpec {
 
         // `to_engine` runs the full structural check (diamond width,
         // thread-group shape, z-parallelism vs BZ, x-parallelism vs Nx).
-        self.engine
-            .to_engine(dims)
-            .map_err(|e| format!("[engine] {e}"))?;
+        // `auto` has no structure yet — the tuner only emits validated
+        // configurations, so the spec is consistent by construction.
+        if !matches!(self.engine, EngineDecl::Auto { .. }) {
+            self.engine
+                .to_engine(dims)
+                .map_err(|e| format!("[engine] {e}"))?;
+        }
 
         let c = self.convergence;
         if !c.tol.is_finite() || c.tol <= 0.0 {

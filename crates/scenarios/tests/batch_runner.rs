@@ -255,6 +255,103 @@ fn thread_budget_is_shared_between_workers_and_jobs() {
     assert!(report.workers * report.threads_per_job <= 8);
 }
 
+/// The batch invariant the `ThreadBudget` exists for: however jobs,
+/// sweeps and tuned thread groups combine, an auto-sized pool keeps
+/// `concurrent workers x widest resolved engine` within the budget —
+/// including when the configurations only materialize at run time via
+/// `engine = "auto"` tuning.
+#[test]
+fn workers_times_widest_resolved_tg_never_exceeds_the_budget() {
+    for (budget, jobs) in [(1usize, 3usize), (4, 5), (8, 2), (8, 13)] {
+        let specs: Vec<ScenarioSpec> = (0..jobs)
+            .map(|i| {
+                let mut s = work_spec(&format!("auto-{i}"));
+                s.engine = EngineDecl::Auto { threads: 0 };
+                s
+            })
+            .collect();
+        let report = run_batch(
+            &specs,
+            &BatchOptions {
+                budget: ThreadBudget::new(budget),
+                dry_run: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let widest = report
+            .outcomes
+            .iter()
+            .map(|o| o.threads)
+            .max()
+            .expect("outcomes exist");
+        assert!(
+            report.workers * widest <= budget,
+            "budget {budget}, {jobs} jobs: {} workers x {widest} threads",
+            report.workers
+        );
+        // Every auto job really was resolved to a concrete MWD engine
+        // occupying its full budget slice.
+        for o in &report.outcomes {
+            assert!(o.engine.starts_with("mwd("), "unresolved: {}", o.engine);
+            assert_eq!(o.threads, report.threads_per_job);
+            assert!(o.tuned.is_some());
+        }
+    }
+}
+
+/// Result ordering must not depend on completion order. The first job
+/// is adversarially slow (several periods on a taller grid) while the
+/// rest are quick, so on a multi-worker pool the later jobs all finish
+/// first — and the report must still come back in submission order.
+#[test]
+fn ordering_is_deterministic_under_adversarially_slow_jobs() {
+    let mut specs = vec![work_spec("slowest")];
+    specs[0].grid.nz = 64;
+    specs[0].convergence.max_periods = 6;
+    for i in 0..5 {
+        let mut s = work_spec(&format!("quick-{i}"));
+        s.grid = em_scenarios::GridSpec {
+            nx: 4,
+            ny: 4,
+            nz: 24,
+        };
+        s.pml = Some(PmlDecl::with_thickness(4));
+        s.source = Some(SourceDecl::x_polarized(18, 1.0));
+        s.convergence.max_periods = 1;
+        specs.push(s);
+    }
+    let report = run_batch(
+        &specs,
+        &BatchOptions {
+            workers: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.max_in_flight >= 2, "overlap must actually happen");
+    let names: Vec<&str> = report
+        .outcomes
+        .iter()
+        .map(|o| o.scenario.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        vec!["slowest", "quick-0", "quick-1", "quick-2", "quick-3", "quick-4"]
+    );
+    for (i, o) in report.outcomes.iter().enumerate() {
+        assert_eq!(o.job, i);
+        assert!(o.error.is_none(), "{:?}", o.error);
+    }
+    // The slow job really was the long pole: it ran at least as long as
+    // any quick one (sanity check that the adversarial setup holds).
+    let slow = report.outcomes[0].wall_secs;
+    assert!(
+        report.outcomes[1..].iter().all(|o| o.wall_secs <= slow),
+        "slow job was not the long pole"
+    );
+}
+
 #[test]
 fn sweep_jobs_order_is_deterministic_within_a_scenario() {
     let mut spec = work_spec("sweep");

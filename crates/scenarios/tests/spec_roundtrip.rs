@@ -65,8 +65,9 @@ fn build_spec(
             radius: 1.5,
         })
         .collect();
-    let engine = match engine_pick % 5 {
+    let engine = match engine_pick % 6 {
         0 => EngineDecl::Naive,
+        5 => EngineDecl::Auto { threads: 2 },
         1 => EngineDecl::NaivePeriodicXY,
         2 => EngineDecl::Spatial {
             by: 4,
@@ -150,7 +151,7 @@ proptest! {
         lambda_nm in 380.0f64..800.0,
         pml_on in 0usize..2,
         source_frac in 0.5f64..0.95,
-        engine_pick in 0usize..5,
+        engine_pick in 0usize..6,
         layers_n in 0usize..4,
         spheres_n in 0usize..3,
         texture_on in 0usize..2,

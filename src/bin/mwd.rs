@@ -3,21 +3,25 @@
 //! ```text
 //! mwd list [--names]
 //! mwd show <scenario>
-//! mwd run <scenario>... [--engine K] [--threads N] [--dry-run] [--out DIR]
+//! mwd run <scenario>... [--engine K] [--threads N] [--tune] [--dry-run]
 //! mwd batch [<scenario>... | --all] [--workers N] [--engine K]
-//!           [--threads N] [--dry-run] [--out DIR]
+//!           [--threads N] [--tune] [--cache FILE] [--dry-run] [--out DIR]
+//! mwd tune [<scenario>... | --all] [--force] [--dry-run] [--cache FILE]
 //! ```
 //!
 //! A `<scenario>` is a built-in name (`mwd list`) or a path to a
 //! scenario TOML file. `run` executes its scenarios sequentially;
 //! `batch` fans them out over a bounded worker pool that shares the
-//! host's thread budget with each job's engine threads.
+//! host's thread budget with each job's engine threads. `tune` fills
+//! the persistent per-host tuning cache that `--tune` (and
+//! `engine = "auto"` specs) resolve MWD configurations from.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use thiim_mwd::scenarios::runner::{run_batch, BatchOptions, BatchReport};
+use thiim_mwd::scenarios::runner::{run_batch, BatchOptions, BatchReport, TunePlan};
 use thiim_mwd::scenarios::spec::EngineDecl;
 use thiim_mwd::scenarios::{library, ScenarioSpec};
+use thiim_mwd::tuner::{self, ResolveOptions, TuneCache, TuneKey};
 
 const USAGE: &str = "mwd — declarative THIIM scenario runner
 
@@ -26,18 +30,25 @@ USAGE:
     mwd show <scenario>                 print a scenario as TOML
     mwd run <scenario>... [options]     run scenarios sequentially
     mwd batch [<scenario>...] [options] run scenarios on a worker pool
+    mwd tune [<scenario>...] [options]  fill the per-host tuning cache
     mwd help                            this text
 
 SCENARIOS:
     a built-in name (see `mwd list`) or a path to a scenario .toml file;
-    `batch` with no scenarios (or with --all) runs the whole catalog
+    `batch`/`tune` with no scenarios (or with --all) use the whole catalog
 
 OPTIONS:
-    --engine <kind>    override every job's engine: naive,
+    --engine <kind>    override every job's engine: auto, naive,
                        naive-periodic-xy, spatial, mwd, mwd-periodic-x
     --threads <n>      engine threads per job (default: budget share)
     --workers <n>      batch worker-pool size (default: thread budget)
+    --tune             resolve MWD-family engines through the tuning cache
+    --cache <file>     tuning-cache path (default: results/tune_cache.json;
+                       implies --tune for run/batch)
+    --force            tune: retune even when the cache has an answer
+    --refine <k>       tune: natively probe the top k candidates (default 2)
     --dry-run          validate and plan without stepping any solver
+                       (tune: report hits/misses without searching)
     --out <dir>        artifact directory (default: results/scenarios)
     --quiet            suppress per-job status lines
 ";
@@ -63,6 +74,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "show" => cmd_show(&args[1..]),
         "run" => cmd_run_or_batch(&args[1..], false),
         "batch" => cmd_run_or_batch(&args[1..], true),
+        "tune" => cmd_tune(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -106,6 +118,10 @@ struct CliOpts {
     dry_run: bool,
     out: Option<PathBuf>,
     quiet: bool,
+    tune: bool,
+    cache: Option<PathBuf>,
+    force: bool,
+    refine: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
@@ -118,6 +134,10 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
         dry_run: false,
         out: None,
         quiet: false,
+        tune: false,
+        cache: None,
+        force: false,
+        refine: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -126,31 +146,34 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
                 .cloned()
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
+        let mut count = |flag: &str| -> Result<usize, String> {
+            value(flag)?
+                .parse()
+                .map_err(|_| format!("{flag} needs a non-negative integer"))
+        };
         match a.as_str() {
             "--all" => o.all = true,
             "--dry-run" => o.dry_run = true,
             "--quiet" => o.quiet = true,
+            "--tune" => o.tune = true,
+            "--force" => o.force = true,
             "--engine" => o.engine = Some(value("--engine")?),
-            "--threads" => {
-                o.threads = Some(
-                    value("--threads")?
-                        .parse()
-                        .map_err(|_| "--threads needs a positive integer".to_string())?,
-                )
-            }
-            "--workers" => {
-                o.workers = Some(
-                    value("--workers")?
-                        .parse()
-                        .map_err(|_| "--workers needs a positive integer".to_string())?,
-                )
-            }
+            "--threads" => o.threads = Some(count("--threads")?),
+            "--workers" => o.workers = Some(count("--workers")?),
+            "--refine" => o.refine = Some(count("--refine")?),
+            "--cache" => o.cache = Some(PathBuf::from(value("--cache")?)),
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`; try `mwd help`"))
             }
             name => o.scenarios.push(name.to_string()),
         }
+    }
+    if o.threads == Some(0) {
+        return Err("--threads needs a positive integer".to_string());
+    }
+    if o.workers == Some(0) {
+        return Err("--workers needs a positive integer".to_string());
     }
     Ok(o)
 }
@@ -186,6 +209,13 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
             .collect::<Result<_, _>>()?
     };
 
+    // `--cache` implies `--tune`: naming the cache only makes sense if
+    // the batch resolves configurations through it.
+    let tune = (o.tune || o.cache.is_some()).then(|| TunePlan {
+        cache_path: Some(o.cache.clone().unwrap_or_else(tuner::default_cache_path)),
+        force: o.force,
+        refine_top: o.refine.unwrap_or(0),
+    });
     let opts = BatchOptions {
         // `run` means "execute in order": a single worker; `batch` sizes
         // the pool from the shared thread budget unless overridden.
@@ -196,6 +226,7 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
         out_dir: Some(o.out.unwrap_or_else(|| PathBuf::from("results/scenarios"))),
         budget: mwd_core::ThreadBudget::host(),
         quiet: o.quiet,
+        tune,
     };
     if let Some(kind) = &o.engine {
         // Fail on typos before any validation output scrolls past.
@@ -207,6 +238,110 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
     if report.failures() > 0 {
         return Ok(ExitCode::FAILURE);
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mwd tune`: resolve (and persist) the tuned MWD configuration for
+/// each scenario's grid, reporting cache hits and misses.
+fn cmd_tune(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_opts(args)?;
+    if o.engine.is_some() || o.workers.is_some() || o.out.is_some() {
+        return Err("`mwd tune` does not take --engine/--workers/--out".to_string());
+    }
+    let specs: Vec<ScenarioSpec> = if o.scenarios.is_empty() || o.all {
+        library::builtins()
+    } else {
+        o.scenarios
+            .iter()
+            .map(|n| resolve_scenario(n))
+            .collect::<Result<_, _>>()?
+    };
+    for spec in &specs {
+        spec.validate()?;
+    }
+
+    let cache_path = o.cache.unwrap_or_else(tuner::default_cache_path);
+    let mut cache = TuneCache::load(&cache_path)?;
+    // Tune for the thread count a sequential `mwd run --tune` would
+    // grant each job: the full host budget (or the explicit override).
+    let threads = o
+        .threads
+        .unwrap_or_else(|| mwd_core::ThreadBudget::host().total());
+
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut probes = 0usize;
+    for spec in &specs {
+        // Periodic-x MWD engines tune under their own kind; everything
+        // else (including `auto` and the naive references) gets the
+        // plain MWD engine tuned for its grid.
+        let engine_kind = match spec.engine.kind() {
+            "mwd-periodic-x" => "mwd-periodic-x",
+            _ => "mwd",
+        };
+        let ropts = ResolveOptions {
+            refine_top: o.refine.unwrap_or(2),
+            force: o.force,
+            ..Default::default()
+        };
+        // Fingerprint under the same machine model `resolve` tunes with.
+        let key = TuneKey::for_host(&ropts.machine, spec.dims(), engine_kind, threads);
+        if o.dry_run {
+            let status = match cache.get(&key) {
+                Some(e) => format!("hit     {} ({})", e.config.to_compact(), e.stage.as_str()),
+                None => "miss    (would tune)".to_string(),
+            };
+            if !o.quiet {
+                println!(
+                    "{:<18} {:>11}  {:<14} t{:<3} {status}",
+                    spec.name,
+                    format!("{}", spec.dims()),
+                    engine_kind,
+                    threads
+                );
+            }
+            continue;
+        }
+        let r = tuner::resolve(&mut cache, &key, &ropts)
+            .map_err(|e| format!("scenario `{}`: {e}", spec.name))?;
+        if r.cache_hit {
+            hits += 1;
+        } else {
+            misses += 1;
+        }
+        probes += r.native_probes;
+        if !o.quiet {
+            println!(
+                "{:<18} {:>11}  {:<14} t{:<3} {:<5} {:<8} {:<32} {:>8.1} MLUP/s",
+                spec.name,
+                format!("{}", spec.dims()),
+                engine_kind,
+                threads,
+                if r.cache_hit { "hit" } else { "miss" },
+                r.stage.as_str(),
+                r.config.to_compact(),
+                r.score_mlups,
+            );
+        }
+    }
+
+    if o.dry_run {
+        println!(
+            "dry run: {} scenario(s) against {} ({} entries)",
+            specs.len(),
+            cache_path.display(),
+            cache.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    cache.save()?;
+    println!(
+        "tuned {} scenario(s): {hits} cache hit(s), {misses} miss(es), \
+         {probes} native probe(s); cache {} ({} entries)",
+        specs.len(),
+        cache_path.display(),
+        cache.len()
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -251,5 +386,9 @@ fn print_report(report: &BatchReport, dry_run: bool) {
                 a.parent().unwrap_or(std::path::Path::new(".")).display()
             );
         }
+    }
+    let (hits, misses, probes) = report.tune_stats();
+    if hits + misses > 0 {
+        println!("tuning: {hits} cache hit(s), {misses} miss(es), {probes} native probe(s)");
     }
 }

@@ -1,0 +1,355 @@
+//! End-to-end tests of the `mwd` binary: spawn the built CLI in a temp
+//! directory and assert exit codes, artifact presence, the JSON schema
+//! of `batch_summary.json`, and the tune-cache round trip (the second
+//! `tune` of the same key is a pure cache hit).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use thiim_mwd::scenarios::{builtin_names, ScenarioSpec};
+use thiim_mwd::tuner::jsonio::{self, JValue};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mwd_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn mwd(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mwd"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("mwd binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+/// A deterministic sub-second workload: one forced period on a 4x4x24
+/// vacuum grid.
+fn write_spec(dir: &Path, name: &str) -> PathBuf {
+    let text = format!(
+        r#"name = "{name}"
+description = "cli integration workload"
+
+[grid]
+nx = 4
+ny = 4
+nz = 24
+
+[physics]
+lambda_cells = 8.0
+lambda_nm = 550.0
+
+[pml]
+thickness = 4
+
+[source]
+z_plane = 18
+
+[scene]
+materials = ["vacuum"]
+background = "vacuum"
+
+[engine]
+kind = "naive-periodic-xy"
+
+[convergence]
+tol = 1e-300
+max_periods = 1
+"#
+    );
+    let path = dir.join(format!("{name}.toml"));
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn list_covers_the_catalog_and_names_are_parseable() {
+    let dir = temp_dir("list");
+    let out = mwd(&dir, &["list"]);
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    for name in builtin_names() {
+        assert!(text.contains(&name), "`{name}` missing from:\n{text}");
+    }
+
+    let names = mwd(&dir, &["list", "--names"]);
+    assert_eq!(exit_code(&names), 0);
+    let listed: Vec<String> = stdout(&names).lines().map(str::to_string).collect();
+    assert_eq!(listed, builtin_names());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn show_roundtrips_builtins_and_rejects_unknown_scenarios() {
+    let dir = temp_dir("show");
+    let out = mwd(&dir, &["show", "vacuum-slab"]);
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+    let spec = ScenarioSpec::from_toml_str(&stdout(&out)).expect("shown TOML parses");
+    assert_eq!(spec.name, "vacuum-slab");
+    assert!(spec.validate().is_ok());
+
+    let bad = mwd(&dir, &["show", "no-such-scenario"]);
+    assert_eq!(exit_code(&bad), 2);
+    assert!(
+        stderr(&bad).contains("vacuum-slab"),
+        "error must list the built-ins: {}",
+        stderr(&bad)
+    );
+
+    let unknown_cmd = mwd(&dir, &["frobnicate"]);
+    assert_eq!(exit_code(&unknown_cmd), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_writes_one_schema_conforming_artifact_per_job() {
+    let dir = temp_dir("run");
+    let spec = write_spec(&dir, "cli-smoke");
+    let out_dir = dir.join("out");
+    let out = mwd(
+        &dir,
+        &[
+            "run",
+            spec.to_str().unwrap(),
+            "--quiet",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+
+    let artifact = out_dir.join("00_cli-smoke_0550nm.json");
+    assert!(artifact.is_file(), "missing {}", artifact.display());
+    let v = jsonio::parse(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
+    assert_eq!(v.get("scenario").unwrap().as_str(), Some("cli-smoke"));
+    assert_eq!(v.get("converged").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("periods").unwrap().as_f64(), Some(1.0));
+    assert_eq!(v.get("error"), Some(&JValue::Null));
+    assert!(v.get("energy").unwrap().as_f64().unwrap() > 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_summary_has_the_documented_schema_in_job_order() {
+    let dir = temp_dir("batch");
+    let a = write_spec(&dir, "job-a");
+    let b = write_spec(&dir, "job-b");
+    let out_dir = dir.join("out");
+    let out = mwd(
+        &dir,
+        &[
+            "batch",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quiet",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+
+    let summary =
+        jsonio::parse(&std::fs::read_to_string(out_dir.join("batch_summary.json")).unwrap())
+            .unwrap();
+    let jobs = summary.as_arr().expect("summary is a JSON array");
+    assert_eq!(jobs.len(), 2);
+    for (i, (job, name)) in jobs.iter().zip(["job-a", "job-b"]).enumerate() {
+        for key in [
+            "job",
+            "scenario",
+            "sweep_index",
+            "lambda_nm",
+            "lambda_cells",
+            "dims",
+            "engine",
+            "threads",
+            "dry_run",
+            "converged",
+            "periods",
+            "steps",
+            "rel_change",
+            "energy",
+            "back_iteration_cells",
+            "wall_secs",
+            "error",
+        ] {
+            assert!(job.get(key).is_some(), "job #{i} missing `{key}`");
+        }
+        assert_eq!(job.get("job").unwrap().as_f64(), Some(i as f64));
+        assert_eq!(job.get("scenario").unwrap().as_str(), Some(name));
+        assert_eq!(job.get("dims").unwrap().as_str(), Some("4x4x24"));
+        assert_eq!(job.get("error"), Some(&JValue::Null));
+    }
+    let csv = std::fs::read_to_string(out_dir.join("batch_summary.csv")).unwrap();
+    assert_eq!(csv.lines().count(), 3, "header + one row per job");
+
+    // A dry-run batch validates but writes no artifacts.
+    let dry_dir = dir.join("dry");
+    let dry = mwd(
+        &dir,
+        &[
+            "batch",
+            a.to_str().unwrap(),
+            "--dry-run",
+            "--quiet",
+            "--out",
+            dry_dir.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(exit_code(&dry), 0, "{}", stderr(&dry));
+    assert!(stdout(&dry).contains("dry run"));
+    assert!(!dry_dir.join("batch_summary.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tune_round_trip_second_invocation_is_a_pure_cache_hit() {
+    let dir = temp_dir("tune");
+    let spec = write_spec(&dir, "tune-me");
+    let cache = dir.join("tune_cache.json");
+    let base = [
+        "tune",
+        spec.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--refine",
+        "0",
+    ];
+
+    let first = mwd(&dir, &base);
+    assert_eq!(exit_code(&first), 0, "{}", stderr(&first));
+    assert!(
+        stdout(&first).contains("1 miss(es)"),
+        "cold cache must miss:\n{}",
+        stdout(&first)
+    );
+    assert!(cache.is_file());
+    let body = std::fs::read_to_string(&cache).unwrap();
+    let doc = jsonio::parse(&body).unwrap();
+    let entries = doc.get("entries").unwrap().as_arr().unwrap();
+    assert_eq!(entries.len(), 1);
+    let config = entries[0].get("config").unwrap().as_str().unwrap();
+    assert!(
+        mwd_core::MwdConfig::from_compact(config).is_ok(),
+        "stored config `{config}` must parse"
+    );
+    assert_eq!(entries[0].get("threads").unwrap().as_f64(), Some(2.0));
+
+    // Second invocation: pure hit, cache file untouched byte for byte.
+    let second = mwd(&dir, &base);
+    assert_eq!(exit_code(&second), 0, "{}", stderr(&second));
+    assert!(
+        stdout(&second).contains("1 cache hit(s), 0 miss(es), 0 native probe(s)"),
+        "second tune must be a pure cache hit:\n{}",
+        stdout(&second)
+    );
+    assert_eq!(std::fs::read_to_string(&cache).unwrap(), body);
+
+    // Dry run reports the hit without rewriting anything.
+    let dry = mwd(
+        &dir,
+        &[
+            "tune",
+            spec.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--dry-run",
+        ],
+    );
+    assert_eq!(exit_code(&dry), 0, "{}", stderr(&dry));
+    assert!(stdout(&dry).contains("hit"), "{}", stdout(&dry));
+    assert_eq!(std::fs::read_to_string(&cache).unwrap(), body);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_with_tune_records_provenance_in_the_artifact() {
+    let dir = temp_dir("run_tune");
+    let spec = write_spec(&dir, "tuned-run");
+    let cache = dir.join("tc.json");
+    let run = |out: &str| {
+        mwd(
+            &dir,
+            &[
+                "run",
+                spec.to_str().unwrap(),
+                "--engine",
+                "auto",
+                "--cache",
+                cache.to_str().unwrap(),
+                "--quiet",
+                "--threads",
+                "1",
+                "--out",
+                dir.join(out).to_str().unwrap(),
+            ],
+        )
+    };
+    let first = run("out1");
+    assert_eq!(exit_code(&first), 0, "{}", stderr(&first));
+    let art = |out: &str| {
+        jsonio::parse(
+            &std::fs::read_to_string(dir.join(out).join("00_tuned-run_0550nm.json")).unwrap(),
+        )
+        .unwrap()
+    };
+    let v1 = art("out1");
+    let t1 = v1.get("tuned").expect("tuned provenance present");
+    assert_eq!(t1.get("cache_hit").unwrap().as_bool(), Some(false));
+    assert!(v1
+        .get("engine")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .starts_with("mwd("));
+
+    let second = run("out2");
+    assert_eq!(exit_code(&second), 0, "{}", stderr(&second));
+    let v2 = art("out2");
+    let t2 = v2.get("tuned").unwrap();
+    assert_eq!(t2.get("cache_hit").unwrap().as_bool(), Some(true));
+    assert_eq!(t2.get("native_probes").unwrap().as_f64(), Some(0.0));
+    assert_eq!(
+        t1.get("config").unwrap().as_str(),
+        t2.get("config").unwrap().as_str()
+    );
+    // Tuning must not change the physics: identical energies bitwise.
+    assert_eq!(
+        v1.get("energy").unwrap().as_f64().unwrap().to_bits(),
+        v2.get("energy").unwrap().as_f64().unwrap().to_bits()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_scenario_files_fail_with_exit_code_2() {
+    let dir = temp_dir("malformed");
+    let path = dir.join("broken.toml");
+    std::fs::write(&path, "name = \"broken\"\n[grid]\nnx = \"four\"\n").unwrap();
+    let out = mwd(&dir, &["run", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr(&out).contains("broken.toml"),
+        "error names the file: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

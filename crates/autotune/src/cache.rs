@@ -22,11 +22,11 @@
 //! measured truth, which is exactly what the cache then pins down.
 
 use crate::fingerprint::host_fingerprint;
-use crate::jsonio::{self, JValue};
 use crate::prune::{prune, CacheWindow};
 use crate::space::SearchSpace;
 use crate::tuner::{Evaluator, ModelEvaluator, NativeEvaluator, SimEvaluator};
 use em_field::GridDims;
+use em_json::{self as jsonio, JValue};
 use mwd_core::MwdConfig;
 use perf_models::MachineSpec;
 use std::path::{Path, PathBuf};

@@ -17,19 +17,27 @@
 //! machine model), [`cache`] stores tuned winners per `(fingerprint,
 //! grid, engine, thread budget)` key and resolves misses through the
 //! staged lookup → model-pruned search → optional native refinement
-//! pipeline, and [`jsonio`] reads/writes the cache file.
+//! pipeline, [`shared`] wraps the cache in a lock for concurrent
+//! resolvers (the job service's admission path), and the shared
+//! [`em_json`] crate (re-exported as [`jsonio`]) reads/writes the cache
+//! file.
 
 pub mod cache;
 pub mod fingerprint;
-pub mod jsonio;
 pub mod prune;
+pub mod shared;
 pub mod space;
 pub mod tuner;
+
+/// Historical module path: the cache's JSON I/O now lives in the shared
+/// `em_json` crate.
+pub use em_json as jsonio;
 
 pub use cache::{
     default_cache_path, resolve, Resolution, ResolveOptions, Stage, TuneCache, TuneEntry, TuneKey,
 };
 pub use fingerprint::{host_fingerprint, machine_slug};
 pub use prune::{cache_fit, CacheWindow};
+pub use shared::SharedTuneCache;
 pub use space::{Candidate, SearchSpace};
 pub use tuner::{autotune, Evaluator, ModelEvaluator, NativeEvaluator, SimEvaluator, TuneResult};

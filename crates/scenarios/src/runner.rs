@@ -20,8 +20,8 @@ use autotune::{ResolveOptions, TuneCache, TuneKey};
 use em_solver::analysis;
 use mwd_core::ThreadBudget;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Options for [`run_batch`].
 #[derive(Clone, Debug)]
@@ -49,6 +49,11 @@ pub struct BatchOptions {
     /// `engine = "auto"` jobs always resolve, with these options or —
     /// when `None` — against an in-memory cache.
     pub tune: Option<TunePlan>,
+    /// Cooperative stop flag (graceful shutdown). Once set, workers
+    /// finish the job they are on ("drain") but claim no further jobs;
+    /// never-started jobs are recorded as cancelled outcomes, and the
+    /// artifacts / batch summary are still written.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 /// How a batch resolves tuned configurations.
@@ -75,9 +80,14 @@ impl Default for BatchOptions {
             budget: ThreadBudget::host(),
             quiet: true,
             tune: None,
+            stop: None,
         }
     }
 }
+
+/// The error message prefix cancelled outcomes carry (see
+/// [`BatchOptions::stop`] and [`BatchReport::cancelled`]).
+pub const CANCELLED_PREFIX: &str = "cancelled:";
 
 /// How one job's configuration came out of the tuning cache.
 #[derive(Clone, Debug, PartialEq)]
@@ -186,6 +196,22 @@ impl JobOutcome {
         }
         Json::obj(pairs)
     }
+
+    /// The deterministic artifact form: everything [`Self::to_json`]
+    /// carries except wall-clock timing, so repeat solves of an
+    /// identical job render byte-identical JSON. The job service's
+    /// content-addressed result store serves exactly these bytes.
+    pub fn to_json_canonical(&self) -> Json {
+        match self.to_json() {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .into_iter()
+                    .filter(|(k, _)| k != "wall_secs")
+                    .collect(),
+            ),
+            other => other,
+        }
+    }
 }
 
 /// What [`run_batch`] returns: ordered outcomes plus pool telemetry.
@@ -205,6 +231,19 @@ pub struct BatchReport {
 impl BatchReport {
     pub fn failures(&self) -> usize {
         self.outcomes.iter().filter(|o| o.error.is_some()).count()
+    }
+
+    /// Jobs the stop flag cancelled before they started (a subset of
+    /// [`Self::failures`]).
+    pub fn cancelled(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                o.error
+                    .as_deref()
+                    .is_some_and(|e| e.starts_with(CANCELLED_PREFIX))
+            })
+            .count()
     }
 
     /// `(cache hits, misses, native probes)` across the tuned jobs.
@@ -375,9 +414,16 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
     let max_in_flight = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
+    let stopped = || opts.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // Drain semantics: a set stop flag ends the claim loop,
+                // but the job this worker is already running completes
+                // normally (its outcome is recorded below).
+                if stopped() {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -442,7 +488,11 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
                     opts.dry_run,
                     tune_records[i].clone(),
                 );
-                o.error = Some("worker crashed before recording an outcome".to_string());
+                o.error = Some(if stopped() {
+                    format!("{CANCELLED_PREFIX} stop requested before this job started")
+                } else {
+                    "worker crashed before recording an outcome".to_string()
+                });
                 o
             })
         })
@@ -787,6 +837,90 @@ mod tests {
         assert_eq!(panic_message(s.as_ref()), "string payload");
         let s: Box<dyn std::any::Any + Send> = Box::new(17usize);
         assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn preset_stop_flag_cancels_every_job_but_still_writes_the_summary() {
+        let dir = std::env::temp_dir().join(format!("mwd_stop_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stop = Arc::new(AtomicBool::new(true));
+        let specs = vec![tiny_spec("a"), tiny_spec("b")];
+        let report = run_batch(
+            &specs,
+            &BatchOptions {
+                workers: 2,
+                out_dir: Some(dir.clone()),
+                stop: Some(stop),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cancelled(), 2, "nothing starts under a set flag");
+        assert_eq!(report.failures(), 2);
+        for o in &report.outcomes {
+            assert_eq!(o.steps, 0, "no solver stepped");
+            assert!(
+                o.error.as_deref().unwrap().starts_with(CANCELLED_PREFIX),
+                "{:?}",
+                o.error
+            );
+        }
+        // Graceful shutdown still writes the batch summary + artifacts.
+        assert!(dir.join("batch_summary.json").is_file());
+        assert!(dir.join("batch_summary.csv").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_flag_set_mid_batch_drains_instead_of_aborting() {
+        // The flag flips concurrently with the batch; however the race
+        // lands, every job must come back either completed or cancelled
+        // and the counts must be consistent.
+        let stop = Arc::new(AtomicBool::new(false));
+        let specs: Vec<ScenarioSpec> = (0..6).map(|i| tiny_spec(&format!("j{i}"))).collect();
+        let setter = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                stop.store(true, Ordering::SeqCst);
+            })
+        };
+        let report = run_batch(
+            &specs,
+            &BatchOptions {
+                workers: 1,
+                stop: Some(stop),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        setter.join().unwrap();
+        let completed = report.outcomes.iter().filter(|o| o.error.is_none()).count();
+        assert_eq!(completed + report.cancelled(), report.outcomes.len());
+        for o in report.outcomes.iter().filter(|o| o.error.is_none()) {
+            assert_eq!(o.periods, 2, "drained jobs ran to completion");
+        }
+    }
+
+    #[test]
+    fn canonical_json_strips_wall_clock_but_keeps_results() {
+        let specs = vec![tiny_spec("canon")];
+        let r1 = run_batch(&specs, &BatchOptions::default()).unwrap();
+        let r2 = run_batch(&specs, &BatchOptions::default()).unwrap();
+        let (a, b) = (&r1.outcomes[0], &r2.outcomes[0]);
+        assert_ne!(
+            a.to_json().get("wall_secs"),
+            None,
+            "full artifact keeps timing"
+        );
+        let (ca, cb) = (a.to_json_canonical(), b.to_json_canonical());
+        assert_eq!(ca.get("wall_secs"), None);
+        assert_eq!(ca.get("energy"), cb.get("energy"));
+        assert_eq!(
+            ca.pretty(),
+            cb.pretty(),
+            "identical jobs render byte-identical canonical artifacts"
+        );
     }
 
     #[test]

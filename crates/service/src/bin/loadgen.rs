@@ -1,0 +1,528 @@
+//! `loadgen` — hammer a running `mwd serve` daemon with a concurrent
+//! mixed workload and report latency percentiles + dedupe hit rate.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
+//!         [--dup-ratio R] [--scenario BUILTIN | --spec FILE]
+//!         [--engine KIND] [--max-periods M] [--seed S]
+//!         [--report FILE] [--min-dedupe-hits K] [--shutdown] [--quiet]
+//! ```
+//!
+//! The workload is `N` submissions drawn from a pool of
+//! `U = max(1, N * (1 - R))` distinct spec variants (the base scenario
+//! with per-variant `lambda_nm`), shuffled deterministically by
+//! `--seed`. With `R = 0.5`, half the requests repeat an earlier spec —
+//! the daemon should answer those from the result store (or coalesce
+//! them onto the in-flight job) without solving.
+//!
+//! Every completed request fetches its artifact and the bytes are
+//! compared per variant: a cached result that differs from the first
+//! solve of the same variant is counted as a mismatch and fails the
+//! run. The summary (and `--report`, merged into `BENCH_results.json`
+//! under the `loadgen` key) therefore certifies both the hit rate and
+//! bit-identical serving.
+
+use em_json::Json;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "loadgen — concurrent load generator for `mwd serve`
+
+OPTIONS:
+    --addr <host:port>     daemon address (default 127.0.0.1:7171)
+    --requests <n>         total submissions (default 20)
+    --concurrency <c>      client threads (default 4)
+    --dup-ratio <r>        fraction of requests repeating an earlier
+                           spec, 0..=1 (default 0.5)
+    --scenario <builtin>   base catalog scenario (default vacuum-slab)
+    --spec <file>          base scenario TOML file (overrides --scenario)
+    --engine <kind>        engine override sent with every request
+    --max-periods <m>      per-request convergence cap (default 1)
+    --seed <s>             workload shuffle seed (default 7)
+    --report <file>        merge the report into this JSON file
+                           (default results/BENCH_results.json)
+    --min-dedupe-hits <k>  exit 1 if fewer requests were deduped
+    --shutdown             POST /shutdown when done
+    --quiet                suppress per-request lines
+";
+
+struct Opts {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    dup_ratio: f64,
+    scenario: String,
+    spec_file: Option<PathBuf>,
+    engine: Option<String>,
+    max_periods: usize,
+    seed: u64,
+    report: PathBuf,
+    min_dedupe_hits: Option<usize>,
+    shutdown: bool,
+    quiet: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        addr: "127.0.0.1:7171".to_string(),
+        requests: 20,
+        concurrency: 4,
+        dup_ratio: 0.5,
+        scenario: "vacuum-slab".to_string(),
+        spec_file: None,
+        engine: None,
+        max_periods: 1,
+        seed: 7,
+        report: PathBuf::from("results/BENCH_results.json"),
+        min_dedupe_hits: None,
+        shutdown: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => o.addr = value("--addr")?,
+            "--requests" => o.requests = parse_count(&value("--requests")?, "--requests")?,
+            "--concurrency" => {
+                o.concurrency = parse_count(&value("--concurrency")?, "--concurrency")?
+            }
+            "--dup-ratio" => {
+                o.dup_ratio = value("--dup-ratio")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or("--dup-ratio needs a number in 0..=1")?
+            }
+            "--scenario" => o.scenario = value("--scenario")?,
+            "--spec" => o.spec_file = Some(PathBuf::from(value("--spec")?)),
+            "--engine" => o.engine = Some(value("--engine")?),
+            "--max-periods" => {
+                o.max_periods = parse_count(&value("--max-periods")?, "--max-periods")?
+            }
+            "--seed" => {
+                o.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?
+            }
+            "--report" => o.report = PathBuf::from(value("--report")?),
+            "--min-dedupe-hits" => {
+                o.min_dedupe_hits = Some(
+                    value("--min-dedupe-hits")?
+                        .parse()
+                        .map_err(|_| "--min-dedupe-hits needs an integer")?,
+                )
+            }
+            "--shutdown" => o.shutdown = true,
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`; try --help")),
+        }
+    }
+    if o.requests == 0 {
+        return Err("--requests must be positive".to_string());
+    }
+    if o.concurrency == 0 {
+        return Err("--concurrency must be positive".to_string());
+    }
+    Ok(o)
+}
+
+fn parse_count(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} needs a non-negative integer"))
+}
+
+/// One blocking HTTP exchange (the daemon closes after each response).
+fn http(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send {method} {path}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {method} {path}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response to {method} {path}: {text:.60}"))?;
+    let payload = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+struct RequestOutcome {
+    variant: usize,
+    /// "cached" | "coalesced" | "queued" | "http-<status>" | error text.
+    status: String,
+    submit_ms: f64,
+    total_ms: f64,
+    result_bytes: Option<String>,
+    failed: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn drive_one(o: &Opts, body: &str, variant: usize) -> RequestOutcome {
+    let t0 = Instant::now();
+    let mut out = RequestOutcome {
+        variant,
+        status: String::new(),
+        submit_ms: 0.0,
+        total_ms: 0.0,
+        result_bytes: None,
+        failed: false,
+    };
+    let fail = |out: &mut RequestOutcome, msg: String| {
+        out.status = msg;
+        out.failed = true;
+        out.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    };
+    let (status, payload) = match http(&o.addr, "POST", "/jobs", Some(body.as_bytes())) {
+        Ok(r) => r,
+        Err(e) => {
+            fail(&mut out, e);
+            return out;
+        }
+    };
+    out.submit_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let doc = em_json::parse(&payload).unwrap_or(Json::Null);
+    if status != 200 && status != 202 {
+        fail(&mut out, format!("http-{status}"));
+        return out;
+    }
+    out.status = doc
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+
+    // Resolve to artifact bytes: straight from the store for `cached`,
+    // else poll the job to completion.
+    let result_path = if out.status == "cached" {
+        match doc.get("result").and_then(Json::as_str) {
+            Some(p) => p.to_string(),
+            None => {
+                fail(&mut out, "cached response without result path".into());
+                return out;
+            }
+        }
+    } else {
+        let Some(job) = doc.get("job").and_then(Json::as_str).map(str::to_string) else {
+            fail(&mut out, "queued response without job id".into());
+            return out;
+        };
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if Instant::now() > deadline {
+                fail(&mut out, format!("{job} did not finish in 120s"));
+                return out;
+            }
+            match http(&o.addr, "GET", &format!("/jobs/{job}"), None) {
+                Ok((200, body)) => {
+                    let state = em_json::parse(&body)
+                        .ok()
+                        .and_then(|d| d.get("state").map(|s| s.as_str().unwrap_or("").to_string()))
+                        .unwrap_or_default();
+                    match state.as_str() {
+                        "done" => break,
+                        "failed" | "cancelled" => {
+                            fail(&mut out, format!("{job} ended {state}"));
+                            return out;
+                        }
+                        _ => std::thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+                Ok((s, _)) => {
+                    fail(&mut out, format!("poll {job}: http-{s}"));
+                    return out;
+                }
+                Err(e) => {
+                    fail(&mut out, e);
+                    return out;
+                }
+            }
+        }
+        format!("/jobs/{job}/result")
+    };
+    match http(&o.addr, "GET", &result_path, None) {
+        Ok((200, body)) => out.result_bytes = Some(body),
+        Ok((s, _)) => {
+            fail(&mut out, format!("fetch {result_path}: http-{s}"));
+            return out;
+        }
+        Err(e) => {
+            fail(&mut out, e);
+            return out;
+        }
+    }
+    out.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    out
+}
+
+fn run(o: &Opts) -> Result<ExitCode, String> {
+    // The variant pool: U distinct specs; requests beyond U repeat one.
+    let unique = ((o.requests as f64) * (1.0 - o.dup_ratio)).round().max(1.0) as usize;
+    let unique = unique.min(o.requests);
+    let base_toml = match &o.spec_file {
+        Some(p) => Some(
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?,
+        ),
+        None => None,
+    };
+    // Deterministic assignment: first U requests cover each variant
+    // once, the rest re-draw via an LCG; then shuffle so duplicates
+    // interleave with first sights (exercising coalescing, not just
+    // store hits).
+    let mut lcg = o.seed | 1;
+    let mut step = move || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lcg >> 33
+    };
+    let mut variants: Vec<usize> = (0..o.requests)
+        .map(|i| {
+            if i < unique {
+                i
+            } else {
+                step() as usize % unique
+            }
+        })
+        .collect();
+    for i in (1..variants.len()).rev() {
+        variants.swap(i, step() as usize % (i + 1));
+    }
+
+    let bodies: Vec<String> = variants
+        .iter()
+        .map(|&v| {
+            let mut pairs = vec![];
+            match &base_toml {
+                Some(t) => pairs.push(("toml", Json::str(t.clone()))),
+                None => pairs.push(("builtin", Json::str(&o.scenario))),
+            }
+            if let Some(kind) = &o.engine {
+                pairs.push(("engine", Json::str(kind)));
+            }
+            pairs.push(("lambda_nm", Json::Num(550.0 + 7.0 * v as f64)));
+            pairs.push(("max_periods", Json::Int(o.max_periods as i64)));
+            Json::obj(pairs).compact()
+        })
+        .collect();
+
+    // Health check before loading.
+    let (hs, _) = http(&o.addr, "GET", "/healthz", None)?;
+    if hs != 200 {
+        return Err(format!("daemon at {} is unhealthy (HTTP {hs})", o.addr));
+    }
+
+    let t0 = Instant::now();
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<RequestOutcome>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..o.concurrency.min(o.requests) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= o.requests {
+                    break;
+                }
+                let out = drive_one(o, &bodies[i], variants[i]);
+                if !o.quiet {
+                    println!(
+                        "[{:>3}/{}] variant {:>3} {:<10} submit {:>7.1} ms total {:>8.1} ms",
+                        i + 1,
+                        o.requests,
+                        out.variant,
+                        out.status,
+                        out.submit_ms,
+                        out.total_ms
+                    );
+                }
+                outcomes.lock().unwrap().push(out);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let outcomes = outcomes.into_inner().unwrap();
+
+    // Bit-identical serving: all artifact bytes of one variant agree.
+    let mut first_seen: HashMap<usize, &str> = HashMap::new();
+    let mut mismatches = 0usize;
+    for out in &outcomes {
+        if let Some(bytes) = &out.result_bytes {
+            match first_seen.get(&out.variant) {
+                Some(prev) if *prev != bytes.as_str() => mismatches += 1,
+                Some(_) => {}
+                None => {
+                    first_seen.insert(out.variant, bytes);
+                }
+            }
+        }
+    }
+
+    let count = |s: &str| outcomes.iter().filter(|r| r.status == s).count();
+    let (cached, coalesced, queued) = (count("cached"), count("coalesced"), count("queued"));
+    let dedupe_hits = cached + coalesced;
+    let failures = outcomes.iter().filter(|r| r.failed).count();
+    let mut submit: Vec<f64> = outcomes.iter().map(|r| r.submit_ms).collect();
+    let mut total: Vec<f64> = outcomes
+        .iter()
+        .filter(|r| !r.failed)
+        .map(|r| r.total_ms)
+        .collect();
+    submit.sort_by(f64::total_cmp);
+    total.sort_by(f64::total_cmp);
+
+    let stats_doc = http(&o.addr, "GET", "/stats", None)
+        .ok()
+        .and_then(|(s, b)| (s == 200).then(|| em_json::parse(&b).ok()).flatten())
+        .unwrap_or(Json::Null);
+
+    let report = Json::obj(vec![
+        ("addr", Json::str(&o.addr)),
+        ("requests", Json::Int(o.requests as i64)),
+        ("concurrency", Json::Int(o.concurrency as i64)),
+        ("dup_ratio", Json::Num(o.dup_ratio)),
+        ("unique_variants", Json::Int(unique as i64)),
+        ("cached", Json::Int(cached as i64)),
+        ("coalesced", Json::Int(coalesced as i64)),
+        ("queued", Json::Int(queued as i64)),
+        ("dedupe_hits", Json::Int(dedupe_hits as i64)),
+        (
+            "dedupe_hit_rate",
+            Json::Num(dedupe_hits as f64 / o.requests as f64),
+        ),
+        ("failures", Json::Int(failures as i64)),
+        ("result_mismatches", Json::Int(mismatches as i64)),
+        ("wall_secs", Json::Num(wall)),
+        (
+            "requests_per_sec",
+            Json::Num(o.requests as f64 / wall.max(1e-9)),
+        ),
+        (
+            "submit_ms",
+            Json::obj(vec![
+                ("p50", Json::Num(percentile(&submit, 50.0))),
+                ("p90", Json::Num(percentile(&submit, 90.0))),
+                ("p99", Json::Num(percentile(&submit, 99.0))),
+            ]),
+        ),
+        (
+            "total_ms",
+            Json::obj(vec![
+                ("p50", Json::Num(percentile(&total, 50.0))),
+                ("p90", Json::Num(percentile(&total, 90.0))),
+                ("p99", Json::Num(percentile(&total, 99.0))),
+            ]),
+        ),
+        ("server_stats", stats_doc),
+    ]);
+
+    // Merge under the `loadgen` key so bench_report's measurements in
+    // the same file survive.
+    if let Some(dir) = o.report.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    let mut doc = std::fs::read_to_string(&o.report)
+        .ok()
+        .and_then(|t| em_json::parse(&t).ok())
+        .filter(|d| d.as_obj().is_some())
+        .unwrap_or(Json::Obj(vec![]));
+    doc.set("loadgen", report);
+    std::fs::write(&o.report, doc.pretty())
+        .map_err(|e| format!("cannot write {}: {e}", o.report.display()))?;
+
+    println!(
+        "\n{} requests in {:.2}s ({:.1}/s) against {}",
+        o.requests,
+        wall,
+        o.requests as f64 / wall.max(1e-9),
+        o.addr
+    );
+    println!(
+        "dedupe hits: {dedupe_hits}/{} ({:.0}%) — {cached} cached, {coalesced} coalesced, {queued} solved",
+        o.requests,
+        100.0 * dedupe_hits as f64 / o.requests as f64
+    );
+    println!(
+        "latency ms: submit p50 {:.1} / p90 {:.1} / p99 {:.1}; end-to-end p50 {:.1} / p90 {:.1} / p99 {:.1}",
+        percentile(&submit, 50.0),
+        percentile(&submit, 90.0),
+        percentile(&submit, 99.0),
+        percentile(&total, 50.0),
+        percentile(&total, 90.0),
+        percentile(&total, 99.0),
+    );
+    println!("failures: {failures}, result mismatches: {mismatches}");
+    println!("report: {}", o.report.display());
+
+    if o.shutdown {
+        let (s, _) = http(&o.addr, "POST", "/shutdown", None)?;
+        println!("shutdown requested (HTTP {s})");
+    }
+
+    let enough_hits = o.min_dedupe_hits.is_none_or(|k| dedupe_hits >= k);
+    if !enough_hits {
+        eprintln!(
+            "error: {dedupe_hits} dedupe hit(s), fewer than the required {}",
+            o.min_dedupe_hits.unwrap_or(0)
+        );
+    }
+    if failures > 0 || mismatches > 0 || !enough_hits {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_opts(&args).and_then(|o| run(&o)) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

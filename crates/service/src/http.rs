@@ -1,0 +1,436 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! Hand-rolled on `std::io` for the same reason as the TOML and JSON
+//! codecs: this environment has no crates.io, and the service only
+//! needs a small, well-policed subset — one request per connection
+//! (every response carries `Connection: close`), `Content-Length` and
+//! `Transfer-Encoding: chunked` bodies, and hard limits on header and
+//! body size so a misbehaving client costs bounded memory.
+//!
+//! Parsing errors map onto the two client-fault status codes the API
+//! uses: 400 for malformed requests and 413 for oversized ones.
+
+use em_json::Json;
+use std::io::{BufRead, Write};
+
+/// Resource limits applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Request line + headers, in bytes.
+    pub max_header_bytes: usize,
+    /// Decoded body, in bytes (scenario specs are a few KiB).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// What went wrong reading a request, as an HTTP status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400: syntactically malformed request.
+    BadRequest(String),
+    /// 413: header block or body over the configured limit.
+    TooLarge(String),
+}
+
+impl HttpError {
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 413,
+        }
+    }
+
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::BadRequest(m) | HttpError::TooLarge(m) => m,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// The request target as sent (path + optional query).
+    pub target: String,
+    /// Header names are lower-cased; values are trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> HttpError {
+    HttpError::BadRequest(msg.into())
+}
+
+/// Read one line (through CRLF or bare LF), enforcing a byte budget
+/// shared across the whole header block.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r.fill_buf().map_err(|e| bad(format!("read failed: {e}")))?;
+        if buf.is_empty() {
+            // EOF mid-line is malformed; EOF before any byte is a
+            // closed connection.
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(bad("connection closed mid-line"))
+            };
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map(|i| i + 1).unwrap_or(buf.len());
+        if take > *budget {
+            return Err(HttpError::TooLarge(
+                "header block exceeds the configured limit".to_string(),
+            ));
+        }
+        *budget -= take;
+        line.extend_from_slice(&buf[..take]);
+        r.consume(take);
+        if nl.is_some() {
+            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| bad("header line is not UTF-8"));
+        }
+    }
+}
+
+/// Read and decode one full request. `Ok(None)` means the peer closed
+/// the connection before sending anything.
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    let mut budget = limits.max_header_bytes;
+    let Some(request_line) = read_line(r, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(bad(format!("malformed request line `{request_line}`"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol version `{version}`")));
+    }
+    if !target.starts_with('/') {
+        return Err(bad(format!("request target `{target}` is not a path")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(r, &mut budget)? else {
+            return Err(bad("connection closed inside the header block"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("malformed header line `{line}`")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(bad(format!("malformed header name `{name}`")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    let body = match (
+        req.header("transfer-encoding"),
+        req.header("content-length"),
+    ) {
+        (Some(te), _) => {
+            if !te.eq_ignore_ascii_case("chunked") {
+                return Err(bad(format!("unsupported transfer encoding `{te}`")));
+            }
+            read_chunked_body(r, limits)?
+        }
+        (None, Some(cl)) => {
+            let len: usize = cl
+                .parse()
+                .map_err(|_| bad(format!("malformed content length `{cl}`")))?;
+            if len > limits.max_body_bytes {
+                return Err(HttpError::TooLarge(format!(
+                    "declared body of {len} bytes exceeds the {}-byte limit",
+                    limits.max_body_bytes
+                )));
+            }
+            let mut body = vec![0u8; len];
+            read_exact(r, &mut body)?;
+            body
+        }
+        (None, None) => Vec::new(),
+    };
+
+    Ok(Some(Request { body, ..req }))
+}
+
+fn read_exact(r: &mut impl BufRead, buf: &mut [u8]) -> Result<(), HttpError> {
+    std::io::Read::read_exact(r, buf).map_err(|e| bad(format!("body truncated: {e}")))
+}
+
+/// Decode a chunked body: `<hex-size>[;ext]\r\n<bytes>\r\n` repeated,
+/// terminated by a zero-size chunk and (possibly empty) trailers.
+fn read_chunked_body(r: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    // Chunk-size lines and trailers share one generous budget so a
+    // stream of empty extensions cannot spin forever.
+    let mut line_budget = limits.max_header_bytes;
+    loop {
+        let Some(size_line) = read_line(r, &mut line_budget)? else {
+            return Err(bad("connection closed inside a chunked body"));
+        };
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| bad(format!("malformed chunk size `{size_line}`")))?;
+        // Reject an absurd declared size before any arithmetic on it: a
+        // chunk size near usize::MAX would overflow the `len + size`
+        // check below and panic the handler instead of answering 413.
+        if size > limits.max_body_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "declared chunk of {size} bytes exceeds the {}-byte limit",
+                limits.max_body_bytes
+            )));
+        }
+        if size == 0 {
+            // Trailer section: header lines until the blank terminator.
+            loop {
+                match read_line(r, &mut line_budget)? {
+                    Some(l) if l.is_empty() => return Ok(body),
+                    Some(_) => continue,
+                    None => return Err(bad("connection closed inside chunk trailers")),
+                }
+            }
+        }
+        if body.len() + size > limits.max_body_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "chunked body exceeds the {}-byte limit",
+                limits.max_body_bytes
+            )));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        read_exact(r, &mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        read_exact(r, &mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("chunk data is not CRLF-terminated"));
+        }
+    }
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One response, always `Connection: close`.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.pretty().into_bytes(),
+        }
+    }
+
+    /// A JSON error payload: `{"error": <message>}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Json::obj(vec![("error", Json::str(message))]))
+    }
+
+    /// Pre-rendered JSON bytes (the content-addressed artifacts).
+    pub fn raw_json(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.to_vec()), &Limits::default())
+    }
+
+    fn parse_with(raw: &[u8], limits: Limits) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.to_vec()), &limits)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"), "case-insensitive lookup");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_content_length_body_and_query() {
+        let req = parse(b"POST /jobs?x=1 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path(), "/jobs");
+        assert_eq!(req.target, "/jobs?x=1");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_chunked_body_with_extensions_and_trailers() {
+        let raw = b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4;ext=1\r\nname\r\n3\r\n = \r\n0\r\nX-Trailer: t\r\n\r\n";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.body, b"name = ");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let req = parse(b"GET /stats HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(req.path(), "/stats");
+    }
+
+    #[test]
+    fn closed_connection_before_any_byte_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET /x\r\n\r\n".as_slice(),
+            b"GET /x SPDY/3\r\n\r\n".as_slice(),
+            b"GET x HTTP/1.1\r\n\r\n".as_slice(),
+            b"GET /x HTTP/1.1 extra\r\n\r\n".as_slice(),
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort".as_slice(),
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabXY".as_slice(),
+            b"GET /x HTTP/1.1\r\nHost: x".as_slice(),
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(
+                err.status(),
+                400,
+                "{err:?} for {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_requests_are_413() {
+        let tight = Limits {
+            max_header_bytes: 64,
+            max_body_bytes: 8,
+        };
+        // Header block over budget.
+        let raw = format!("GET /x HTTP/1.1\r\nBig: {}\r\n\r\n", "v".repeat(100));
+        assert_eq!(parse_with(raw.as_bytes(), tight).unwrap_err().status(), 413);
+        // Declared body over budget (rejected before reading it).
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert_eq!(parse_with(raw, tight).unwrap_err().status(), 413);
+        // Chunked body creeping over budget.
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    6\r\nabcdef\r\n6\r\nghijkl\r\n0\r\n\r\n";
+        assert_eq!(parse_with(raw, tight).unwrap_err().status(), 413);
+        // A near-usize::MAX chunk size must 413 cleanly, not overflow
+        // the accounting arithmetic.
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    1\r\na\r\nffffffffffffffff\r\n";
+        assert_eq!(parse_with(raw, tight).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn responses_render_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::error(429, "queue full")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
+        assert_eq!(
+            em_json::parse(body).unwrap().get("error").unwrap().as_str(),
+            Some("queue full")
+        );
+    }
+}

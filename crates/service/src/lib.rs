@@ -1,0 +1,53 @@
+//! # em-service — the long-running THIIM job service
+//!
+//! The ROADMAP's north star is a system that serves heavy traffic, and
+//! the MWD engine exists because the THIIM update is memory-starved and
+//! throughput-bound: the scarce resource is sustained machine bandwidth.
+//! A serving layer therefore must not re-pay work — process startup,
+//! tune-cache loading, or (for identical specs) the entire solve — per
+//! request. This crate is that layer:
+//!
+//! - [`http`]: a hand-rolled HTTP/1.1 server substrate on
+//!   `std::net::TcpListener` (no new dependencies, matching the
+//!   offline/vendored constraint): request parsing with header/body
+//!   limits and chunked-transfer decoding, JSON responses;
+//! - [`hash`]: the canonical content hash. A job's identity is
+//!   `FNV-1a-128(resolved spec TOML, engine config, host/ISA
+//!   fingerprint)` — two submissions with equal hashes are
+//!   interchangeable by construction;
+//! - [`store`]: the content-addressed result store. Artifacts are the
+//!   *canonical* (wall-clock-free) batch outcome JSON, so a cached
+//!   result is byte-identical to what a fresh solve would produce;
+//! - [`scheduler`]: admission control and execution. A bounded queue
+//!   (overflow → HTTP 429) feeds a worker pool that shares one
+//!   [`mwd_core::ThreadBudget`] between concurrent jobs, exactly like
+//!   the batch runner; identical in-flight submissions coalesce onto
+//!   one job, and `engine = "auto"` resolves through a process-wide
+//!   [`autotune::SharedTuneCache`] so the tuning cache stays warm
+//!   across requests;
+//! - [`server`]: the accept loop and the JSON API — `POST /jobs`,
+//!   `GET /jobs/:id`, `GET /jobs/:id/result`, `GET /results/:key`,
+//!   `GET /healthz`, `GET /stats`, `POST /shutdown`;
+//! - [`shutdown`]: SIGINT/SIGTERM → a cooperative stop flag, shared
+//!   with the batch runner's drain path;
+//! - [`stats`]: the service counters behind `GET /stats`.
+//!
+//! The `mwd serve` subcommand and the `loadgen` load generator are thin
+//! shells over this crate.
+
+pub mod hash;
+pub mod http;
+pub mod scheduler;
+pub mod server;
+pub mod shutdown;
+pub mod stats;
+pub mod store;
+pub mod submit;
+
+pub use hash::content_hash;
+pub use http::{Limits, Request, Response};
+pub use scheduler::{Scheduler, SchedulerConfig, Submission, SubmitError};
+pub use server::{Server, ServerConfig};
+pub use stats::ServiceStats;
+pub use store::ResultStore;
+pub use submit::parse_submission;

@@ -1,0 +1,683 @@
+//! Admission control and job execution.
+//!
+//! The serving layer's contract mirrors the batch runner's: concurrent
+//! jobs and their intra-solve thread groups share one
+//! [`ThreadBudget`], so the daemon never oversubscribes the host no
+//! matter how requests pile up. Three mechanisms enforce it:
+//!
+//! - **admission**: a submission is rejected up front when the queue is
+//!   full (HTTP 429), the spec is invalid (400), or its engine demands
+//!   more threads than a worker's budget share (400) — nothing
+//!   unbounded ever reaches a worker;
+//! - **dedupe**: a submission whose content key is already in the
+//!   result store is answered without a job at all, and one whose key
+//!   is already queued/running coalesces onto that job — identical
+//!   work is paid once;
+//! - **execution**: a fixed pool of `workers` threads leases exactly
+//!   its job's engine-thread demand from the shared budget while
+//!   running (`workers x threads_per_job <= budget` by construction,
+//!   watermarked in [`ServiceStats::peak_threads_in_use`]).
+//!
+//! `engine = "auto"` resolves through the process-wide
+//! [`SharedTuneCache`] at admission time, so the tuned configuration is
+//! part of the job's content key and stays warm across all requests.
+
+use crate::hash::content_hash;
+use crate::stats::ServiceStats;
+use crate::store::ResultStore;
+use autotune::{host_fingerprint, ResolveOptions, SharedTuneCache, TuneKey};
+use em_json::Json;
+use em_scenarios::runner::{run_batch, BatchOptions};
+use em_scenarios::spec::EngineDecl;
+use em_scenarios::{JobOutcome, ScenarioSpec};
+use mwd_core::ThreadBudget;
+use perf_models::MachineSpec;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Capacity and tuning knobs for [`Scheduler::start`].
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Worker-pool size; 0 derives `min(2, budget)` (serving favors
+    /// deep jobs over wide pools — the engine scales with threads, and
+    /// fewer concurrent grids fight less over shared bandwidth).
+    pub workers: usize,
+    /// Engine threads granted to each job; 0 derives `budget / workers`.
+    pub threads_per_job: usize,
+    /// Maximum jobs waiting to run; beyond this, submissions get 429.
+    pub queue_depth: usize,
+    /// The thread budget shared by all concurrent jobs.
+    pub budget: ThreadBudget,
+    /// Native probes per `auto`-resolution miss (0 = model/sim only).
+    pub refine_top: usize,
+    /// Finished job records retained for `GET /jobs/:id` (oldest are
+    /// pruned beyond this; results stay in the store regardless).
+    pub max_records: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 0,
+            threads_per_job: 0,
+            queue_depth: 32,
+            budget: ThreadBudget::host(),
+            refine_top: 0,
+            max_records: 4096,
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn finished(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// One job's bookkeeping record.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    pub id: u64,
+    pub scenario: String,
+    /// Content key of the (future) artifact.
+    pub key: String,
+    pub engine_label: String,
+    pub threads: usize,
+    pub state: JobState,
+    pub error: Option<String>,
+    submitted: Instant,
+    pub wait_secs: f64,
+    pub run_secs: f64,
+    spec: ScenarioSpec,
+}
+
+impl JobRecord {
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("job", Json::str(job_name(self.id))),
+            ("scenario", Json::str(&self.scenario)),
+            ("state", Json::str(self.state.as_str())),
+            ("key", Json::str(&self.key)),
+            ("engine", Json::str(&self.engine_label)),
+            ("threads", Json::Int(self.threads as i64)),
+            ("wait_secs", Json::Num(self.wait_secs)),
+            ("run_secs", Json::Num(self.run_secs)),
+        ];
+        if self.state == JobState::Done {
+            pairs.push(("result", Json::str(format!("/results/{}", self.key))));
+        }
+        match &self.error {
+            Some(e) => pairs.push(("error", Json::str(e))),
+            None => pairs.push(("error", Json::Null)),
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Render / parse the public `j-<n>` job names.
+pub fn job_name(id: u64) -> String {
+    format!("j-{id}")
+}
+
+pub fn parse_job_name(name: &str) -> Option<u64> {
+    name.strip_prefix("j-")?.parse().ok()
+}
+
+/// The outcome of an accepted submission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Submission {
+    /// The artifact already exists; no job was created.
+    Cached { key: String },
+    /// An identical job is already queued/running; this submission
+    /// rides along on it.
+    Coalesced { job: u64, key: String },
+    /// A new job was queued.
+    Queued { job: u64, key: String },
+}
+
+impl Submission {
+    pub fn key(&self) -> &str {
+        match self {
+            Submission::Cached { key }
+            | Submission::Coalesced { key, .. }
+            | Submission::Queued { key, .. } => key,
+        }
+    }
+}
+
+/// Why a submission was turned away.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// 400: the spec (or its engine demand) is unservable.
+    Invalid(String),
+    /// 429: the queue is at capacity.
+    Overloaded { queue_depth: usize },
+    /// 503: the daemon is draining.
+    ShuttingDown,
+    /// 500: tuning or another internal step failed.
+    Internal(String),
+}
+
+/// How a fetched result can be unavailable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResultError {
+    UnknownJob,
+    /// The job exists but has no artifact yet (state inside).
+    NotReady(JobState),
+    /// The job failed; message inside.
+    JobFailed(String),
+    /// The store lost the artifact (should not happen).
+    Missing,
+}
+
+struct SchedState {
+    jobs: HashMap<u64, JobRecord>,
+    queue: VecDeque<u64>,
+    /// Content key -> queued/running job, for coalescing.
+    active_by_key: HashMap<String, u64>,
+    next_id: u64,
+    draining: bool,
+    running: usize,
+}
+
+/// The function that actually executes one admitted spec with a thread
+/// allowance. Production uses [`solve_runner`]; tests inject stubs to
+/// control timing deterministically.
+pub type RunFn = dyn Fn(&ScenarioSpec, usize) -> Result<Vec<JobOutcome>, String> + Send + Sync;
+
+/// The production runner: one spec through the batch runner's code path
+/// (validation, panic isolation, deterministic outcome) on a budget of
+/// exactly `threads`.
+pub fn solve_runner(spec: &ScenarioSpec, threads: usize) -> Result<Vec<JobOutcome>, String> {
+    let opts = BatchOptions {
+        workers: 1,
+        threads: Some(threads),
+        budget: ThreadBudget::new(threads),
+        quiet: true,
+        out_dir: None,
+        ..Default::default()
+    };
+    run_batch(std::slice::from_ref(spec), &opts).map(|r| r.outcomes)
+}
+
+pub struct Scheduler {
+    pub workers: usize,
+    pub threads_per_job: usize,
+    pub queue_depth: usize,
+    pub budget_total: usize,
+    refine_top: usize,
+    max_records: usize,
+    machine: MachineSpec,
+    fingerprint: String,
+    state: Mutex<SchedState>,
+    /// Signalled when work is queued or draining begins.
+    work: Condvar,
+    /// Signalled when a running job finishes.
+    idle: Condvar,
+    store: Arc<ResultStore>,
+    tune: SharedTuneCache,
+    stats: Arc<ServiceStats>,
+    run: Box<RunFn>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    /// Resolve the configuration, spawn the worker pool, and hand back
+    /// the shared handle. `workers x threads_per_job` is checked
+    /// against the budget here, so the invariant holds by construction.
+    pub fn start(
+        cfg: SchedulerConfig,
+        store: Arc<ResultStore>,
+        tune: SharedTuneCache,
+        stats: Arc<ServiceStats>,
+        run: Box<RunFn>,
+    ) -> Result<Arc<Scheduler>, String> {
+        let total = cfg.budget.total();
+        let workers = if cfg.workers == 0 {
+            total.min(2)
+        } else {
+            cfg.workers.min(total)
+        };
+        let threads_per_job = if cfg.threads_per_job == 0 {
+            (total / workers).max(1)
+        } else {
+            cfg.threads_per_job
+        };
+        if workers * threads_per_job > total {
+            return Err(format!(
+                "{workers} worker(s) x {threads_per_job} thread(s) exceeds the budget of {total}"
+            ));
+        }
+        if cfg.queue_depth == 0 {
+            return Err("queue depth must be at least 1".to_string());
+        }
+        let machine = ResolveOptions::default().machine;
+        let scheduler = Arc::new(Scheduler {
+            workers,
+            threads_per_job,
+            queue_depth: cfg.queue_depth,
+            budget_total: total,
+            refine_top: cfg.refine_top,
+            max_records: cfg.max_records.max(1),
+            fingerprint: host_fingerprint(&machine),
+            machine,
+            state: Mutex::new(SchedState {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                active_by_key: HashMap::new(),
+                next_id: 1,
+                draining: false,
+                running: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            store,
+            tune,
+            stats,
+            run,
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = relock(scheduler.handles.lock());
+        for w in 0..workers {
+            let s = scheduler.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("em-service-worker-{w}"))
+                    .spawn(move || s.worker_loop())
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        drop(handles);
+        Ok(scheduler)
+    }
+
+    /// The host/ISA fingerprint folded into every content key.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Resolve a spec's engine to the concrete declaration it will run
+    /// under (through the shared tuning cache for `auto`).
+    fn resolve_engine(&self, spec: &ScenarioSpec) -> Result<EngineDecl, SubmitError> {
+        match spec.engine {
+            EngineDecl::Auto { threads } => {
+                let t = if threads == 0 {
+                    self.threads_per_job
+                } else {
+                    threads
+                };
+                let ropts = ResolveOptions {
+                    machine: self.machine,
+                    refine_top: self.refine_top,
+                    ..Default::default()
+                };
+                let key = TuneKey::for_host(&ropts.machine, spec.dims(), "mwd", t);
+                let r = self
+                    .tune
+                    .resolve(&key, &ropts)
+                    .map_err(SubmitError::Internal)?;
+                let cfg = r.config;
+                Ok(EngineDecl::Mwd {
+                    dw: cfg.dw,
+                    bz: cfg.bz,
+                    tg_x: cfg.tg.x,
+                    tg_z: cfg.tg.z,
+                    tg_c: cfg.tg.c,
+                    groups: cfg.groups,
+                })
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Whether resolving this spec's engine is O(lookup) rather than a
+    /// tuning search (non-`auto`, or the shared cache already has the
+    /// key).
+    fn resolution_is_cheap(&self, spec: &ScenarioSpec) -> bool {
+        match spec.engine {
+            EngineDecl::Auto { threads } => {
+                let t = if threads == 0 {
+                    self.threads_per_job
+                } else {
+                    threads
+                };
+                let key = TuneKey::for_host(&self.machine, spec.dims(), "mwd", t);
+                self.tune.with(|c| c.get(&key).is_some())
+            }
+            _ => true,
+        }
+    }
+
+    /// Admit one validated spec: dedupe against the store, coalesce
+    /// against in-flight work, or queue a new job.
+    pub fn submit(&self, spec: ScenarioSpec) -> Result<Submission, SubmitError> {
+        // Fast-fail before paying engine resolution: a draining daemon
+        // answers 503 immediately, and a full queue answers 429 without
+        // running a tuning search on the handler thread — unless
+        // resolution is a cheap cache lookup, in which case the request
+        // may still turn out to be a store hit or coalesce (neither
+        // needs a queue slot).
+        {
+            let st = relock(self.state.lock());
+            if st.draining {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queue.len() >= self.queue_depth && !self.resolution_is_cheap(&spec) {
+                ServiceStats::bump(&self.stats.rejected_overload);
+                return Err(SubmitError::Overloaded {
+                    queue_depth: self.queue_depth,
+                });
+            }
+        }
+        let decl = self.resolve_engine(&spec)?;
+        if decl.threads() > self.threads_per_job {
+            return Err(SubmitError::Invalid(format!(
+                "engine `{}` demands {} thread(s); this server grants at most {} per job",
+                decl.label(),
+                decl.threads(),
+                self.threads_per_job
+            )));
+        }
+        // The canonical identity: the resolved spec (declared engine
+        // replaced by what will actually run), the engine label again
+        // (cheap belt-and-braces), and the host/ISA fingerprint.
+        let mut resolved = spec;
+        resolved.engine = decl;
+        let canonical = resolved.to_toml_string();
+        let key = content_hash(&[&canonical, &decl.label(), &self.fingerprint]);
+
+        if self.store.contains(&key) {
+            ServiceStats::bump(&self.stats.store_hits);
+            return Ok(Submission::Cached { key });
+        }
+
+        let mut st = relock(self.state.lock());
+        if st.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        // Re-check the store under the state lock: a worker finishing
+        // this exact key stores the artifact before clearing it from
+        // `active_by_key` (both before flipping the record to Done), so
+        // this recheck closes the window in which the unlocked check
+        // above missed and the coalesce check below would too —
+        // without it, a submission racing a completing identical job
+        // would queue a full duplicate solve.
+        if self.store.contains(&key) {
+            ServiceStats::bump(&self.stats.store_hits);
+            return Ok(Submission::Cached { key });
+        }
+        if let Some(&job) = st.active_by_key.get(&key) {
+            ServiceStats::bump(&self.stats.coalesced);
+            return Ok(Submission::Coalesced { job, key });
+        }
+        if st.queue.len() >= self.queue_depth {
+            ServiceStats::bump(&self.stats.rejected_overload);
+            return Err(SubmitError::Overloaded {
+                queue_depth: self.queue_depth,
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let record = JobRecord {
+            id,
+            scenario: resolved.name.clone(),
+            key: key.clone(),
+            engine_label: decl.label(),
+            threads: decl.threads(),
+            state: JobState::Queued,
+            error: None,
+            submitted: Instant::now(),
+            wait_secs: 0.0,
+            run_secs: 0.0,
+            spec: resolved,
+        };
+        st.jobs.insert(id, record);
+        st.queue.push_back(id);
+        st.active_by_key.insert(key.clone(), id);
+        Self::prune_records(&mut st, self.max_records);
+        drop(st);
+        self.work.notify_one();
+        ServiceStats::bump(&self.stats.submitted);
+        Ok(Submission::Queued { job: id, key })
+    }
+
+    /// Drop the oldest *finished* records beyond the retention cap.
+    fn prune_records(st: &mut SchedState, max_records: usize) {
+        if st.jobs.len() <= max_records {
+            return;
+        }
+        let mut finished: Vec<u64> = st
+            .jobs
+            .values()
+            .filter(|r| r.state.finished())
+            .map(|r| r.id)
+            .collect();
+        finished.sort_unstable();
+        let excess = st.jobs.len() - max_records;
+        for id in finished.into_iter().take(excess) {
+            st.jobs.remove(&id);
+        }
+    }
+
+    fn worker_loop(self: Arc<Scheduler>) {
+        loop {
+            let (id, spec, threads, key) = {
+                let mut st = relock(self.state.lock());
+                let id = loop {
+                    if let Some(id) = st.queue.pop_front() {
+                        break id;
+                    }
+                    if st.draining {
+                        return;
+                    }
+                    st = relock(self.work.wait(st));
+                };
+                st.running += 1;
+                let r = st.jobs.get_mut(&id).expect("queued job has a record");
+                r.state = JobState::Running;
+                r.wait_secs = r.submitted.elapsed().as_secs_f64();
+                (id, r.spec.clone(), r.threads, r.key.clone())
+            };
+
+            self.stats.lease_threads(threads);
+            let t0 = Instant::now();
+            // The production runner isolates solver panics per outcome;
+            // this guard catches panics in injected test runners (and
+            // any future runner) so a worker thread never dies silently.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (self.run)(&spec, threads)
+            }))
+            .unwrap_or_else(|_| Err("job runner panicked".to_string()));
+            let run_secs = t0.elapsed().as_secs_f64();
+            self.stats.release_threads(threads);
+
+            // The artifact (including its disk write for backed stores)
+            // is published *before* the state lock is taken: holding
+            // the scheduler lock across file I/O would stall every API
+            // request, and store-before-Done both preserves the "Done
+            // implies stored" contract and lets submit()'s under-lock
+            // store recheck close the dedupe race with this completion.
+            let (state, error) = match result {
+                Ok(outcomes) => match outcomes.iter().find_map(|o| o.error.clone()) {
+                    Some(e) => (JobState::Failed, Some(e)),
+                    None => match self.store.put(&key, artifact_bytes(&key, &outcomes)) {
+                        Ok(()) => (JobState::Done, None),
+                        Err(e) => (JobState::Failed, Some(e)),
+                    },
+                },
+                Err(e) => (JobState::Failed, Some(e)),
+            };
+            let mut st = relock(self.state.lock());
+            if let Some(r) = st.jobs.get_mut(&id) {
+                r.state = state;
+                r.error = error;
+                r.run_secs = run_secs;
+            }
+            if st.active_by_key.get(&key) == Some(&id) {
+                st.active_by_key.remove(&key);
+            }
+            st.running -= 1;
+            drop(st);
+            ServiceStats::bump(match state {
+                JobState::Done => &self.stats.completed,
+                _ => &self.stats.failed,
+            });
+            self.idle.notify_all();
+        }
+    }
+
+    /// Stop admitting, cancel queued jobs, drain running ones, and join
+    /// the worker pool. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = relock(self.state.lock());
+            st.draining = true;
+            while let Some(id) = st.queue.pop_front() {
+                if let Some(r) = st.jobs.get_mut(&id) {
+                    r.state = JobState::Cancelled;
+                    r.error = Some("cancelled: daemon shut down before this job started".into());
+                    ServiceStats::bump(&self.stats.cancelled);
+                }
+            }
+            let SchedState {
+                active_by_key,
+                jobs,
+                ..
+            } = &mut *st;
+            active_by_key.retain(|_, id| matches!(jobs.get(id), Some(r) if !r.state.finished()));
+            self.work.notify_all();
+            while st.running > 0 {
+                st = relock(self.idle.wait(st));
+            }
+        }
+        let handles: Vec<_> = relock(self.handles.lock()).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// A job's public status document.
+    pub fn job_json(&self, id: u64) -> Option<Json> {
+        relock(self.state.lock())
+            .jobs
+            .get(&id)
+            .map(JobRecord::to_json)
+    }
+
+    /// A finished job's artifact bytes.
+    pub fn result_bytes(&self, id: u64) -> Result<Arc<Vec<u8>>, ResultError> {
+        let (state, key, error) = {
+            let st = relock(self.state.lock());
+            let Some(r) = st.jobs.get(&id) else {
+                return Err(ResultError::UnknownJob);
+            };
+            (r.state, r.key.clone(), r.error.clone())
+        };
+        match state {
+            JobState::Done => self.store.get(&key).ok_or(ResultError::Missing),
+            JobState::Failed | JobState::Cancelled => Err(ResultError::JobFailed(
+                error.unwrap_or_else(|| "job failed".to_string()),
+            )),
+            other => Err(ResultError::NotReady(other)),
+        }
+    }
+
+    /// `(queued, running, total records)` right now.
+    pub fn queue_counts(&self) -> (usize, usize, usize) {
+        let st = relock(self.state.lock());
+        (st.queue.len(), st.running, st.jobs.len())
+    }
+
+    /// Block until no job is queued or running (test helper; returns
+    /// false on timeout).
+    pub fn wait_idle(&self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = relock(self.state.lock());
+        while !st.queue.is_empty() || st.running > 0 {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .idle
+                .wait_timeout(st, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+        true
+    }
+}
+
+/// The canonical artifact document for one job's outcomes.
+pub fn artifact_bytes(key: &str, outcomes: &[JobOutcome]) -> Vec<u8> {
+    let doc = Json::obj(vec![
+        ("key", Json::str(key)),
+        (
+            "outcomes",
+            Json::Arr(outcomes.iter().map(JobOutcome::to_json_canonical).collect()),
+        ),
+    ]);
+    doc.pretty().into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_names_roundtrip() {
+        assert_eq!(job_name(7), "j-7");
+        assert_eq!(parse_job_name("j-7"), Some(7));
+        assert_eq!(parse_job_name("x-7"), None);
+        assert_eq!(parse_job_name("j-"), None);
+        assert_eq!(parse_job_name("j-1x"), None);
+    }
+
+    #[test]
+    fn config_resolution_rejects_overcommit() {
+        let cfg = SchedulerConfig {
+            workers: 3,
+            threads_per_job: 3,
+            budget: ThreadBudget::new(4),
+            ..Default::default()
+        };
+        let r = Scheduler::start(
+            cfg,
+            Arc::new(ResultStore::in_memory()),
+            SharedTuneCache::in_memory(),
+            Arc::new(ServiceStats::default()),
+            Box::new(|_, _| Ok(Vec::new())),
+        );
+        let err = r.err().expect("overcommitted config is rejected");
+        assert!(err.contains("exceeds the budget"), "{err}");
+    }
+}

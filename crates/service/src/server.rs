@@ -1,0 +1,387 @@
+//! The accept loop and the JSON API.
+//!
+//! | Route                  | Meaning                                        |
+//! |------------------------|------------------------------------------------|
+//! | `POST /jobs`           | submit a spec (TOML or compact JSON body)      |
+//! | `GET /jobs/:id`        | job status                                     |
+//! | `GET /jobs/:id/result` | the job's artifact (404/409/500 until `done`)  |
+//! | `GET /results/:key`    | artifact by content key                        |
+//! | `GET /healthz`         | liveness + capacity snapshot                   |
+//! | `GET /stats`           | the full counter set                           |
+//! | `POST /shutdown`       | request a drain (same as SIGTERM)              |
+//!
+//! Submissions answer `200 {"status": "cached"}` when the artifact
+//! already exists, `202 {"status": "queued"|"coalesced"}` otherwise;
+//! overload is `429`, a draining daemon `503`, malformed input `400`,
+//! oversized input `413`.
+//!
+//! Every connection handles one request (responses carry
+//! `Connection: close`), so handler threads are short-lived; the
+//! heavyweight work happens on the scheduler's worker pool.
+
+use crate::http::{read_request, Limits, Request, Response};
+use crate::scheduler::{
+    job_name, parse_job_name, solve_runner, ResultError, Scheduler, SchedulerConfig, Submission,
+    SubmitError,
+};
+use crate::stats::ServiceStats;
+use crate::store::ResultStore;
+use crate::submit::parse_submission;
+use autotune::SharedTuneCache;
+use em_json::Json;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything `mwd serve` configures.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (printed on startup).
+    pub addr: String,
+    pub limits: Limits,
+    pub scheduler: SchedulerConfig,
+    /// Artifact directory (`None` = in-memory store only).
+    pub store_dir: Option<PathBuf>,
+    /// Tuning-cache file (`None` = in-memory cache for this daemon).
+    pub cache_path: Option<PathBuf>,
+    pub quiet: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            limits: Limits::default(),
+            scheduler: SchedulerConfig::default(),
+            store_dir: None,
+            cache_path: None,
+            quiet: false,
+        }
+    }
+}
+
+/// What a finished daemon reports (printed by `mwd serve`, asserted by
+/// tests).
+#[derive(Clone, Debug)]
+pub struct ServiceSummary {
+    pub requests: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub store_entries: usize,
+    pub dedupe_rate: f64,
+    /// Whether the tuning cache was written on shutdown.
+    pub cache_saved: bool,
+}
+
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    stats: Arc<ServiceStats>,
+    store: Arc<ResultStore>,
+    tune: SharedTuneCache,
+    limits: Limits,
+    stop: Arc<AtomicBool>,
+    quiet: bool,
+}
+
+impl Server {
+    /// Bind the listener and start the worker pool with the production
+    /// solve runner.
+    pub fn bind(cfg: &ServerConfig) -> Result<Server, String> {
+        Server::bind_with_runner(cfg, Box::new(solve_runner))
+    }
+
+    /// [`Server::bind`] with an injected job runner — the seam the
+    /// deterministic HTTP tests use to control job timing.
+    pub fn bind_with_runner(
+        cfg: &ServerConfig,
+        run: Box<crate::scheduler::RunFn>,
+    ) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set the listener non-blocking: {e}"))?;
+        let store = Arc::new(match &cfg.store_dir {
+            Some(dir) => ResultStore::open(dir)?,
+            None => ResultStore::in_memory(),
+        });
+        let tune = match &cfg.cache_path {
+            Some(path) => SharedTuneCache::load(path)?,
+            None => SharedTuneCache::in_memory(),
+        };
+        let stats = Arc::new(ServiceStats::default());
+        let scheduler = Scheduler::start(
+            cfg.scheduler.clone(),
+            store.clone(),
+            tune.clone(),
+            stats.clone(),
+            run,
+        )?;
+        Ok(Server {
+            listener,
+            scheduler,
+            stats,
+            store,
+            tune,
+            limits: cfg.limits,
+            stop: Arc::new(AtomicBool::new(false)),
+            quiet: cfg.quiet,
+        })
+    }
+
+    /// The bound address (relevant with port 0).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("no local address: {e}"))
+    }
+
+    /// The flag that ends [`Server::run`]; hook it to signals with
+    /// [`crate::shutdown::install`].
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Accept until the stop flag is set, then drain and persist.
+    pub fn run(&self) -> Result<ServiceSummary, String> {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    ServiceStats::bump(&self.stats.requests);
+                    let ctx = ConnCtx {
+                        scheduler: self.scheduler.clone(),
+                        stats: self.stats.clone(),
+                        store: self.store.clone(),
+                        limits: self.limits,
+                        stop: self.stop.clone(),
+                    };
+                    handles.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+                    handles.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    // Transient accept failures (ECONNABORTED, EMFILE
+                    // under fd pressure, EINTR) must not tear the
+                    // daemon down mid-flight — that would skip the
+                    // drain, abandon running jobs, and lose the
+                    // session's tuning work. Log, back off, keep
+                    // serving; the stop flag remains the only exit.
+                    if !self.quiet {
+                        eprintln!("accept failed (continuing): {e}");
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        if !self.quiet {
+            eprintln!("draining: waiting for handlers and in-flight jobs ...");
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        self.scheduler.shutdown();
+        let cache_saved = self.tune.save()?;
+        Ok(ServiceSummary {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            store_entries: self.store.len(),
+            dedupe_rate: self.stats.dedupe_rate(),
+            cache_saved,
+        })
+    }
+}
+
+struct ConnCtx {
+    scheduler: Arc<Scheduler>,
+    stats: Arc<ServiceStats>,
+    store: Arc<ResultStore>,
+    limits: Limits,
+    stop: Arc<AtomicBool>,
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
+    // A stalled client must not pin a handler thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader, &ctx.limits) {
+        Ok(Some(req)) => route(&req, ctx),
+        Ok(None) => return,
+        Err(e) => {
+            ServiceStats::bump(&ctx.stats.rejected_bad);
+            Response::error(e.status(), e.message())
+        }
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(req: &Request, ctx: &ConnCtx) -> Response {
+    let segments: Vec<&str> = req.path().split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(ctx),
+        ("GET", ["stats"]) => stats_doc(ctx),
+        ("POST", ["jobs"]) => submit(req, ctx),
+        ("GET", ["jobs", id]) => job_status(id, ctx),
+        ("GET", ["jobs", id, "result"]) => job_result(id, ctx),
+        ("GET", ["results", key]) => result_by_key(key, ctx),
+        ("POST", ["shutdown"]) => {
+            ctx.stop.store(true, Ordering::SeqCst);
+            Response::json(
+                200,
+                &Json::obj(vec![("status", Json::str("shutting-down"))]),
+            )
+        }
+        (m, ["jobs"] | ["healthz"] | ["stats"] | ["shutdown"]) => {
+            Response::error(405, &format!("method `{m}` not allowed here"))
+        }
+        _ => Response::error(404, &format!("no route for {} {}", req.method, req.path())),
+    }
+}
+
+fn healthz(ctx: &ConnCtx) -> Response {
+    let (queued, running, records) = ctx.scheduler.queue_counts();
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("queued", Json::Int(queued as i64)),
+            ("running", Json::Int(running as i64)),
+            ("records", Json::Int(records as i64)),
+            ("workers", Json::Int(ctx.scheduler.workers as i64)),
+            (
+                "threads_per_job",
+                Json::Int(ctx.scheduler.threads_per_job as i64),
+            ),
+            ("budget", Json::Int(ctx.scheduler.budget_total as i64)),
+            ("queue_depth", Json::Int(ctx.scheduler.queue_depth as i64)),
+        ]),
+    )
+}
+
+fn stats_doc(ctx: &ConnCtx) -> Response {
+    let (queued, running, records) = ctx.scheduler.queue_counts();
+    let (store_hits, store_misses) = ctx.store.counters();
+    let mut doc = ctx.stats.to_json();
+    doc.set("queued", Json::Int(queued as i64));
+    doc.set("running", Json::Int(running as i64));
+    doc.set("records", Json::Int(records as i64));
+    doc.set(
+        "store",
+        Json::obj(vec![
+            ("entries", Json::Int(ctx.store.len() as i64)),
+            ("lookup_hits", Json::Int(store_hits as i64)),
+            ("lookup_misses", Json::Int(store_misses as i64)),
+        ]),
+    );
+    doc.set("budget", Json::Int(ctx.scheduler.budget_total as i64));
+    doc.set("fingerprint", Json::str(ctx.scheduler.fingerprint()));
+    Response::json(200, &doc)
+}
+
+fn submit(req: &Request, ctx: &ConnCtx) -> Response {
+    let spec = match parse_submission(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            ServiceStats::bump(&ctx.stats.rejected_bad);
+            return Response::error(400, &e);
+        }
+    };
+    match ctx.scheduler.submit(spec) {
+        Ok(Submission::Cached { key }) => Response::json(
+            200,
+            &Json::obj(vec![
+                ("status", Json::str("cached")),
+                ("key", Json::str(&key)),
+                ("result", Json::str(format!("/results/{key}"))),
+            ]),
+        ),
+        Ok(Submission::Coalesced { job, key }) => Response::json(
+            202,
+            &Json::obj(vec![
+                ("status", Json::str("coalesced")),
+                ("job", Json::str(job_name(job))),
+                ("key", Json::str(&key)),
+            ]),
+        ),
+        Ok(Submission::Queued { job, key }) => Response::json(
+            202,
+            &Json::obj(vec![
+                ("status", Json::str("queued")),
+                ("job", Json::str(job_name(job))),
+                ("key", Json::str(&key)),
+            ]),
+        ),
+        Err(SubmitError::Invalid(e)) => {
+            ServiceStats::bump(&ctx.stats.rejected_bad);
+            Response::error(400, &e)
+        }
+        Err(SubmitError::Overloaded { queue_depth }) => Response::error(
+            429,
+            &format!("queue is at its {queue_depth}-job capacity; retry later"),
+        ),
+        Err(SubmitError::ShuttingDown) => Response::error(503, "daemon is draining"),
+        Err(SubmitError::Internal(e)) => Response::error(500, &e),
+    }
+}
+
+fn job_status(name: &str, ctx: &ConnCtx) -> Response {
+    let Some(id) = parse_job_name(name) else {
+        return Response::error(400, &format!("malformed job id `{name}`"));
+    };
+    match ctx.scheduler.job_json(id) {
+        Some(doc) => Response::json(200, &doc),
+        None => Response::error(404, &format!("unknown job `{name}`")),
+    }
+}
+
+fn job_result(name: &str, ctx: &ConnCtx) -> Response {
+    let Some(id) = parse_job_name(name) else {
+        return Response::error(400, &format!("malformed job id `{name}`"));
+    };
+    match ctx.scheduler.result_bytes(id) {
+        Ok(bytes) => {
+            ServiceStats::bump(&ctx.stats.results_served);
+            Response::raw_json(200, bytes.as_ref().clone())
+        }
+        Err(ResultError::UnknownJob) => Response::error(404, &format!("unknown job `{name}`")),
+        Err(ResultError::NotReady(state)) => Response::error(
+            409,
+            &format!("job `{name}` is {}; poll until done", state.as_str()),
+        ),
+        Err(ResultError::JobFailed(e)) => Response::error(500, &e),
+        Err(ResultError::Missing) => {
+            Response::error(500, &format!("artifact for `{name}` is missing"))
+        }
+    }
+}
+
+fn result_by_key(key: &str, ctx: &ConnCtx) -> Response {
+    if !crate::hash::is_key(key) {
+        return Response::error(400, &format!("malformed result key `{key}`"));
+    }
+    match ctx.store.get(key) {
+        Some(bytes) => {
+            ServiceStats::bump(&ctx.stats.results_served);
+            Response::raw_json(200, bytes.as_ref().clone())
+        }
+        None => Response::error(404, &format!("no stored result under `{key}`")),
+    }
+}

@@ -1,0 +1,122 @@
+//! Service-wide counters behind `GET /stats`.
+//!
+//! Everything is a relaxed atomic: the numbers feed dashboards and the
+//! loadgen report, not control flow (admission decisions read the real
+//! queue under its lock). One exception is `peak_threads_in_use`, which
+//! the scheduler-invariant test reads to prove the worker pool never
+//! outgrew its [`mwd_core::ThreadBudget`].
+
+use em_json::Json;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+#[derive(Default)]
+pub struct ServiceStats {
+    /// HTTP requests accepted (any route, any outcome).
+    pub requests: AtomicU64,
+    /// `POST /jobs` bodies that parsed + validated.
+    pub submitted: AtomicU64,
+    /// Submissions answered straight from the result store (no job).
+    pub store_hits: AtomicU64,
+    /// Submissions coalesced onto an already queued/running job.
+    pub coalesced: AtomicU64,
+    /// Jobs that ran to a stored result.
+    pub completed: AtomicU64,
+    /// Jobs that errored.
+    pub failed: AtomicU64,
+    /// Jobs cancelled by shutdown before starting.
+    pub cancelled: AtomicU64,
+    /// Submissions rejected with 429 (queue full).
+    pub rejected_overload: AtomicU64,
+    /// Submissions rejected with 400/413.
+    pub rejected_bad: AtomicU64,
+    /// `GET .../result` responses served from the store.
+    pub results_served: AtomicU64,
+    /// Engine threads currently leased by running jobs.
+    pub threads_in_use: AtomicUsize,
+    /// High-water mark of `threads_in_use`.
+    pub peak_threads_in_use: AtomicUsize,
+}
+
+impl ServiceStats {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lease `n` engine threads (called as a job starts); maintains the
+    /// peak watermark.
+    pub fn lease_threads(&self, n: usize) {
+        let now = self.threads_in_use.fetch_add(n, Ordering::SeqCst) + n;
+        self.peak_threads_in_use.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// Return `n` engine threads (called as a job finishes).
+    pub fn release_threads(&self, n: usize) {
+        self.threads_in_use.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Dedupe hit rate over everything that asked for work:
+    /// `(store hits + coalesced) / (those + jobs actually submitted)`.
+    pub fn dedupe_rate(&self) -> f64 {
+        let hits = self.store_hits.load(Ordering::Relaxed) + self.coalesced.load(Ordering::Relaxed);
+        let total = hits + self.submitted.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let u = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        Json::obj(vec![
+            ("requests", u(&self.requests)),
+            ("submitted", u(&self.submitted)),
+            ("store_hits", u(&self.store_hits)),
+            ("coalesced", u(&self.coalesced)),
+            ("completed", u(&self.completed)),
+            ("failed", u(&self.failed)),
+            ("cancelled", u(&self.cancelled)),
+            ("rejected_overload", u(&self.rejected_overload)),
+            ("rejected_bad", u(&self.rejected_bad)),
+            ("results_served", u(&self.results_served)),
+            ("dedupe_rate", Json::Num(self.dedupe_rate())),
+            (
+                "threads_in_use",
+                Json::Int(self.threads_in_use.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "peak_threads_in_use",
+                Json::Int(self.peak_threads_in_use.load(Ordering::SeqCst) as i64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_leases_track_the_peak() {
+        let s = ServiceStats::default();
+        s.lease_threads(2);
+        s.lease_threads(3);
+        s.release_threads(2);
+        s.lease_threads(1);
+        assert_eq!(s.threads_in_use.load(Ordering::SeqCst), 4);
+        assert_eq!(s.peak_threads_in_use.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn dedupe_rate_counts_both_hit_kinds() {
+        let s = ServiceStats::default();
+        assert_eq!(s.dedupe_rate(), 0.0);
+        s.submitted.store(6, Ordering::Relaxed);
+        s.store_hits.store(3, Ordering::Relaxed);
+        s.coalesced.store(1, Ordering::Relaxed);
+        assert!((s.dedupe_rate() - 0.4).abs() < 1e-12);
+        let j = s.to_json();
+        assert_eq!(j.get("store_hits").unwrap().as_i64(), Some(3));
+        assert_eq!(j.get("dedupe_rate").unwrap().as_f64(), Some(0.4));
+    }
+}

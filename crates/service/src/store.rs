@@ -1,0 +1,192 @@
+//! The content-addressed result store.
+//!
+//! Results are keyed by [`crate::hash::content_hash`] over `(resolved
+//! spec, engine config, host/ISA fingerprint)` and hold the *canonical*
+//! artifact bytes (wall-clock-free outcome JSON, see
+//! [`em_scenarios::JobOutcome::to_json_canonical`]). Because the key
+//! derives from everything that determines the solve and the solver is
+//! bit-deterministic, a stored artifact is byte-identical to what a
+//! fresh solve of the same submission would produce — serving it skips
+//! the solve entirely, which on a bandwidth-bound code is the cheapest
+//! MLUP there is.
+//!
+//! With a backing directory, artifacts are also persisted as
+//! `<key>.json` and reloaded on startup, so the store (like the tuning
+//! cache) stays warm across daemon restarts.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    hits: u64,
+}
+
+/// A thread-safe, optionally disk-backed map `key -> artifact bytes`.
+pub struct ResultStore {
+    entries: Mutex<HashMap<String, Entry>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultStore {
+    /// An in-memory store.
+    pub fn in_memory() -> ResultStore {
+        ResultStore {
+            entries: Mutex::new(HashMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A disk-backed store: existing `<32-hex>.json` files in `dir` are
+    /// loaded eagerly (a warm start), new artifacts are written through.
+    pub fn open(dir: &Path) -> Result<ResultStore, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create result store {}: {e}", dir.display()))?;
+        let mut entries = HashMap::new();
+        let listing = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read result store {}: {e}", dir.display()))?;
+        for item in listing {
+            let item = item.map_err(|e| format!("result store listing failed: {e}"))?;
+            let name = item.file_name();
+            let Some(key) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                continue;
+            };
+            if !crate::hash::is_key(key) {
+                continue;
+            }
+            let bytes = std::fs::read(item.path())
+                .map_err(|e| format!("cannot read artifact {}: {e}", item.path().display()))?;
+            entries.insert(
+                key.to_string(),
+                Entry {
+                    bytes: Arc::new(bytes),
+                    hits: 0,
+                },
+            );
+        }
+        Ok(ResultStore {
+            entries: Mutex::new(entries),
+            dir: Some(dir.to_path_buf()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look a key up, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let mut entries = self.lock();
+        match entries.get_mut(key) {
+            Some(e) => {
+                e.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.bytes.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether a key is present (no hit accounting).
+    pub fn contains(&self, key: &str) -> bool {
+        self.lock().contains_key(key)
+    }
+
+    /// Insert an artifact. Content-addressing makes double insertion
+    /// benign (the bytes are equal by construction), so concurrent
+    /// completions of coalesced jobs need no further coordination.
+    pub fn put(&self, key: &str, bytes: Vec<u8>) -> Result<(), String> {
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("{key}.json"));
+            // Write-then-rename: a crash mid-write must not leave a torn
+            // artifact to be served after the next warm start.
+            let tmp = dir.join(format!("{key}.tmp.{}", std::process::id()));
+            std::fs::write(&tmp, &bytes)
+                .map_err(|e| format!("cannot write artifact {}: {e}", tmp.display()))?;
+            std::fs::rename(&tmp, &path).map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                format!("cannot move artifact into {}: {e}", path.display())
+            })?;
+        }
+        self.lock().entry(key.to_string()).or_insert(Entry {
+            bytes: Arc::new(bytes),
+            hits: 0,
+        });
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// `(lookup hits, lookup misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> String {
+        crate::hash::content_hash(&["test", &n.to_string()])
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_counters() {
+        let store = ResultStore::in_memory();
+        let k = key(1);
+        assert!(store.get(&k).is_none());
+        store.put(&k, b"{\"x\": 1}\n".to_vec()).unwrap();
+        assert_eq!(store.get(&k).unwrap().as_slice(), b"{\"x\": 1}\n");
+        assert!(store.contains(&k));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.counters(), (1, 1));
+    }
+
+    #[test]
+    fn double_insert_keeps_the_first_bytes() {
+        let store = ResultStore::in_memory();
+        let k = key(2);
+        store.put(&k, b"first".to_vec()).unwrap();
+        store.put(&k, b"second".to_vec()).unwrap();
+        assert_eq!(store.get(&k).unwrap().as_slice(), b"first");
+    }
+
+    #[test]
+    fn disk_backed_store_survives_a_restart() {
+        let dir = std::env::temp_dir().join(format!("em_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(&key(3), b"artifact-bytes".to_vec()).unwrap();
+            assert!(dir.join(format!("{}.json", key(3))).is_file());
+        }
+        // Unrelated files are ignored on reload.
+        std::fs::write(dir.join("notes.txt"), b"x").unwrap();
+        std::fs::write(dir.join("zz.json"), b"x").unwrap();
+        let warm = ResultStore::open(&dir).unwrap();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm.get(&key(3)).unwrap().as_slice(), b"artifact-bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,389 @@
+//! Scheduler invariants under controlled timing: the worker pool never
+//! outgrows its [`ThreadBudget`], the queue bounds admission, identical
+//! submissions dedupe, and shutdown drains instead of aborting.
+//!
+//! Jobs run through an injected runner gated on a condvar, so every
+//! "while N jobs are running" state is reached deterministically
+//! instead of by sleeping.
+
+use em_scenarios::spec::{
+    ConvergenceDecl, EngineDecl, GridSpec, PhysicsSpec, ScenarioSpec, SceneDecl,
+};
+use em_scenarios::JobOutcome;
+use em_service::scheduler::{ResultError, Scheduler, SchedulerConfig, Submission, SubmitError};
+use em_service::{ResultStore, ServiceStats};
+use mwd_core::ThreadBudget;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+fn spec(lambda_nm: f64, engine: EngineDecl) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "invariant".to_string(),
+        description: String::new(),
+        grid: GridSpec {
+            nx: 4,
+            ny: 4,
+            nz: 24,
+        },
+        physics: PhysicsSpec {
+            lambda_cells: 8.0,
+            lambda_nm,
+            cfl: 0.95,
+        },
+        pml: None,
+        source: None,
+        scene: SceneDecl::vacuum(),
+        engine,
+        convergence: ConvergenceDecl {
+            tol: 1e-2,
+            max_periods: 1,
+        },
+        sweep: None,
+        outputs: Default::default(),
+    }
+}
+
+fn ok_outcome(spec: &ScenarioSpec) -> Vec<JobOutcome> {
+    vec![JobOutcome {
+        job: 0,
+        scenario: spec.name.clone(),
+        sweep_index: 0,
+        lambda_nm: spec.physics.lambda_nm,
+        lambda_cells: spec.physics.lambda_cells,
+        dims: format!("{}", spec.dims()),
+        engine: spec.engine.label(),
+        threads: spec.engine.threads(),
+        dry_run: false,
+        converged: true,
+        periods: 1,
+        steps: 8,
+        rel_change: 1e-3,
+        energy: 1.0,
+        back_iteration_cells: 0,
+        absorption: Vec::new(),
+        intensity_profile: None,
+        wall_secs: 0.0,
+        error: None,
+        artifact: None,
+        tuned: None,
+    }]
+}
+
+/// A gate the injected runner blocks on until the test opens it.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Harness {
+    scheduler: Arc<Scheduler>,
+    stats: Arc<ServiceStats>,
+    store: Arc<ResultStore>,
+    gate: Arc<Gate>,
+}
+
+fn start(cfg: SchedulerConfig) -> Harness {
+    let stats = Arc::new(ServiceStats::default());
+    let store = Arc::new(ResultStore::in_memory());
+    let gate = Arc::new(Gate::default());
+    let runner_gate = gate.clone();
+    let scheduler = Scheduler::start(
+        cfg,
+        store.clone(),
+        autotune::SharedTuneCache::in_memory(),
+        stats.clone(),
+        Box::new(move |spec, _threads| {
+            runner_gate.wait();
+            Ok(ok_outcome(spec))
+        }),
+    )
+    .unwrap();
+    Harness {
+        scheduler,
+        stats,
+        store,
+        gate,
+    }
+}
+
+/// Poll until `running` reaches `n` (deterministic outcome, bounded
+/// wait).
+fn wait_running(s: &Scheduler, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (_, running, _) = s.queue_counts();
+        if running == n {
+            return;
+        }
+        assert!(Instant::now() < deadline, "never reached {n} running jobs");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn concurrent_load_never_exceeds_the_thread_budget() {
+    // 3 workers x 2 threads inside a budget of 6; every job's engine
+    // demands exactly 2 threads.
+    let h = start(SchedulerConfig {
+        workers: 3,
+        threads_per_job: 0,
+        queue_depth: 16,
+        budget: ThreadBudget::new(6),
+        ..Default::default()
+    });
+    assert_eq!(h.scheduler.threads_per_job, 2);
+    let engine = EngineDecl::Spatial {
+        by: 2,
+        bz: 2,
+        threads: 2,
+    };
+    for i in 0..6 {
+        let s = h.scheduler.submit(spec(500.0 + i as f64, engine)).unwrap();
+        assert!(matches!(s, Submission::Queued { .. }));
+    }
+    wait_running(&h.scheduler, 3);
+    assert_eq!(
+        h.stats.threads_in_use.load(Ordering::SeqCst),
+        6,
+        "3 running jobs lease 2 threads each"
+    );
+    h.gate.open();
+    assert!(h.scheduler.wait_idle(Duration::from_secs(20)));
+    let peak = h.stats.peak_threads_in_use.load(Ordering::SeqCst);
+    assert_eq!(peak, 6, "pool saturated the budget exactly once-over");
+    assert!(
+        peak <= h.scheduler.budget_total,
+        "peak {peak} exceeded the budget {}",
+        h.scheduler.budget_total
+    );
+    assert_eq!(h.stats.completed.load(Ordering::SeqCst), 6);
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn engines_demanding_more_than_the_share_are_rejected() {
+    let h = start(SchedulerConfig {
+        workers: 2,
+        budget: ThreadBudget::new(4),
+        ..Default::default()
+    });
+    let greedy = EngineDecl::Spatial {
+        by: 2,
+        bz: 2,
+        threads: 3,
+    };
+    match h.scheduler.submit(spec(500.0, greedy)) {
+        Err(SubmitError::Invalid(e)) => {
+            assert!(e.contains("at most 2"), "{e}");
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    h.gate.open();
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_overload() {
+    let h = start(SchedulerConfig {
+        workers: 1,
+        queue_depth: 2,
+        budget: ThreadBudget::new(1),
+        ..Default::default()
+    });
+    // One running (holds the only worker at the gate) + two queued.
+    // Wait for the worker to claim the first job before filling the
+    // queue, otherwise the fill itself trips the depth limit.
+    h.scheduler.submit(spec(500.0, EngineDecl::Naive)).unwrap();
+    wait_running(&h.scheduler, 1);
+    for i in 1..3 {
+        h.scheduler
+            .submit(spec(500.0 + i as f64, EngineDecl::Naive))
+            .unwrap();
+    }
+    let (queued, _, _) = h.scheduler.queue_counts();
+    assert_eq!(queued, 2, "queue at capacity");
+    match h.scheduler.submit(spec(900.0, EngineDecl::Naive)) {
+        Err(SubmitError::Overloaded { queue_depth }) => assert_eq!(queue_depth, 2),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(h.stats.rejected_overload.load(Ordering::SeqCst), 1);
+    h.gate.open();
+    assert!(h.scheduler.wait_idle(Duration::from_secs(20)));
+    // Capacity is back: the same spec is admitted now.
+    assert!(h.scheduler.submit(spec(900.0, EngineDecl::Naive)).is_ok());
+    h.gate.open();
+    h.scheduler.wait_idle(Duration::from_secs(20));
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn identical_submissions_coalesce_then_hit_the_store() {
+    let h = start(SchedulerConfig {
+        workers: 1,
+        queue_depth: 8,
+        budget: ThreadBudget::new(1),
+        ..Default::default()
+    });
+    let s1 = h.scheduler.submit(spec(555.0, EngineDecl::Naive)).unwrap();
+    let Submission::Queued { job, ref key } = s1 else {
+        panic!("first submission queues, got {s1:?}");
+    };
+    // Identical spec while the job is in flight: coalesced onto it.
+    let s2 = h.scheduler.submit(spec(555.0, EngineDecl::Naive)).unwrap();
+    assert_eq!(
+        s2,
+        Submission::Coalesced {
+            job,
+            key: key.clone()
+        }
+    );
+    // A different spec is its own job.
+    let s3 = h.scheduler.submit(spec(556.0, EngineDecl::Naive)).unwrap();
+    assert!(matches!(s3, Submission::Queued { .. }));
+    assert_ne!(s3.key(), key.as_str());
+
+    h.gate.open();
+    assert!(h.scheduler.wait_idle(Duration::from_secs(20)));
+    // Identical spec after completion: served from the store, no job.
+    let s4 = h.scheduler.submit(spec(555.0, EngineDecl::Naive)).unwrap();
+    assert_eq!(s4, Submission::Cached { key: key.clone() });
+    assert_eq!(h.store.len(), 2);
+    assert_eq!(h.stats.coalesced.load(Ordering::SeqCst), 1);
+    assert_eq!(h.stats.store_hits.load(Ordering::SeqCst), 1);
+    // Both coalesced requesters read the same artifact.
+    let bytes = h.scheduler.result_bytes(job).unwrap();
+    assert_eq!(h.store.get(key).unwrap(), bytes);
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn shutdown_drains_running_work_and_cancels_the_queue() {
+    let h = start(SchedulerConfig {
+        workers: 1,
+        queue_depth: 8,
+        budget: ThreadBudget::new(1),
+        ..Default::default()
+    });
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            match h
+                .scheduler
+                .submit(spec(600.0 + i as f64, EngineDecl::Naive))
+                .unwrap()
+            {
+                Submission::Queued { job, .. } => job,
+                other => panic!("{other:?}"),
+            }
+        })
+        .collect();
+    wait_running(&h.scheduler, 1);
+
+    // Drain on a side thread (it blocks until the running job ends),
+    // then open the gate so the in-flight job can finish.
+    let sched = h.scheduler.clone();
+    let drainer = std::thread::spawn(move || sched.shutdown());
+    // The drain cancels queued jobs before the running one completes.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while h.scheduler.queue_counts().0 > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "queued jobs were never cancelled"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    h.gate.open();
+    drainer.join().unwrap();
+
+    let state_of = |id: u64| {
+        h.scheduler
+            .job_json(id)
+            .unwrap()
+            .get("state")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(state_of(ids[0]), "done", "in-flight job drained");
+    assert_eq!(state_of(ids[1]), "cancelled");
+    assert_eq!(state_of(ids[2]), "cancelled");
+    assert_eq!(h.stats.cancelled.load(Ordering::SeqCst), 2);
+    match h.scheduler.result_bytes(ids[1]) {
+        Err(ResultError::JobFailed(e)) => assert!(e.starts_with("cancelled:"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    // New submissions are turned away while (and after) draining.
+    assert_eq!(
+        h.scheduler.submit(spec(700.0, EngineDecl::Naive)),
+        Err(SubmitError::ShuttingDown)
+    );
+    // Idempotent.
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn failed_jobs_report_and_are_not_stored() {
+    let stats = Arc::new(ServiceStats::default());
+    let store = Arc::new(ResultStore::in_memory());
+    let scheduler = Scheduler::start(
+        SchedulerConfig {
+            workers: 1,
+            budget: ThreadBudget::new(1),
+            ..Default::default()
+        },
+        store.clone(),
+        autotune::SharedTuneCache::in_memory(),
+        stats.clone(),
+        Box::new(|spec, _| {
+            if spec.physics.lambda_nm < 600.0 {
+                Err("solver exploded".to_string())
+            } else {
+                panic!("runner panicked");
+            }
+        }),
+    )
+    .unwrap();
+    let a = match scheduler.submit(spec(500.0, EngineDecl::Naive)).unwrap() {
+        Submission::Queued { job, .. } => job,
+        other => panic!("{other:?}"),
+    };
+    let b = match scheduler.submit(spec(700.0, EngineDecl::Naive)).unwrap() {
+        Submission::Queued { job, .. } => job,
+        other => panic!("{other:?}"),
+    };
+    assert!(scheduler.wait_idle(Duration::from_secs(20)));
+    match scheduler.result_bytes(a) {
+        Err(ResultError::JobFailed(e)) => assert!(e.contains("solver exploded"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    match scheduler.result_bytes(b) {
+        Err(ResultError::JobFailed(e)) => assert!(e.contains("panicked"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    assert!(store.is_empty(), "failures are never cached");
+    assert_eq!(stats.failed.load(Ordering::SeqCst), 2);
+    // A retry of a failed spec is admitted as a fresh job (no dedupe
+    // against failures).
+    assert!(matches!(
+        scheduler.submit(spec(500.0, EngineDecl::Naive)).unwrap(),
+        Submission::Queued { .. }
+    ));
+    scheduler.wait_idle(Duration::from_secs(20));
+    scheduler.shutdown();
+}

@@ -7,6 +7,8 @@
 //! mwd batch [<scenario>... | --all] [--workers N] [--engine K]
 //!           [--threads N] [--tune] [--cache FILE] [--dry-run] [--out DIR]
 //! mwd tune [<scenario>... | --all] [--force] [--dry-run] [--cache FILE]
+//! mwd serve [--addr HOST:PORT] [--workers N] [--threads N]
+//!           [--queue-depth N] [--out DIR] [--cache FILE] [--refine K]
 //! ```
 //!
 //! A `<scenario>` is a built-in name (`mwd list`) or a path to a
@@ -14,7 +16,13 @@
 //! `batch` fans them out over a bounded worker pool that shares the
 //! host's thread budget with each job's engine threads. `tune` fills
 //! the persistent per-host tuning cache that `--tune` (and
-//! `engine = "auto"` specs) resolve MWD configurations from.
+//! `engine = "auto"` specs) resolve MWD configurations from. `serve`
+//! runs the long-lived HTTP job daemon with a content-addressed result
+//! store on top of the same machinery.
+//!
+//! `run`, `batch` and `serve` drain gracefully on SIGINT/SIGTERM:
+//! in-flight jobs finish, artifacts/summaries are written, and the
+//! tuning cache is persisted.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,6 +39,7 @@ USAGE:
     mwd run <scenario>... [options]     run scenarios sequentially
     mwd batch [<scenario>...] [options] run scenarios on a worker pool
     mwd tune [<scenario>...] [options]  fill the per-host tuning cache
+    mwd serve [options]                 run the HTTP job daemon
     mwd help                            this text
 
 SCENARIOS:
@@ -49,8 +58,19 @@ OPTIONS:
     --refine <k>       tune: natively probe the top k candidates (default 2)
     --dry-run          validate and plan without stepping any solver
                        (tune: report hits/misses without searching)
-    --out <dir>        artifact directory (default: results/scenarios)
+    --out <dir>        artifact directory (default: results/scenarios;
+                       serve: the content-addressed result store,
+                       default results/service_store)
     --quiet            suppress per-job status lines
+
+SERVE OPTIONS:
+    --addr <host:port>  bind address (default 127.0.0.1:7171; port 0
+                        picks a free port, printed on startup)
+    --workers <n>       concurrent jobs (default: min(2, host threads))
+    --threads <n>       engine threads per job (default: budget share)
+    --queue-depth <n>   queued-job cap before 429 (default 32)
+    --refine <k>        native probes per auto-tuning miss (default 0)
+    --memory-store      keep results in memory only (no --out directory)
 ";
 
 fn main() -> ExitCode {
@@ -75,6 +95,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "run" => cmd_run_or_batch(&args[1..], false),
         "batch" => cmd_run_or_batch(&args[1..], true),
         "tune" => cmd_tune(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -122,6 +143,9 @@ struct CliOpts {
     cache: Option<PathBuf>,
     force: bool,
     refine: Option<usize>,
+    addr: Option<String>,
+    queue_depth: Option<usize>,
+    memory_store: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
@@ -138,6 +162,9 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
         cache: None,
         force: false,
         refine: None,
+        addr: None,
+        queue_depth: None,
+        memory_store: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -163,6 +190,9 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
             "--refine" => o.refine = Some(count("--refine")?),
             "--cache" => o.cache = Some(PathBuf::from(value("--cache")?)),
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+            "--addr" => o.addr = Some(value("--addr")?),
+            "--queue-depth" => o.queue_depth = Some(count("--queue-depth")?),
+            "--memory-store" => o.memory_store = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`; try `mwd help`"))
             }
@@ -216,6 +246,11 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
         force: o.force,
         refine_top: o.refine.unwrap_or(0),
     });
+    // SIGINT/SIGTERM drain the batch: workers finish their current job,
+    // queued jobs are recorded as cancelled, artifacts and the batch
+    // summary are still written (the tuning cache is persisted before
+    // any job steps).
+    let stop = em_service::shutdown::hooked_flag();
     let opts = BatchOptions {
         // `run` means "execute in order": a single worker; `batch` sizes
         // the pool from the shared thread budget unless overridden.
@@ -227,6 +262,7 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
         budget: mwd_core::ThreadBudget::host(),
         quiet: o.quiet,
         tune,
+        stop: Some(stop),
     };
     if let Some(kind) = &o.engine {
         // Fail on typos before any validation output scrolls past.
@@ -235,9 +271,81 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
 
     let report = run_batch(&specs, &opts)?;
     print_report(&report, o.dry_run);
+    if report.cancelled() > 0 {
+        println!(
+            "interrupted: {} job(s) cancelled before starting (completed work was kept)",
+            report.cancelled()
+        );
+    }
     if report.failures() > 0 {
         return Ok(ExitCode::FAILURE);
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mwd serve`: the long-running HTTP job daemon.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_opts(args)?;
+    if !o.scenarios.is_empty() || o.all || o.engine.is_some() || o.tune || o.force || o.dry_run {
+        return Err(
+            "`mwd serve` takes no scenarios and no --all/--engine/--tune/--force/--dry-run"
+                .to_string(),
+        );
+    }
+    if o.memory_store && o.out.is_some() {
+        return Err("--memory-store and --out are mutually exclusive".to_string());
+    }
+    let cfg = em_service::ServerConfig {
+        addr: o.addr.unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+        scheduler: em_service::SchedulerConfig {
+            workers: o.workers.unwrap_or(0),
+            threads_per_job: o.threads.unwrap_or(0),
+            queue_depth: o.queue_depth.unwrap_or(32),
+            budget: mwd_core::ThreadBudget::host(),
+            refine_top: o.refine.unwrap_or(0),
+            ..Default::default()
+        },
+        store_dir: if o.memory_store {
+            None
+        } else {
+            Some(
+                o.out
+                    .unwrap_or_else(|| PathBuf::from("results/service_store")),
+            )
+        },
+        cache_path: Some(o.cache.unwrap_or_else(tuner::default_cache_path)),
+        quiet: o.quiet,
+        limits: Default::default(),
+    };
+    let server = em_service::Server::bind(&cfg)?;
+    em_service::shutdown::install(server.stop_flag());
+    let sched = server.scheduler();
+    // The exact bound address first (tests and scripts parse this line
+    // to find a port-0 daemon), then the capacity contract.
+    println!("listening on http://{}", server.local_addr()?);
+    println!(
+        "capacity: {} worker(s) x {} thread(s) within a budget of {}; queue depth {}",
+        sched.workers, sched.threads_per_job, sched.budget_total, sched.queue_depth
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let summary = server.run()?;
+    println!(
+        "served {} request(s): {} completed, {} failed, {} cancelled; \
+         {} stored result(s), dedupe rate {:.0}%{}",
+        summary.requests,
+        summary.completed,
+        summary.failed,
+        summary.cancelled,
+        summary.store_entries,
+        100.0 * summary.dedupe_rate,
+        if summary.cache_saved {
+            "; tuning cache saved"
+        } else {
+            ""
+        }
+    );
     Ok(ExitCode::SUCCESS)
 }
 

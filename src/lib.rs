@@ -19,7 +19,11 @@
 //! - [`solver`]: the solar-cell optics application (materials, PML,
 //!   back iteration, plane-wave source);
 //! - [`scenarios`]: declarative workload specs, the built-in scenario
-//!   catalog and the concurrent batch runner behind the `mwd` CLI.
+//!   catalog and the concurrent batch runner behind the `mwd` CLI;
+//! - [`service`]: the `mwd serve` HTTP job daemon — content-addressed
+//!   result cache, admission-controlled scheduling, graceful drain;
+//! - [`json`]: the shared JSON value type every artifact, report,
+//!   cache and API document uses.
 //!
 //! ## Quickstart
 //!
@@ -41,8 +45,10 @@
 
 pub use autotune as tuner;
 pub use em_field as field;
+pub use em_json as json;
 pub use em_kernels as kernels;
 pub use em_scenarios as scenarios;
+pub use em_service as service;
 pub use em_solver as solver;
 pub use mem_sim as memsim;
 pub use mwd_core as mwd;

@@ -353,3 +353,213 @@ fn malformed_scenario_files_fail_with_exit_code_2() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ------------------------------------------------------------- serving
+
+/// Minimal raw HTTP client for the serve tests (one request per
+/// connection, as the daemon requires).
+fn http(addr: &str, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn serve_answers_jobs_dedupes_and_drains_on_sigterm() {
+    use std::io::BufRead;
+    let dir = temp_dir("serve");
+    let spec_path = write_spec(&dir, "served");
+    let spec_toml = std::fs::read_to_string(&spec_path).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mwd"))
+        .current_dir(&dir)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--out",
+            "store",
+            "--cache",
+            "tune_cache.json",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("mwd serve starts");
+    let mut reader = std::io::BufReader::new(child.stdout.take().unwrap());
+    let mut addr = String::new();
+    let mut first_lines = String::new();
+    for _ in 0..10 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        first_lines.push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("listening on http://") {
+            addr = rest.to_string();
+            break;
+        }
+    }
+    assert!(!addr.is_empty(), "no listening line in:\n{first_lines}");
+    // Collect the rest of stdout (the drain summary) concurrently.
+    let tail = std::thread::spawn(move || {
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        rest
+    });
+
+    let (status, body) = http(&addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200, "{body}");
+
+    // Submit, poll to completion, fetch the artifact.
+    let (status, body) = http(&addr, "POST", "/jobs", spec_toml.as_bytes());
+    assert_eq!(status, 202, "{body}");
+    let sub = jsonio::parse(&body).unwrap();
+    let job = sub.get("job").unwrap().as_str().unwrap().to_string();
+    let key = sub.get("key").unwrap().as_str().unwrap().to_string();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "job never finished");
+        let (s, b) = http(&addr, "GET", &format!("/jobs/{job}"), b"");
+        assert_eq!(s, 200, "{b}");
+        let state = jsonio::parse(&b)
+            .unwrap()
+            .get("state")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        if state == "done" {
+            break;
+        }
+        assert!(state == "queued" || state == "running", "{b}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let (status, artifact) = http(&addr, "GET", &format!("/jobs/{job}/result"), b"");
+    assert_eq!(status, 200);
+
+    // The identical spec is served from the store, byte-identical.
+    let (status, body) = http(&addr, "POST", "/jobs", spec_toml.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    let dup = jsonio::parse(&body).unwrap();
+    assert_eq!(dup.get("status").unwrap().as_str(), Some("cached"));
+    let (status, cached) = http(&addr, "GET", &format!("/results/{key}"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(cached, artifact);
+
+    // SIGTERM drains: exit code 0, a summary line, artifacts on disk.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .output()
+        .unwrap();
+    assert!(kill.status.success());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited {status:?}");
+    let rest = tail.join().unwrap();
+    assert!(rest.contains("served"), "missing summary in:\n{rest}");
+    assert!(
+        dir.join("store").join(format!("{key}.json")).is_file(),
+        "artifact persisted for the next daemon"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_sigterm_drains_and_still_writes_the_summary() {
+    let dir = temp_dir("sigterm_batch");
+    // Enough work that the drain usually interrupts it; the assertions
+    // hold however the race lands.
+    let specs: Vec<PathBuf> = (0..3)
+        .map(|i| {
+            let path = write_spec(&dir, &format!("drain-{i}"));
+            let longer = std::fs::read_to_string(&path)
+                .unwrap()
+                .replace("max_periods = 1", "max_periods = 40");
+            std::fs::write(&path, longer).unwrap();
+            path
+        })
+        .collect();
+    let out_dir = dir.join("out");
+    let child = Command::new(env!("CARGO_BIN_EXE_mwd"))
+        .current_dir(&dir)
+        .args([
+            "batch",
+            specs[0].to_str().unwrap(),
+            specs[1].to_str().unwrap(),
+            specs[2].to_str().unwrap(),
+            "--workers",
+            "1",
+            "--quiet",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("mwd batch starts");
+    // Give the process time to install its signal hook and start job 0,
+    // then request the drain.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .output()
+        .unwrap();
+    assert!(kill.status.success());
+    let out = child.wait_with_output().unwrap();
+    // Exit code 0 if everything finished before the signal, 1 if jobs
+    // were cancelled — never a crash/signal death.
+    let code = out.status.code().expect("exited, not signalled");
+    assert!(code == 0 || code == 1, "unexpected exit {code}");
+
+    // The drain still writes the full summary: one entry per job,
+    // each either completed or cancelled.
+    let summary =
+        jsonio::parse(&std::fs::read_to_string(out_dir.join("batch_summary.json")).unwrap())
+            .unwrap();
+    let jobs = summary.as_arr().expect("summary is an array");
+    assert_eq!(jobs.len(), 3);
+    let mut completed = 0;
+    let mut cancelled = 0;
+    for job in jobs {
+        match job.get("error") {
+            Some(JValue::Null) | None => {
+                completed += 1;
+                assert!(job.get("energy").unwrap().as_f64().unwrap() > 0.0);
+            }
+            Some(e) => {
+                assert!(
+                    e.as_str().unwrap().starts_with("cancelled:"),
+                    "unexpected error: {e:?}"
+                );
+                cancelled += 1;
+            }
+        }
+    }
+    assert_eq!(completed + cancelled, 3);
+    if code == 1 {
+        assert!(cancelled > 0, "failure exit implies cancelled jobs");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,6 +18,8 @@
 
 use std::fmt::Write as _;
 
+pub mod hash;
+
 /// Historical alias: `autotune::jsonio` named this type `JValue`.
 pub type JValue = Json;
 

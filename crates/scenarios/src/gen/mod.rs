@@ -1,0 +1,28 @@
+//! # Generative scenarios
+//!
+//! Turns the six-entry fixed catalog into an unbounded seeded family:
+//!
+//! - [`rng`]: the hand-rolled splitmix64/xoshiro256** stream whose
+//!   sequence is part of the generator contract (same `(family, seed,
+//!   params)` ⇒ byte-identical spec TOML on every host);
+//! - [`families`]: the structure generators — multilayer stacks,
+//!   rough-interface stacks, nanoparticle dispersions and plasmonic
+//!   nanowires — each emitting validated [`ScenarioSpec`]s drawing on
+//!   the dispersive Ag/Au/c-Si material fits in `em_solver`;
+//! - [`fuzz`]: the differential harness that pushes every generated
+//!   spec through validation → TOML roundtrip → naive solve → MWD
+//!   solve → bit-identity, reporting failures as one-line
+//!   `(family, seed)` repros.
+//!
+//! The `mwd gen` subcommand (`list`, `emit`, `run`, `fuzz`) is a thin
+//! shell over this module.
+//!
+//! [`ScenarioSpec`]: crate::spec::ScenarioSpec
+
+pub mod families;
+pub mod fuzz;
+pub mod rng;
+
+pub use families::{generate, Family, GenParams, LAMBDA_BAND_NM};
+pub use fuzz::{run_fuzz, FuzzFailure, FuzzOptions, FuzzReport};
+pub use rng::{splitmix64, GenRng};

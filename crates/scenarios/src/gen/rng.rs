@@ -1,0 +1,152 @@
+//! The generator's deterministic random stream.
+//!
+//! splitmix64 expands the `(family, seed)` pair into the four words of
+//! xoshiro256** state; xoshiro256** then drives every draw. Both are
+//! public-domain constructions (Blackman & Vigna) hand-rolled here
+//! because the environment has no crates.io — and hand-rolling is the
+//! point: the stream is part of the generator's *contract*. The same
+//! `(family, seed, params)` triple must produce byte-identical spec
+//! TOML on every host, forever, so the PRNG cannot be an external
+//! dependency whose sequence might change under us.
+
+/// One splitmix64 step — used to seed the main stream and by the
+/// vendored proptest shim (independently; the streams never mix).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** stream with convenience draws for the generator.
+#[derive(Clone, Debug)]
+pub struct GenRng {
+    s: [u64; 4],
+}
+
+impl GenRng {
+    /// Seed from a raw 64-bit value via splitmix64 (the construction
+    /// the xoshiro authors recommend: never feed correlated words).
+    pub fn from_seed(seed: u64) -> GenRng {
+        let mut sm = seed;
+        GenRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Seed for a `(family, seed)` pair: the family name is folded in
+    /// FNV-1a style so two families given the same user seed draw
+    /// decorrelated streams.
+    pub fn for_family(family_name: &str, seed: u64) -> GenRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in family_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        GenRng::from_seed(h ^ seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [lo, hi). Degenerate ranges return `lo` (callers
+    /// validate their parameter ranges before drawing).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        let width = (hi - lo + 1) as u64;
+        lo + (self.next_u64() % width) as usize
+    }
+
+    /// One element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.range_usize(0, items.len() - 1)]
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = GenRng::from_seed(7);
+        let mut b = GenRng::from_seed(7);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn families_decorrelate_on_the_same_seed() {
+        let mut a = GenRng::for_family("multilayer", 42);
+        let mut b = GenRng::for_family("nanowire", 42);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "streams should not collide");
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256** from the all-ones-ish state
+        // produced by splitmix64(0): pinned so a silent edit to the
+        // stream (which would re-key every generated spec) fails loudly.
+        let mut r = GenRng::from_seed(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = GenRng::from_seed(0);
+        let again: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_eq!(
+            first[0], 0x99ec_5f36_cb75_f2b4,
+            "stream changed: {first:#x?}"
+        );
+    }
+
+    #[test]
+    fn draws_stay_in_bounds() {
+        let mut r = GenRng::from_seed(123);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let x = r.range_f64(2.5, 3.5);
+            assert!((2.5..3.5).contains(&x));
+            let n = r.range_usize(4, 9);
+            assert!((4..=9).contains(&n));
+        }
+        assert_eq!(r.range_usize(5, 5), 5);
+        assert_eq!(r.range_f64(1.0, 1.0), 1.0);
+    }
+}

@@ -19,6 +19,11 @@
 //!   slab, a high-contrast photonic grating and a thin-absorber sweep —
 //!   all routed through [`em_solver::SolverBuilder`], the same path the
 //!   examples use (scenario runs are bit-identical to hand-rolled ones);
+//! - [`gen`]: the generative catalog — seeded structure generators
+//!   (multilayer / rough-interface / nanoparticle / nanowire families)
+//!   over dispersive materials, plus the differential fuzz harness that
+//!   checks every generated spec against the naive-vs-MWD bit-identity
+//!   oracle;
 //! - [`runner`]: the concurrent batch runner — a bounded worker pool
 //!   sharing one [`mwd_core::ThreadBudget`] with each job's intra-solve
 //!   thread groups, deterministic result ordering, and one JSON artifact
@@ -31,6 +36,7 @@
 //! `batch`) is a thin shell over this crate.
 
 pub mod codec;
+pub mod gen;
 pub mod library;
 pub mod runner;
 pub mod spec;

@@ -126,6 +126,12 @@ pub struct JobOutcome {
     pub lambda_nm: f64,
     pub lambda_cells: f64,
     pub dims: String,
+    /// Content hash of the declaring spec's canonical TOML (32 hex
+    /// digits, [`ScenarioSpec::content_hash`]). Part of the artifact
+    /// filename so two specs that share a *name* (e.g. the same
+    /// generator family under different parameter sets) can never
+    /// overwrite each other's JSON.
+    pub spec_hash: String,
     pub engine: String,
     pub threads: usize,
     pub dry_run: bool,
@@ -156,6 +162,7 @@ impl JobOutcome {
             ("lambda_nm", Json::Num(self.lambda_nm)),
             ("lambda_cells", Json::Num(self.lambda_cells)),
             ("dims", Json::str(&self.dims)),
+            ("spec_hash", Json::str(&self.spec_hash)),
             ("engine", Json::str(&self.engine)),
             ("threads", Json::Int(self.threads as i64)),
             ("dry_run", Json::Bool(self.dry_run)),
@@ -553,6 +560,7 @@ fn blank_outcome(
         lambda_nm: job.lambda_nm,
         lambda_cells: job.lambda_cells,
         dims: format!("{}", spec.dims()),
+        spec_hash: spec.content_hash(),
         engine: decl.label(),
         threads: decl.threads(),
         dry_run,
@@ -640,11 +648,28 @@ fn run_job(
 fn write_artifacts(dir: &Path, outcomes: &mut [JobOutcome]) -> Result<(), String> {
     std::fs::create_dir_all(dir)
         .map_err(|e| format!("cannot create output directory {}: {e}", dir.display()))?;
+    // Filenames carry the spec content hash (first 12 of 32 hex digits)
+    // so same-named scenarios with different contents — e.g. one
+    // generator family under two parameter sets — cannot collide; the
+    // set guards the remaining identity components (job index, name,
+    // wavelength, hash) against ever coinciding.
+    let mut seen = std::collections::HashSet::new();
     for o in outcomes.iter_mut() {
-        let path = dir.join(format!(
-            "{:02}_{}_{:04.0}nm.json",
-            o.job, o.scenario, o.lambda_nm
-        ));
+        let name = format!(
+            "{:02}_{}_{:04.0}nm_{}.json",
+            o.job,
+            o.scenario,
+            o.lambda_nm,
+            &o.spec_hash[..12]
+        );
+        if !seen.insert(name.clone()) {
+            return Err(format!(
+                "artifact filename collision: `{name}` would be written twice \
+                 (job {}, scenario `{}`)",
+                o.job, o.scenario
+            ));
+        }
+        let path = dir.join(name);
         std::fs::write(&path, o.to_json().pretty())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         o.artifact = Some(path);

@@ -20,7 +20,9 @@ use mwd_core::{MwdConfig, TgShape};
 
 /// Names the spec format accepts for materials, mapped to the presets of
 /// [`em_solver::materials`].
-pub const MATERIAL_NAMES: [&str; 7] = ["vacuum", "glass", "SiO2", "TCO", "a-Si:H", "uc-Si:H", "Ag"];
+pub const MATERIAL_NAMES: [&str; 9] = [
+    "vacuum", "glass", "SiO2", "TCO", "a-Si:H", "uc-Si:H", "Ag", "Au", "c-Si",
+];
 
 /// Names the spec format accepts for whole-scene presets.
 pub const SCENE_PRESETS: [&str; 1] = ["tandem-solar-cell"];
@@ -35,6 +37,8 @@ pub fn material_by_name(name: &str) -> Option<Material> {
         "a-Si:H" => Some(Material::a_si()),
         "uc-Si:H" => Some(Material::uc_si()),
         "Ag" => Some(Material::silver()),
+        "Au" => Some(Material::gold()),
+        "c-Si" => Some(Material::c_si()),
         _ => None,
     }
 }
@@ -603,6 +607,14 @@ impl ScenarioSpec {
             if self.jobs().len() == 1 { " " } else { "s" },
             self.description
         )
+    }
+
+    /// Content hash of the spec's canonical TOML serialization — 32 hex
+    /// digits, stable across hosts and processes. The same key the job
+    /// service derives for a submitted spec body, so artifacts named by
+    /// it line up with the service's result store.
+    pub fn content_hash(&self) -> String {
+        em_json::hash::content_hash(&[&self.to_toml_string()])
     }
 
     // ---------------------------------------------------- validation

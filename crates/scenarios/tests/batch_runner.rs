@@ -132,8 +132,9 @@ fn identical_batches_produce_identical_artifacts() {
             .collect::<Vec<_>>()
             .join("\n")
     };
-    let a = strip_wall(d1.join("00_repeat_0550nm.json"));
-    let b = strip_wall(d2.join("00_repeat_0550nm.json"));
+    let hash12 = &specs[0].content_hash()[..12];
+    let a = strip_wall(d1.join(format!("00_repeat_0550nm_{hash12}.json")));
+    let b = strip_wall(d2.join(format!("00_repeat_0550nm_{hash12}.json")));
     assert!(!a.is_empty());
     assert_eq!(a, b, "artifacts must be reproducible");
     let _ = std::fs::remove_dir_all(&d1);

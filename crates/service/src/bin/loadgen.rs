@@ -3,15 +3,16 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
-//!         [--dup-ratio R] [--scenario BUILTIN | --spec FILE]
+//!         [--dup-ratio R] [--scenario BUILTIN | --spec FILE | --gen-mix MIX]
 //!         [--engine KIND] [--max-periods M] [--seed S]
 //!         [--report FILE] [--min-dedupe-hits K] [--shutdown] [--quiet]
 //! ```
 //!
 //! The workload is `N` submissions drawn from a pool of
 //! `U = max(1, N * (1 - R))` distinct spec variants (the base scenario
-//! with per-variant `lambda_nm`), shuffled deterministically by
-//! `--seed`. With `R = 0.5`, half the requests repeat an earlier spec —
+//! with per-variant `lambda_nm`, or — with `--gen-mix` — generated
+//! scenarios drawn from a weighted family mix), shuffled
+//! deterministically by `--seed`. With `R = 0.5`, half the requests repeat an earlier spec —
 //! the daemon should answer those from the result store (or coalesce
 //! them onto the in-flight job) without solving.
 //!
@@ -23,6 +24,7 @@
 //! bit-identical serving.
 
 use em_json::Json;
+use em_scenarios::gen::{generate, splitmix64, Family, GenParams};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -42,6 +44,11 @@ OPTIONS:
                            spec, 0..=1 (default 0.5)
     --scenario <builtin>   base catalog scenario (default vacuum-slab)
     --spec <file>          base scenario TOML file (overrides --scenario)
+    --gen-mix <mix>        draw variants from the scenario generators
+                           instead: `family:weight,...` over
+                           multilayer|rough-interface|nanoparticle|nanowire
+                           (weight defaults to 1); overrides --scenario
+                           and --spec
     --engine <kind>        engine override sent with every request
     --max-periods <m>      per-request convergence cap (default 1)
     --seed <s>             workload shuffle seed (default 7)
@@ -59,6 +66,7 @@ struct Opts {
     dup_ratio: f64,
     scenario: String,
     spec_file: Option<PathBuf>,
+    gen_mix: Vec<(Family, f64)>,
     engine: Option<String>,
     max_periods: usize,
     seed: u64,
@@ -76,6 +84,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         dup_ratio: 0.5,
         scenario: "vacuum-slab".to_string(),
         spec_file: None,
+        gen_mix: Vec::new(),
         engine: None,
         max_periods: 1,
         seed: 7,
@@ -106,6 +115,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--scenario" => o.scenario = value("--scenario")?,
             "--spec" => o.spec_file = Some(PathBuf::from(value("--spec")?)),
+            "--gen-mix" => o.gen_mix = parse_gen_mix(&value("--gen-mix")?)?,
             "--engine" => o.engine = Some(value("--engine")?),
             "--max-periods" => {
                 o.max_periods = parse_count(&value("--max-periods")?, "--max-periods")?
@@ -144,6 +154,59 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 fn parse_count(s: &str, flag: &str) -> Result<usize, String> {
     s.parse()
         .map_err(|_| format!("{flag} needs a non-negative integer"))
+}
+
+/// Parse `family[:weight],...` into a weighted family list.
+fn parse_gen_mix(s: &str) -> Result<Vec<(Family, f64)>, String> {
+    let known = || {
+        Family::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut mix = Vec::new();
+    for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (name, weight) = match part.split_once(':') {
+            Some((n, w)) => {
+                let w: f64 = w
+                    .parse()
+                    .ok()
+                    .filter(|w: &f64| w.is_finite() && *w > 0.0)
+                    .ok_or_else(|| format!("--gen-mix weight for `{n}` must be positive"))?;
+                (n.trim(), w)
+            }
+            None => (part, 1.0),
+        };
+        let family = Family::from_name(name)
+            .ok_or_else(|| format!("--gen-mix: unknown family `{name}` (known: {})", known()))?;
+        if mix.iter().any(|(f, _)| *f == family) {
+            return Err(format!("--gen-mix lists `{name}` twice"));
+        }
+        mix.push((family, weight));
+    }
+    if mix.is_empty() {
+        return Err(format!(
+            "--gen-mix needs `family[:weight],...` (known: {})",
+            known()
+        ));
+    }
+    Ok(mix)
+}
+
+/// Deterministic weighted family pick for one variant index.
+fn pick_family(mix: &[(Family, f64)], seed: u64, variant: usize) -> Family {
+    let mut state = seed ^ (variant as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let draw = (splitmix64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let total: f64 = mix.iter().map(|(_, w)| w).sum();
+    let mut acc = 0.0;
+    for (family, w) in mix {
+        acc += w / total;
+        if draw < acc {
+            return *family;
+        }
+    }
+    mix.last().unwrap().0
 }
 
 /// One blocking HTTP exchange (the daemon closes after each response).
@@ -332,22 +395,37 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
         variants.swap(i, step() as usize % (i + 1));
     }
 
-    let bodies: Vec<String> = variants
-        .iter()
-        .map(|&v| {
-            let mut pairs = vec![];
+    // With --gen-mix, each variant is a generated scenario: family from
+    // the weighted mix, generator seed derived from (--seed, variant),
+    // so the pool is deterministic and duplicates dedupe by content.
+    let mut family_counts: HashMap<&'static str, usize> = HashMap::new();
+    let mut variant_body = |v: usize| -> Result<String, String> {
+        let mut pairs = vec![];
+        if o.gen_mix.is_empty() {
             match &base_toml {
                 Some(t) => pairs.push(("toml", Json::str(t.clone()))),
                 None => pairs.push(("builtin", Json::str(&o.scenario))),
             }
-            if let Some(kind) = &o.engine {
-                pairs.push(("engine", Json::str(kind)));
-            }
             pairs.push(("lambda_nm", Json::Num(550.0 + 7.0 * v as f64)));
-            pairs.push(("max_periods", Json::Int(o.max_periods as i64)));
-            Json::obj(pairs).compact()
-        })
-        .collect();
+        } else {
+            let family = pick_family(&o.gen_mix, o.seed, v);
+            let spec = generate(family, o.seed.wrapping_add(v as u64), &GenParams::tiny())
+                .map_err(|e| format!("--gen-mix variant {v}: {e}"))?;
+            *family_counts.entry(family.name()).or_insert(0) += 1;
+            pairs.push(("toml", Json::str(spec.to_toml_string())));
+        }
+        if let Some(kind) = &o.engine {
+            pairs.push(("engine", Json::str(kind)));
+        }
+        pairs.push(("max_periods", Json::Int(o.max_periods as i64)));
+        Ok(Json::obj(pairs).compact())
+    };
+    // Build one body per *variant* and share it across duplicates, so
+    // the per-family counts describe the unique pool, not the requests.
+    let variant_bodies: Vec<String> = (0..unique)
+        .map(&mut variant_body)
+        .collect::<Result<_, _>>()?;
+    let bodies: Vec<&String> = variants.iter().map(|&v| &variant_bodies[v]).collect();
 
     // Health check before loading.
     let (hs, _) = http(&o.addr, "GET", "/healthz", None)?;
@@ -365,7 +443,7 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
                 if i >= o.requests {
                     break;
                 }
-                let out = drive_one(o, &bodies[i], variants[i]);
+                let out = drive_one(o, bodies[i], variants[i]);
                 if !o.quiet {
                     println!(
                         "[{:>3}/{}] variant {:>3} {:<10} submit {:>7.1} ms total {:>8.1} ms",
@@ -417,7 +495,7 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
         .and_then(|(s, b)| (s == 200).then(|| em_json::parse(&b).ok()).flatten())
         .unwrap_or(Json::Null);
 
-    let report = Json::obj(vec![
+    let mut report_pairs = vec![
         ("addr", Json::str(&o.addr)),
         ("requests", Json::Int(o.requests as i64)),
         ("concurrency", Json::Int(o.concurrency as i64)),
@@ -455,7 +533,28 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
             ]),
         ),
         ("server_stats", stats_doc),
-    ]);
+    ];
+    if !o.gen_mix.is_empty() {
+        let weights = o
+            .gen_mix
+            .iter()
+            .map(|(f, w)| (f.name(), Json::Num(*w)))
+            .collect();
+        let mut counts: Vec<(&str, Json)> = family_counts
+            .iter()
+            .map(|(name, n)| (*name, Json::Int(*n as i64)))
+            .collect();
+        counts.sort_by_key(|(name, _)| *name);
+        report_pairs.push((
+            "gen_mix",
+            Json::obj(vec![
+                ("weights", Json::obj(weights)),
+                ("variant_counts", Json::obj(counts)),
+                ("gen_seed", Json::Int(o.seed as i64)),
+            ]),
+        ));
+    }
+    let report = Json::obj(report_pairs);
 
     // Merge under the `loadgen` key so bench_report's measurements in
     // the same file survive.

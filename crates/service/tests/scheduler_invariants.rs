@@ -52,6 +52,7 @@ fn ok_outcome(spec: &ScenarioSpec) -> Vec<JobOutcome> {
         lambda_nm: spec.physics.lambda_nm,
         lambda_cells: spec.physics.lambda_cells,
         dims: format!("{}", spec.dims()),
+        spec_hash: spec.content_hash(),
         engine: spec.engine.label(),
         threads: spec.engine.threads(),
         dry_run: false,

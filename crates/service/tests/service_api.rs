@@ -408,3 +408,70 @@ fn stop_flag_hooked_to_shutdown_module_ends_the_run_loop() {
     let summary = handle.join().unwrap().unwrap();
     assert_eq!(summary.completed, 0);
 }
+
+#[test]
+fn generated_specs_dedupe_by_content_hash() {
+    // A generated spec dedupes in the store exactly like a hand-written
+    // one: submitting the same (family, seed) twice costs one solve,
+    // and a different seed gets a different content key.
+    use em_scenarios::gen::{generate, Family, GenParams};
+
+    let daemon = Daemon::start(tiny_config());
+    let addr = &daemon.addr;
+    let params = GenParams::tiny();
+
+    // The admission budget is one thread; override the engine so the
+    // job is servable regardless of what the generator drew. The
+    // override composes with the spec rather than rewriting its bytes,
+    // so the content key still reflects the generated TOML.
+    let submit_body = |seed: u64| {
+        let spec = generate(Family::Multilayer, seed, &params).unwrap();
+        Json::obj(vec![
+            ("toml", Json::str(spec.to_toml_string())),
+            ("engine", Json::str("naive-periodic-xy")),
+        ])
+        .compact()
+    };
+
+    let body = submit_body(5);
+    let (status, first) = http(addr, "POST", "/jobs", Some(body.as_bytes()));
+    assert_eq!(status, 202, "{first}");
+    let sub = em_json::parse(&first).unwrap();
+    assert_eq!(sub.get("status").unwrap().as_str(), Some("queued"));
+    let job = sub.get("job").unwrap().as_str().unwrap().to_string();
+    let key = sub.get("key").unwrap().as_str().unwrap().to_string();
+    poll_done(addr, &job);
+    let (status, artifact) = http(addr, "GET", &format!("/results/{key}"), None);
+    assert_eq!(status, 200);
+
+    // Same (family, seed) again: served from the store, byte-identical.
+    let (status, second) = http(addr, "POST", "/jobs", Some(body.as_bytes()));
+    assert_eq!(status, 200, "{second}");
+    let dup = em_json::parse(&second).unwrap();
+    assert_eq!(dup.get("status").unwrap().as_str(), Some("cached"));
+    assert_eq!(dup.get("key").unwrap().as_str(), Some(key.as_str()));
+    let (status, cached) = http(addr, "GET", &format!("/results/{key}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(cached, artifact, "cached bytes == first solve's bytes");
+
+    // A different seed is a different scenario: new key, new solve.
+    let other = submit_body(6);
+    let (status, third) = http(addr, "POST", "/jobs", Some(other.as_bytes()));
+    assert_eq!(status, 202, "{third}");
+    let sub2 = em_json::parse(&third).unwrap();
+    let job2 = sub2.get("job").unwrap().as_str().unwrap().to_string();
+    let key2 = sub2.get("key").unwrap().as_str().unwrap().to_string();
+    assert_ne!(key2, key, "distinct seeds must not share a content key");
+    poll_done(addr, &job2);
+
+    let (status, body) = http(addr, "GET", "/stats", None);
+    assert_eq!(status, 200);
+    let stats = em_json::parse(&body).unwrap();
+    assert_eq!(stats.get("submitted").unwrap().as_i64(), Some(2));
+    assert_eq!(stats.get("store_hits").unwrap().as_i64(), Some(1));
+    assert_eq!(stats.get("completed").unwrap().as_i64(), Some(2));
+
+    let summary = daemon.stop();
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.store_entries, 2);
+}

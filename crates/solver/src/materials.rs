@@ -35,6 +35,19 @@ pub enum Material {
         lambda_p_nm: f64,
         gamma_over_w_p: f64,
     },
+    /// Drude–Lorentz fit: the Drude free-electron term plus a sum of
+    /// bound-electron Lorentz oscillators, each given as
+    /// `(f, lambda0_nm, gamma_over_w0)` — oscillator strength, resonance
+    /// vacuum wavelength, and damping relative to the resonance
+    /// frequency. `lambda_p_nm = 0.0` disables the Drude term (pure
+    /// Lorentz dielectric, e.g. crystalline silicon).
+    DrudeLorentz {
+        name: &'static str,
+        eps_inf: f64,
+        lambda_p_nm: f64,
+        gamma_over_w_p: f64,
+        osc: &'static [(f64, f64, f64)],
+    },
 }
 
 impl Material {
@@ -42,7 +55,8 @@ impl Material {
         match self {
             Material::Index { name, .. }
             | Material::Table { name, .. }
-            | Material::Drude { name, .. } => name,
+            | Material::Drude { name, .. }
+            | Material::DrudeLorentz { name, .. } => name,
         }
     }
 
@@ -68,6 +82,32 @@ impl Material {
                 let d = w * w * w * w + g * g * w * w;
                 let re = eps_inf - (w * w) / d;
                 let im = (g * w) / d;
+                (re, im)
+            }
+            Material::DrudeLorentz {
+                eps_inf,
+                lambda_p_nm,
+                gamma_over_w_p,
+                osc,
+                ..
+            } => {
+                let mut re = *eps_inf;
+                let mut im = 0.0;
+                if *lambda_p_nm > 0.0 {
+                    let (dre, dim) = drude_term(*lambda_p_nm / lambda_nm, *gamma_over_w_p);
+                    re -= dre;
+                    im += dim;
+                }
+                for &(f, lambda0_nm, g) in osc.iter() {
+                    // In units of the resonance frequency: u = w/w0 =
+                    // lambda0/lambda, and
+                    //   chi = f / (1 - u^2 - i g u)
+                    //       = f (1 - u^2 + i g u) / ((1 - u^2)^2 + g^2 u^2).
+                    let u = lambda0_nm / lambda_nm;
+                    let d = (1.0 - u * u) * (1.0 - u * u) + g * g * u * u;
+                    re += f * (1.0 - u * u) / d;
+                    im += f * g * u / d;
+                }
                 (re, im)
             }
         }
@@ -147,11 +187,46 @@ impl Material {
             gamma_over_w_p: 0.002,
         }
     }
+
+    /// Gold: Drude background plus one interband Lorentz oscillator so
+    /// the model reproduces gold's qualitative signature — `Re(eps) < 0`
+    /// through the red/near-IR but strong interband absorption below
+    /// ~500 nm (why gold looks yellow and is a poor blue mirror).
+    pub fn gold() -> Material {
+        Material::DrudeLorentz {
+            name: "Au",
+            eps_inf: 6.0,
+            lambda_p_nm: 146.0,
+            gamma_over_w_p: 0.004,
+            osc: &[(1.2, 420.0, 0.3)],
+        }
+    }
+
+    /// Crystalline silicon: a pure-Lorentz fit (no free carriers, so no
+    /// Drude term) anchored by the UV interband resonance — gives the
+    /// correct `eps_r ~ 14..18` across the visible with blue absorbing
+    /// far more strongly than red.
+    pub fn c_si() -> Material {
+        Material::DrudeLorentz {
+            name: "c-Si",
+            eps_inf: 1.0,
+            lambda_p_nm: 0.0,
+            gamma_over_w_p: 0.0,
+            osc: &[(10.5, 280.0, 0.08)],
+        }
+    }
 }
 
 fn nk_to_eps(n: f64, k: f64) -> (f64, f64) {
     // eps = (n - ik)^2 = n^2 - k^2 - 2ink -> (n^2 - k^2, 2nk)
     (n * n - k * k, 2.0 * n * k)
+}
+
+/// The free-electron susceptibility `1 / (w^2 + i g w)` in plasma-
+/// frequency units, returned as `(re_to_subtract, im_to_add)`.
+fn drude_term(w: f64, g: f64) -> (f64, f64) {
+    let d = w * w * w * w + g * g * w * w;
+    ((w * w) / d, (g * w) / d)
 }
 
 fn interp(rows: &[(f64, f64, f64)], lambda: f64) -> (f64, f64) {
@@ -218,6 +293,53 @@ mod tests {
         let (n_mid, k_mid) = interp(&[(500.0, 4.8, 0.85), (600.0, 4.4, 0.25)], 550.0);
         assert!((n_mid - 4.6).abs() < 1e-12);
         assert!((k_mid - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gold_is_metallic_red_dielectric_blue() {
+        let au = Material::gold();
+        // Red/near-IR: free-electron response dominates, Re(eps) < 0.
+        for lambda in [550.0, 600.0, 700.0, 800.0] {
+            let (re, im) = au.eps(lambda);
+            assert!(re < 0.0, "Re(eps_Au) at {lambda} nm = {re} must be < 0");
+            assert!(im >= 0.0);
+        }
+        // Interband absorption makes gold much lossier in the blue than
+        // silver — that's the whole point of the Lorentz term.
+        let (_, au_blue) = au.eps(450.0);
+        let (_, ag_blue) = Material::silver().eps(450.0);
+        assert!(
+            au_blue > 10.0 * ag_blue,
+            "Au blue loss {au_blue} vs Ag {ag_blue}"
+        );
+    }
+
+    #[test]
+    fn c_si_is_a_high_index_dispersive_dielectric() {
+        let si = Material::c_si();
+        for lambda in [450.0, 550.0, 650.0, 750.0] {
+            let (re, im) = si.eps(lambda);
+            assert!(
+                (10.0..25.0).contains(&re),
+                "eps_r(c-Si) at {lambda} nm = {re}"
+            );
+            assert!(im >= 0.0);
+        }
+        // Normal dispersion: index falls toward the red.
+        assert!(si.eps(450.0).0 > si.eps(750.0).0);
+        // Absorption ordering: blue well above red (a single Lorentz
+        // line gives ~3x between 450 and 700 nm).
+        assert!(si.eps(450.0).1 > 2.5 * si.eps(700.0).1);
+    }
+
+    #[test]
+    fn drude_lorentz_without_drude_term_is_finite_everywhere() {
+        // lambda_p_nm = 0.0 must not divide by zero.
+        let si = Material::c_si();
+        for lambda in [200.0, 350.0, 550.0, 1000.0, 2000.0] {
+            let (re, im) = si.eps(lambda);
+            assert!(re.is_finite() && im.is_finite(), "at {lambda} nm");
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ USAGE:
     mwd batch [<scenario>...] [options] run scenarios on a worker pool
     mwd tune [<scenario>...] [options]  fill the per-host tuning cache
     mwd serve [options]                 run the HTTP job daemon
+    mwd gen <list|emit|run|fuzz>        seeded scenario generators
     mwd help                            this text
 
 SCENARIOS:
@@ -62,6 +63,27 @@ OPTIONS:
                        serve: the content-addressed result store,
                        default results/service_store)
     --quiet            suppress per-job status lines
+
+GEN (seeded scenario generators; same (family, seed) => same spec):
+    mwd gen list                        the generator families
+    mwd gen emit --family F --seed S    print the generated spec TOML
+    mwd gen run  --family F --seed S    generate and solve one spec
+    mwd gen fuzz [--count N] [--seed S] differential fuzz: each case must
+                                        validate, roundtrip, solve without
+                                        NaN/panic and be bit-identical
+                                        naive-vs-MWD; failures print a
+                                        one-line (family, seed) repro
+    --family <f[,f...]>  multilayer, rough-interface, nanoparticle,
+                         nanowire (fuzz default: all, cycled)
+    --seed <n>           base seed (default 42); fuzz case i uses seed+i
+    --count <n>          fuzz cases (default 8)
+    --steps <n>          solver steps per fuzz case (default 6)
+    --full               draw from full-size parameter ranges instead of
+                         the tiny smoke-test grids
+    --corrupt            harness self-test: corrupt the MWD side and
+                         require every case to be flagged
+    --out <dir>          fuzz: write failing spec TOML here
+                         run: artifact directory
 
 SERVE OPTIONS:
     --addr <host:port>  bind address (default 127.0.0.1:7171; port 0
@@ -96,6 +118,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "batch" => cmd_run_or_batch(&args[1..], true),
         "tune" => cmd_tune(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -451,6 +474,156 @@ fn cmd_tune(args: &[String]) -> Result<ExitCode, String> {
         cache.len()
     );
     Ok(ExitCode::SUCCESS)
+}
+
+/// `mwd gen`: the seeded scenario generators and the differential fuzz
+/// harness. Has its own flag set (family/seed/count/steps are not
+/// meaningful to the other subcommands), so it parses independently of
+/// [`parse_opts`].
+fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
+    use thiim_mwd::scenarios::gen::{generate, run_fuzz, Family, FuzzOptions, GenParams};
+
+    let Some(sub) = args.first() else {
+        return Err("usage: mwd gen <list|emit|run|fuzz> [options]; try `mwd help`".to_string());
+    };
+    if sub == "list" {
+        for f in Family::ALL {
+            println!("{:<16} {}", f.name(), f.description());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // gen-specific flags.
+    let mut families: Vec<Family> = Vec::new();
+    let mut seed: u64 = 42;
+    let mut count: usize = 8;
+    let mut steps: usize = 6;
+    let mut full = false;
+    let mut corrupt = false;
+    let mut quiet = false;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--family" => {
+                for name in value("--family")?.split(',') {
+                    families.push(Family::from_name(name.trim()).ok_or_else(|| {
+                        format!(
+                            "unknown family `{name}` (known: {})",
+                            Family::ALL
+                                .iter()
+                                .map(|f| f.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?);
+                }
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a non-negative integer".to_string())?;
+            }
+            "--count" => {
+                count = value("--count")?
+                    .parse()
+                    .map_err(|_| "--count needs a positive integer".to_string())?;
+            }
+            "--steps" => {
+                steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| "--steps needs a positive integer".to_string())?;
+            }
+            "--full" => full = true,
+            "--corrupt" => corrupt = true,
+            "--quiet" => quiet = true,
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => {
+                return Err(format!(
+                    "unknown `mwd gen` option `{other}`; try `mwd help`"
+                ))
+            }
+        }
+    }
+    let params = if full {
+        GenParams::default()
+    } else {
+        GenParams::tiny()
+    };
+
+    match sub.as_str() {
+        "emit" | "run" => {
+            let [family] = families.as_slice() else {
+                return Err(format!(
+                    "usage: mwd gen {sub} --family <one family> --seed <n>"
+                ));
+            };
+            let spec = generate(*family, seed, &params)?;
+            if sub == "emit" {
+                print!("{}", spec.to_toml_string());
+                return Ok(ExitCode::SUCCESS);
+            }
+            let stop = em_service::shutdown::hooked_flag();
+            let report = run_batch(
+                &[spec],
+                &BatchOptions {
+                    workers: 1,
+                    out_dir: Some(out.unwrap_or_else(|| PathBuf::from("results/scenarios"))),
+                    budget: mwd_core::ThreadBudget::host(),
+                    quiet,
+                    stop: Some(stop),
+                    ..Default::default()
+                },
+            )?;
+            print_report(&report, false);
+            Ok(if report.failures() > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "fuzz" => {
+            let opts = FuzzOptions {
+                count,
+                seed,
+                families: if families.is_empty() {
+                    Family::ALL.to_vec()
+                } else {
+                    families
+                },
+                params,
+                steps,
+                corrupt,
+                out_dir: out,
+            };
+            let report = run_fuzz(&opts)?;
+            for f in &report.failures {
+                eprintln!("FAIL {}", f.summary());
+                eprintln!("     {}", f.repro_line());
+            }
+            if !quiet || !report.ok() {
+                println!(
+                    "gen fuzz: {} case(s), {} failure(s){}",
+                    report.cases,
+                    report.failures.len(),
+                    if corrupt { " (corrupt mode)" } else { "" }
+                );
+            }
+            Ok(if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        other => Err(format!(
+            "unknown `mwd gen` subcommand `{other}`; try `mwd help`"
+        )),
+    }
 }
 
 fn print_report(report: &BatchReport, dry_run: bool) {

@@ -35,6 +35,13 @@ fn exit_code(out: &Output) -> i32 {
     out.status.code().expect("no signal")
 }
 
+/// First 12 hex digits of the spec content hash a spec file resolves
+/// to — the suffix the batch runner embeds in artifact filenames.
+fn hash12(spec_path: &Path) -> String {
+    let spec = ScenarioSpec::from_toml_str(&std::fs::read_to_string(spec_path).unwrap()).unwrap();
+    spec.content_hash()[..12].to_string()
+}
+
 /// A deterministic sub-second workload: one forced period on a 4x4x24
 /// vacuum grid.
 fn write_spec(dir: &Path, name: &str) -> PathBuf {
@@ -130,7 +137,7 @@ fn run_writes_one_schema_conforming_artifact_per_job() {
     );
     assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
 
-    let artifact = out_dir.join("00_cli-smoke_0550nm.json");
+    let artifact = out_dir.join(format!("00_cli-smoke_0550nm_{}.json", hash12(&spec)));
     assert!(artifact.is_file(), "missing {}", artifact.display());
     let v = jsonio::parse(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
     assert_eq!(v.get("scenario").unwrap().as_str(), Some("cli-smoke"));
@@ -307,7 +314,11 @@ fn run_with_tune_records_provenance_in_the_artifact() {
     assert_eq!(exit_code(&first), 0, "{}", stderr(&first));
     let art = |out: &str| {
         jsonio::parse(
-            &std::fs::read_to_string(dir.join(out).join("00_tuned-run_0550nm.json")).unwrap(),
+            &std::fs::read_to_string(
+                dir.join(out)
+                    .join(format!("00_tuned-run_0550nm_{}.json", hash12(&spec))),
+            )
+            .unwrap(),
         )
         .unwrap()
     };

@@ -24,9 +24,13 @@
 //! the benchmark grid, resolved through the persistent tuning cache
 //! (`--cache FILE`, default `results/tune_cache.json`); the report then
 //! records the tuned config and whether it was a cache hit.
+//!
+//! `--phases` appends a span-recorded MWD run whose per-phase wall time
+//! (frontier setup, queue wait, diamond update) is folded into the
+//! report under `phases`.
 
 use em_bench::report::{
-    available_parallelism, measure_kernels_filtered, measure_scenario_filtered,
+    available_parallelism, measure_kernels_filtered, measure_mwd_phases, measure_scenario_filtered,
     measure_tuned_kernel, BenchReport,
 };
 use em_field::GridDims;
@@ -40,6 +44,7 @@ fn main() {
     let mut engine_filter: Option<String> = None;
     let mut with_scenarios = false;
     let mut tune = false;
+    let mut phases = false;
     let mut cache: Option<PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +69,7 @@ fn main() {
             }
             "--with-scenarios" => with_scenarios = true,
             "--tune" => tune = true,
+            "--phases" => phases = true,
             "--cache" => {
                 cache = Some(PathBuf::from(
                     it.next().unwrap_or_else(|| die("--cache needs a path")),
@@ -74,7 +80,7 @@ fn main() {
                 "unknown option `{other}` \
                  (usage: bench_report [--dims N] [--steps N] [--threads N] \
                  [--max-threads N] [--engine FILTER] [--with-scenarios] \
-                 [--tune] [--cache FILE])"
+                 [--tune] [--cache FILE] [--phases])"
             )),
         }
     }
@@ -119,6 +125,23 @@ fn main() {
                 runs.push(run);
             }
             Err(e) => die(&format!("--tune: {e}")),
+        }
+    }
+
+    if phases {
+        match measure_mwd_phases(dims, steps, threads) {
+            Ok(run) => {
+                for p in &run.phases {
+                    println!(
+                        "phase {:<16} {:>8} span(s) {:>10.3} ms total",
+                        p.name,
+                        p.count,
+                        p.total_us / 1e3
+                    );
+                }
+                runs.push(run);
+            }
+            Err(e) => die(&format!("--phases: {e}")),
         }
     }
 

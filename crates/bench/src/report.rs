@@ -12,9 +12,10 @@ use crate::harness::results_dir;
 use autotune::{ResolveOptions, TuneCache, TuneKey};
 use em_field::{GridDims, State};
 use em_kernels::{run_naive, step_spatial_mt, SpatialConfig};
+use em_obs::{PhaseTotal, Recorder};
 use em_scenarios::{Json, ScenarioSpec};
 use em_solver::Engine;
-use mwd_core::{run_mwd, MwdConfig};
+use mwd_core::{run_mwd, run_mwd_bc_rec, MwdBoundary, MwdConfig};
 use std::path::{Path, PathBuf};
 
 /// One engine's measurement.
@@ -63,6 +64,9 @@ pub struct BenchRun {
     /// Tuning provenance, when the run's configuration came from the
     /// tuning cache.
     pub tuned: Option<TunedBench>,
+    /// Aggregate MWD phase timings (from a span-recorded run); empty
+    /// unless the run was measured with tracing enabled.
+    pub phases: Vec<PhaseTotal>,
 }
 
 /// The full report written to `results/BENCH_results.json`.
@@ -89,53 +93,11 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// The current git revision, read from `.git` directly (no subprocess):
-/// follows a linked-worktree `gitdir:` file and one level of `ref:`
-/// indirection; `unknown` outside a work tree.
+/// The current git revision, read from `.git` directly (no subprocess);
+/// `unknown` outside a work tree. Delegates to the shared telemetry
+/// crate so the bench report and `GET /healthz` agree on the revision.
 pub fn git_rev() -> String {
-    for base in ["", "../", "../../"] {
-        let Some(rev) = rev_from_git_dir(&PathBuf::from(format!("{base}.git"))) else {
-            continue;
-        };
-        return rev;
-    }
-    "unknown".to_string()
-}
-
-fn rev_from_git_dir(git_dir: &std::path::Path) -> Option<String> {
-    // In a linked worktree or submodule, `.git` is a file pointing at
-    // the real git directory.
-    let git_dir = if git_dir.is_file() {
-        let content = std::fs::read_to_string(git_dir).ok()?;
-        PathBuf::from(content.trim().strip_prefix("gitdir: ")?.trim())
-    } else {
-        git_dir.to_path_buf()
-    };
-    let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
-    let head = head.trim();
-    let Some(r) = head.strip_prefix("ref: ") else {
-        // Detached HEAD: the hash itself (sanity-check the shape so a
-        // malformed HEAD degrades to "unknown" instead of garbage).
-        return head
-            .chars()
-            .all(|c| c.is_ascii_hexdigit())
-            .then(|| head.to_string());
-    };
-    if let Ok(rev) = std::fs::read_to_string(git_dir.join(r)) {
-        return Some(rev.trim().to_string());
-    }
-    // Packed refs live in the common git dir (shared by worktrees).
-    let common = match std::fs::read_to_string(git_dir.join("commondir")) {
-        Ok(rel) => git_dir.join(rel.trim()),
-        Err(_) => git_dir,
-    };
-    let packed = std::fs::read_to_string(common.join("packed-refs")).ok()?;
-    for line in packed.lines() {
-        if let Some(rev) = line.strip_suffix(r) {
-            return Some(rev.trim().to_string());
-        }
-    }
-    Some("unknown".to_string())
+    em_obs::git_revision()
 }
 
 /// Time the four engines on a deterministic synthetic state (the
@@ -212,6 +174,7 @@ pub fn measure_kernels_filtered(
         threads,
         engines,
         tuned: None,
+        phases: Vec::new(),
     }
 }
 
@@ -260,6 +223,42 @@ pub fn measure_tuned_kernel(
             native_probes: r.native_probes,
             score_mlups: r.score_mlups,
         }),
+        phases: Vec::new(),
+    })
+}
+
+/// Measure the 1WD MWD engine with span recording enabled and fold the
+/// aggregate phase timings (`frontier_setup`, `queue_wait`,
+/// `diamond_update`) into the run. The traced run *is* the measured
+/// run, so the phase breakdown describes exactly the reported MLUP/s —
+/// tracing overhead included, which is why this is a separate report
+/// entry rather than the default kernel measurement.
+pub fn measure_mwd_phases(
+    dims: GridDims,
+    steps: usize,
+    threads: usize,
+) -> Result<BenchRun, String> {
+    let mut s = State::zeros(dims);
+    s.fields.fill_deterministic(42);
+    s.coeffs.fill_deterministic(43);
+    let cfg = MwdConfig::one_wd(4, 2, threads);
+    let rec = Recorder::enabled();
+    let t0 = std::time::Instant::now();
+    run_mwd_bc_rec(&mut s, &cfg, steps, MwdBoundary::Dirichlet, &rec, 0)?;
+    let wall = t0.elapsed().as_secs_f64();
+    let trace = rec.drain();
+    Ok(BenchRun {
+        scenario: None,
+        dims,
+        steps,
+        threads,
+        engines: vec![EnginePerf {
+            engine: format!("1wd+trace(dw=4, bz=2, groups={threads})"),
+            mlups: mlups(dims, steps, wall),
+            wall_secs: wall,
+        }],
+        tuned: None,
+        phases: trace.phase_totals(),
     })
 }
 
@@ -333,6 +332,7 @@ pub fn measure_scenario_filtered(
         threads,
         engines,
         tuned: None,
+        phases: Vec::new(),
     })
 }
 
@@ -367,6 +367,23 @@ impl BenchRun {
         ];
         if let Some(t) = &self.tuned {
             pairs.push(("tuned", t.to_json()));
+        }
+        if !self.phases.is_empty() {
+            pairs.push((
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("phase", Json::str(p.name)),
+                                ("spans", Json::Int(p.count as i64)),
+                                ("total_ms", Json::Num(p.total_us / 1e3)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
         }
         Json::obj(pairs)
     }
@@ -473,6 +490,25 @@ mod tests {
             assert!(text.contains(key), "missing `{key}`:\n{text}");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn phase_measurement_folds_span_totals_into_the_report() {
+        let run = measure_mwd_phases(GridDims::cubic(12), 2, 2).unwrap();
+        assert_eq!(run.engines.len(), 1);
+        assert!(run.engines[0].engine.starts_with("1wd+trace("));
+        let names: Vec<&str> = run.phases.iter().map(|p| p.name).collect();
+        for phase in ["frontier_setup", "queue_wait", "diamond_update"] {
+            assert!(names.contains(&phase), "missing `{phase}` in {names:?}");
+        }
+        for p in &run.phases {
+            assert!(p.count > 0);
+            assert!(p.total_us >= 0.0);
+        }
+        let text = BenchReport::new(vec![run]).to_json().pretty();
+        for key in ["phases", "diamond_update", "total_ms"] {
+            assert!(text.contains(key), "missing `{key}`:\n{text}");
+        }
     }
 
     #[test]

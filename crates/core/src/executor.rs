@@ -32,6 +32,7 @@ use crate::wavefront::WavefrontSpec;
 use em_field::{Component, State};
 use em_kernels::update::update_component_rows_periodic_x;
 use em_kernels::{update_component_rows, RawGrid};
+use em_obs::{Recorder, ThreadLog};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Boundary handling of the temporally blocked engines. Periodic x uses
@@ -77,6 +78,22 @@ pub fn run_mwd_bc(
     nt: usize,
     boundary: MwdBoundary,
 ) -> Result<RunStats, String> {
+    run_mwd_bc_rec(state, cfg, nt, boundary, &Recorder::disabled(), 0)
+}
+
+/// [`run_mwd_bc`] with span recording: per-thread-group phase spans
+/// (`frontier_setup`, `queue_wait`, `diamond_update`) nest under
+/// `parent`. With a disabled recorder this is exactly [`run_mwd_bc`] —
+/// instrumentation reduces to one branch per call site, so the updates
+/// stay bit-identical.
+pub fn run_mwd_bc_rec(
+    state: &mut State,
+    cfg: &MwdConfig,
+    nt: usize,
+    boundary: MwdBoundary,
+    rec: &Recorder,
+    parent: u64,
+) -> Result<RunStats, String> {
     let dims = state.dims();
     cfg.validate(dims)?;
     if nt == 0 {
@@ -85,8 +102,19 @@ pub fn run_mwd_bc(
             ..RunStats::default()
         });
     }
+    let mut log = rec.thread("mwd_plan", parent);
+    let setup = log.start("frontier_setup");
     let plan = TilePlan::build(cfg.diamond()?, dims.ny, nt);
-    run_mwd_with_plan_bc(state, cfg, &plan, boundary)
+    log.end_kv(
+        setup,
+        if rec.is_enabled() {
+            vec![("tiles", plan.tiles.len().to_string())]
+        } else {
+            Vec::new()
+        },
+    );
+    drop(log);
+    run_mwd_with_plan_bc_rec(state, cfg, &plan, boundary, rec, parent)
 }
 
 /// Run a pre-built tile plan (the auto-tuner reuses plans across probes).
@@ -104,6 +132,18 @@ pub fn run_mwd_with_plan_bc(
     cfg: &MwdConfig,
     plan: &TilePlan,
     boundary: MwdBoundary,
+) -> Result<RunStats, String> {
+    run_mwd_with_plan_bc_rec(state, cfg, plan, boundary, &Recorder::disabled(), 0)
+}
+
+/// [`run_mwd_with_plan_bc`] with span recording; see [`run_mwd_bc_rec`].
+pub fn run_mwd_with_plan_bc_rec(
+    state: &mut State,
+    cfg: &MwdConfig,
+    plan: &TilePlan,
+    boundary: MwdBoundary,
+    rec: &Recorder,
+    parent: u64,
 ) -> Result<RunStats, String> {
     let dims = state.dims();
     cfg.validate(dims)?;
@@ -133,13 +173,19 @@ pub fn run_mwd_with_plan_bc(
     let g = RawGrid::new(state);
 
     std::thread::scope(|scope| {
-        for group in &groups {
+        for (gi, group) in groups.iter().enumerate() {
             for member in 0..tg_size {
                 let queue = &queue;
                 let half_updates = &half_updates;
                 let barriers = &barriers;
                 let tiles_run = &tiles_run;
+                let rec = rec.clone();
                 scope.spawn(move || {
+                    let log = if rec.is_enabled() {
+                        rec.thread(&format!("mwd g{gi}.{member}"), parent)
+                    } else {
+                        rec.thread("", parent)
+                    };
                     worker(
                         &g,
                         plan,
@@ -149,6 +195,7 @@ pub fn run_mwd_with_plan_bc(
                         group,
                         member,
                         boundary,
+                        log,
                         half_updates,
                         barriers,
                         tiles_run,
@@ -195,6 +242,7 @@ fn worker(
     group: &GroupCtx,
     member: usize,
     boundary: MwdBoundary,
+    mut log: ThreadLog,
     half_updates: &AtomicUsize,
     barriers: &AtomicUsize,
     tiles_run: &AtomicUsize,
@@ -206,6 +254,9 @@ fn worker(
     let mut my_tiles = 0usize;
 
     loop {
+        // Queue-wait phase: the leader's FIFO pop plus the publish
+        // barrier every member parks on until the tile is announced.
+        let wait = log.start("queue_wait");
         if leader {
             let next = queue.pop().map(|t| t + 1).unwrap_or(SHUTDOWN);
             group.slot.store(next, Ordering::Release);
@@ -213,6 +264,7 @@ fn worker(
         // Publish barrier: members learn the tile; pairs with the leader's
         // release store and closes the previous tile's epoch.
         group.barrier.wait();
+        log.end(wait);
         my_barriers += 1;
         let slot = group.slot.load(Ordering::Acquire);
         if slot == SHUTDOWN {
@@ -220,6 +272,7 @@ fn worker(
         }
         let tile = &plan.tiles[slot - 1];
 
+        let update = log.start("diamond_update");
         my_half += execute_tile(
             g,
             tile,
@@ -232,12 +285,18 @@ fn worker(
             iz,
             ic,
         );
+        if update.id() == 0 {
+            log.end(update);
+        } else {
+            log.end_kv(update, vec![("tile", (slot - 1).to_string())]);
+        }
 
         if leader {
             queue.complete(slot - 1);
             my_tiles += 1;
         }
     }
+    drop(log);
 
     half_updates.fetch_add(my_half, Ordering::Relaxed);
     barriers.fetch_add(my_barriers, Ordering::Relaxed);

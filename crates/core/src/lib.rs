@@ -33,7 +33,8 @@ pub use budget::{BudgetSplit, ThreadBudget};
 pub use config::{split_range, split_range_aligned, MwdConfig, TgShape};
 pub use diamond::{diamond_rows, DiamondRow, DiamondWidth};
 pub use executor::{
-    run_mwd, run_mwd_bc, run_mwd_with_plan, run_mwd_with_plan_bc, MwdBoundary, RunStats,
+    run_mwd, run_mwd_bc, run_mwd_bc_rec, run_mwd_with_plan, run_mwd_with_plan_bc,
+    run_mwd_with_plan_bc_rec, MwdBoundary, RunStats,
 };
 pub use queue::ReadyQueue;
 pub use tiling::{ClippedRow, Tile, TilePlan};

@@ -1,0 +1,88 @@
+//! # em_obs — zero-dependency telemetry for the THIIM/MWD workspace
+//!
+//! Observability primitives shared by every layer from the MWD executor
+//! up to the HTTP service, hand-rolled like the rest of the workspace
+//! (no external crates; `em_json` is the only dependency, for the trace
+//! exporter):
+//!
+//! - [`trace`]: structured spans recorded into lock-free per-thread ring
+//!   buffers by a [`Recorder`] that is a no-op when disabled, plus a
+//!   Chrome trace-event JSON exporter (Perfetto-loadable).
+//! - [`metrics`]: atomic counters, gauges, and log2-bucket histograms,
+//!   named in a [`Registry`] that renders Prometheus text exposition
+//!   format for `GET /metrics`.
+//! - [`git_revision`]: the current commit hash read from `.git` directly
+//!   (no subprocess), for build provenance in reports and `/healthz`.
+//!
+//! The design rule is that instrumentation must never perturb physics:
+//! a disabled recorder costs one branch per call site and touches no
+//! shared state, so instrumented engines stay bit-identical to the
+//! reference and benchmark numbers stay honest.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{OpenSpan, PhaseTotal, Recorder, SpanRecord, ThreadLog, Trace};
+
+use std::path::PathBuf;
+
+/// The current git revision, read from `.git` directly (no subprocess):
+/// follows a linked-worktree `gitdir:` file and one level of `ref:`
+/// indirection; `unknown` outside a work tree. Searches upward from the
+/// working directory (binaries run from the workspace root or a crate
+/// subdirectory).
+pub fn git_revision() -> String {
+    for base in ["", "../", "../../"] {
+        let Some(rev) = rev_from_git_dir(&PathBuf::from(format!("{base}.git"))) else {
+            continue;
+        };
+        return rev;
+    }
+    "unknown".to_string()
+}
+
+fn rev_from_git_dir(git_dir: &std::path::Path) -> Option<String> {
+    // In a linked worktree or submodule, `.git` is a file pointing at
+    // the real git directory.
+    let git_dir = if git_dir.is_file() {
+        let content = std::fs::read_to_string(git_dir).ok()?;
+        PathBuf::from(content.trim().strip_prefix("gitdir: ")?.trim())
+    } else {
+        git_dir.to_path_buf()
+    };
+    let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(r) = head.strip_prefix("ref: ") else {
+        // Detached HEAD: the hash itself (sanity-check the shape so a
+        // malformed HEAD degrades to "unknown" instead of garbage).
+        return head
+            .chars()
+            .all(|c| c.is_ascii_hexdigit())
+            .then(|| head.to_string());
+    };
+    if let Ok(rev) = std::fs::read_to_string(git_dir.join(r)) {
+        return Some(rev.trim().to_string());
+    }
+    // Packed refs live in the common git dir (shared by worktrees).
+    let common = match std::fs::read_to_string(git_dir.join("commondir")) {
+        Ok(rel) => git_dir.join(rel.trim()),
+        Err(_) => git_dir,
+    };
+    let packed = std::fs::read_to_string(common.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        if let Some(rev) = line.strip_suffix(r) {
+            return Some(rev.trim().to_string());
+        }
+    }
+    Some("unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn git_revision_resolves_or_degrades() {
+        let rev = super::git_revision();
+        assert!(rev == "unknown" || rev.len() >= 7, "{rev}");
+    }
+}

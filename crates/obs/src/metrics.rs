@@ -1,0 +1,455 @@
+//! Metric primitives and the exposition registry.
+//!
+//! Three instrument kinds cover everything the workspace reports:
+//! monotonic [`Counter`]s, last-value [`Gauge`]s, and fixed-bucket
+//! [`Histogram`]s with power-of-two bucket bounds (latencies spread over
+//! orders of magnitude, so log2 buckets give constant relative error).
+//! A [`Registry`] names instruments and renders them in the Prometheus
+//! text exposition format; instruments also work standalone (`loadgen`
+//! aggregates client-side histograms without a registry).
+//!
+//! All instruments are internally atomic: `&self` methods, shareable via
+//! `Arc`, and safe to update from any thread without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value gauge storing an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram with log2 bucket bounds plus a `+Inf` bucket.
+///
+/// Bucket `i` counts observations `v <= bounds[i]`; the final slot counts
+/// the overflow (`+Inf` bucket). The observation count is the sum of all
+/// bucket slots by construction, so `count()` and the buckets can never
+/// disagree (the property test in `tests/histogram_props.rs` pins this).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, f64 bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Buckets at `2^min_exp, 2^(min_exp+1), ..., 2^max_exp`, plus `+Inf`.
+    pub fn log2(min_exp: i32, max_exp: i32) -> Self {
+        assert!(min_exp <= max_exp, "empty bucket range");
+        let bounds: Vec<f64> = (min_exp..=max_exp).map(|e| (e as f64).exp2()).collect();
+        Histogram::with_bounds(bounds)
+    }
+
+    /// Default latency layout in seconds: 61 us .. 128 s.
+    pub fn latency_seconds() -> Self {
+        Histogram::log2(-14, 7)
+    }
+
+    /// Default latency layout in milliseconds: 0.25 ms .. 8 min.
+    pub fn latency_millis() -> Self {
+        Histogram::log2(-2, 19)
+    }
+
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: mergeable and queryable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (exclusive of the trailing `+Inf` slot).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` entries (last is `+Inf`).
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations (sum over all buckets).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another snapshot in; panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "bucket layouts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`) by linear interpolation within
+    /// the containing bucket. Returns 0 for an empty histogram; values in
+    /// the `+Inf` bucket clamp to the largest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank && c > 0 {
+                if i >= self.bounds.len() {
+                    return *self.bounds.last().expect("non-empty bounds");
+                }
+                let hi = self.bounds[i];
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into = (rank - (cum - c)) as f64 / c as f64;
+                return lo + (hi - lo) * into;
+            }
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+}
+
+/// Label set: ordered `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    series: Vec<(Labels, Instrument)>,
+}
+
+impl Family {
+    fn kind(&self) -> &'static str {
+        match self.series.first().map(|(_, m)| m) {
+            Some(Instrument::Counter(_)) => "counter",
+            Some(Instrument::Gauge(_)) => "gauge",
+            Some(Instrument::Histogram(_)) => "histogram",
+            None => "untyped",
+        }
+    }
+}
+
+/// Named metric registry rendering Prometheus text exposition format.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call for a
+/// `(name, labels)` pair registers the series, later calls return the
+/// same instrument. Families render in registration order, so the
+/// exposition output is deterministic.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            |m| match m {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Instrument::Counter(Arc::new(Counter::new())),
+        )
+    }
+
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            |m| match m {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Histogram with the default latency-seconds bucket layout.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            |m| match m {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Instrument::Histogram(Arc::new(Histogram::latency_seconds())),
+        )
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        downcast: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: impl FnOnce() -> Instrument,
+    ) -> Arc<T> {
+        let labels = labels_of(labels);
+        let mut families = self.families.lock().expect("registry lock");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some((_, m)) = family.series.iter().find(|(l, _)| *l == labels) {
+            return downcast(m)
+                .unwrap_or_else(|| panic!("metric `{name}` re-registered with a different kind"));
+        }
+        let instrument = make();
+        let handle = downcast(&instrument).expect("fresh instrument kind matches");
+        family.series.push((labels, instrument));
+        handle
+    }
+
+    /// Render every family in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut out = String::new();
+        for f in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind()));
+            for (labels, m) in &f.series {
+                match m {
+                    Instrument::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            fmt_labels(labels, None),
+                            c.get()
+                        ));
+                    }
+                    Instrument::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            fmt_labels(labels, None),
+                            fmt_f64(g.get())
+                        ));
+                    }
+                    Instrument::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, c) in snap.counts.iter().enumerate() {
+                            cum += c;
+                            let le = if i < snap.bounds.len() {
+                                fmt_f64(snap.bounds[i])
+                            } else {
+                                "+Inf".to_string()
+                            };
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                f.name,
+                                fmt_labels(labels, Some(&le)),
+                                cum
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            f.name,
+                            fmt_labels(labels, None),
+                            fmt_f64(snap.sum)
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            fmt_labels(labels, None),
+                            cum
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::log2(0, 3); // bounds 1, 2, 4, 8
+        for v in [0.5, 1.5, 3.0, 3.5, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 2, 0, 1]);
+        assert_eq!(s.count(), 5);
+        assert!((s.sum - 108.5).abs() < 1e-12);
+        // Median falls in the (2, 4] bucket.
+        let q = s.quantile(0.5);
+        assert!((2.0..=4.0).contains(&q), "median {q}");
+        // Overflow clamps to the top finite bound.
+        assert_eq!(s.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn registry_renders_exposition_format() {
+        let r = Registry::new();
+        r.counter(
+            "em_requests_total",
+            "Total requests.",
+            &[("route", "/jobs")],
+        )
+        .add(3);
+        r.gauge("em_utilization", "Worker busy fraction.", &[])
+            .set(0.5);
+        r.histogram("em_latency_seconds", "Request latency.", &[])
+            .observe(0.001);
+        let text = r.render();
+        assert!(text.contains("# TYPE em_requests_total counter"));
+        assert!(text.contains("em_requests_total{route=\"/jobs\"} 3"));
+        assert!(text.contains("# TYPE em_utilization gauge"));
+        assert!(text.contains("em_utilization 0.5"));
+        assert!(text.contains("# TYPE em_latency_seconds histogram"));
+        assert!(text.contains("em_latency_seconds_count 1"));
+        assert!(text.contains("le=\"+Inf\""));
+        // Same (name, labels) returns the same underlying instrument.
+        r.counter(
+            "em_requests_total",
+            "Total requests.",
+            &[("route", "/jobs")],
+        )
+        .inc();
+        assert!(r.render().contains("em_requests_total{route=\"/jobs\"} 4"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests on the histogram: bucket counts always sum to the
+//! number of observations, and snapshot merge is associative (so
+//! per-thread histograms can be folded in any order).
+
+use em_obs::Histogram;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-observations spread across (and beyond) the
+/// bucket range: exercises underflow, every bucket, and the +Inf slot.
+fn observations(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Exponent in [-6, 9], mantissa in [1, 2).
+            let e = ((state >> 33) % 16) as i32 - 6;
+            let m = 1.0 + (state >> 11) as f64 / (1u64 << 53) as f64;
+            m * (e as f64).exp2()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every observation lands in exactly one bucket: the per-bucket
+    /// counts sum to the total, and the count survives merging.
+    #[test]
+    fn bucket_counts_sum_to_observations(
+        seed in 0u64..u64::MAX,
+        n in 0usize..400,
+        min_exp in -8i32..0,
+        span in 1i32..12,
+    ) {
+        let h = Histogram::log2(min_exp, min_exp + span);
+        for v in observations(seed, n) {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.counts.iter().sum::<u64>(), n as u64);
+        prop_assert_eq!(s.count(), n as u64);
+        prop_assert_eq!(s.counts.len(), s.bounds.len() + 1);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c), bucket-wise
+    /// and in total count.
+    #[test]
+    fn merge_is_associative(
+        sa in 0u64..u64::MAX,
+        sb in 0u64..u64::MAX,
+        sc in 0u64..u64::MAX,
+        na in 0usize..120,
+        nb in 0usize..120,
+        nc in 0usize..120,
+    ) {
+        let snap = |seed: u64, n: usize| {
+            let h = Histogram::log2(-4, 8);
+            for v in observations(seed, n) {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (snap(sa, na), snap(sb, nb), snap(sc, nc));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert_eq!(left.count(), (na + nb + nc) as u64);
+        // Sums are f64 additions in different orders; allow rounding.
+        prop_assert!((left.sum - right.sum).abs() <= 1e-9 * left.sum.abs().max(1.0));
+    }
+
+    /// Quantiles are monotone in q and bounded by the bucket range.
+    #[test]
+    fn quantiles_are_monotone(
+        seed in 0u64..u64::MAX,
+        n in 1usize..300,
+    ) {
+        let h = Histogram::log2(-4, 8);
+        for v in observations(seed, n) {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {:?}", qs);
+        }
+        let top = *s.bounds.last().unwrap();
+        for q in qs {
+            prop_assert!((0.0..=top).contains(&q));
+        }
+    }
+}

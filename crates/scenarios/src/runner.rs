@@ -54,6 +54,11 @@ pub struct BatchOptions {
     /// never-started jobs are recorded as cancelled outcomes, and the
     /// artifacts / batch summary are still written.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Span recorder (`--trace`): per-worker job spans, tune-resolution
+    /// spans, and — through each job's solver — per-thread-group MWD
+    /// phase spans. Disabled by default, which makes every
+    /// instrumentation point a no-op and keeps artifacts bit-identical.
+    pub trace: em_obs::Recorder,
 }
 
 /// How a batch resolves tuned configurations.
@@ -81,6 +86,7 @@ impl Default for BatchOptions {
             quiet: true,
             tune: None,
             stop: None,
+            trace: em_obs::Recorder::disabled(),
         }
     }
 }
@@ -348,6 +354,7 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
     let mut freshly_tuned: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut engines: Vec<EngineDecl> = Vec::with_capacity(jobs.len());
     let mut tune_records: Vec<Option<TuneRecord>> = vec![None; jobs.len()];
+    let mut tlog = opts.trace.thread("batch_tune", 0);
     for (i, (spec, _)) in jobs.iter().enumerate() {
         let mut decl = match &opts.engine_kind {
             Some(kind) => EngineDecl::auto(kind, threads_per_job)?,
@@ -383,8 +390,21 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
                 force: ropts.force && !freshly_tuned.contains(&key.id()),
                 ..ropts
             };
+            let tspan = tlog.start("tune_resolve");
             let r = autotune::resolve(cache.as_mut().expect("cache created above"), &key, &ropts)
                 .map_err(|e| format!("scenario `{}`: tuning failed: {e}", spec.name))?;
+            if tspan.id() != 0 {
+                tlog.end_kv(
+                    tspan,
+                    vec![
+                        ("scenario", spec.name.clone()),
+                        ("cache_hit", r.cache_hit.to_string()),
+                        ("stage", r.stage.as_str().to_string()),
+                    ],
+                );
+            } else {
+                tlog.end(tspan);
+            }
             freshly_tuned.insert(key.id());
             decl = tuned_decl(engine_kind, r.config);
             tune_records[i] = Some(TuneRecord {
@@ -399,6 +419,7 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
             .map_err(|e| format!("scenario `{}`: [engine] {e}", spec.name))?;
         engines.push(decl);
     }
+    drop(tlog);
     // Persist new answers before stepping anything: even an aborted
     // batch keeps its tuning work (a dry run plans but never writes).
     if let Some(c) = &mut cache {
@@ -423,60 +444,89 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
 
     let stopped = || opts.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                // Drain semantics: a set stop flag ends the claim loop,
-                // but the job this worker is already running completes
-                // normally (its outcome is recorded below).
-                if stopped() {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let running = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-                max_in_flight.fetch_max(running, Ordering::SeqCst);
-                let (spec, job) = &jobs[i];
-                if !opts.quiet {
-                    println!(
-                        "[{:>2}/{}] {} lambda={} nm on {} ...",
-                        i + 1,
-                        jobs.len(),
-                        job.scenario,
-                        job.lambda_nm,
-                        engines[i].label()
+        for w in 0..workers {
+            let (next, in_flight, max_in_flight) = (&next, &in_flight, &max_in_flight);
+            let (jobs, engines, tune_records, slots) = (&jobs, &engines, &tune_records, &slots);
+            let stopped = &stopped;
+            scope.spawn(move || {
+                let mut wlog = if opts.trace.is_enabled() {
+                    opts.trace.thread(&format!("worker-{w}"), 0)
+                } else {
+                    opts.trace.thread("", 0)
+                };
+                loop {
+                    // Drain semantics: a set stop flag ends the claim
+                    // loop, but the job this worker is already running
+                    // completes normally (its outcome is recorded below).
+                    if stopped() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let running = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_in_flight.fetch_max(running, Ordering::SeqCst);
+                    let (spec, job) = &jobs[i];
+                    if !opts.quiet {
+                        println!(
+                            "[{:>2}/{}] {} lambda={} nm on {} ...",
+                            i + 1,
+                            jobs.len(),
+                            job.scenario,
+                            job.lambda_nm,
+                            engines[i].label()
+                        );
+                    }
+                    let jspan = wlog.start("job");
+                    let jspan_id = jspan.id();
+                    let outcome = run_job(
+                        spec,
+                        job,
+                        engines[i],
+                        i,
+                        opts.dry_run,
+                        tune_records[i].clone(),
+                        &opts.trace,
+                        jspan_id,
                     );
+                    if jspan_id != 0 {
+                        wlog.end_kv(
+                            jspan,
+                            vec![
+                                ("scenario", job.scenario.clone()),
+                                ("lambda_nm", job.lambda_nm.to_string()),
+                                ("engine", engines[i].label()),
+                                ("job", i.to_string()),
+                            ],
+                        );
+                    } else {
+                        wlog.end(jspan);
+                    }
+                    if !opts.quiet {
+                        let status = match (&outcome.error, outcome.dry_run, outcome.converged) {
+                            (Some(e), _, _) => format!("FAILED: {e}"),
+                            (None, true, _) => "dry-run ok".to_string(),
+                            (None, false, true) => {
+                                format!("converged in {} periods", outcome.periods)
+                            }
+                            (None, false, false) => {
+                                format!("stopped after {} periods", outcome.periods)
+                            }
+                        };
+                        println!(
+                            "[{:>2}/{}] {} lambda={} nm: {} ({:.2}s)",
+                            i + 1,
+                            jobs.len(),
+                            job.scenario,
+                            job.lambda_nm,
+                            status,
+                            outcome.wall_secs
+                        );
+                    }
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    store_outcome(&slots[i], outcome);
                 }
-                let outcome = run_job(
-                    spec,
-                    job,
-                    engines[i],
-                    i,
-                    opts.dry_run,
-                    tune_records[i].clone(),
-                );
-                if !opts.quiet {
-                    let status = match (&outcome.error, outcome.dry_run, outcome.converged) {
-                        (Some(e), _, _) => format!("FAILED: {e}"),
-                        (None, true, _) => "dry-run ok".to_string(),
-                        (None, false, true) => format!("converged in {} periods", outcome.periods),
-                        (None, false, false) => {
-                            format!("stopped after {} periods", outcome.periods)
-                        }
-                    };
-                    println!(
-                        "[{:>2}/{}] {} lambda={} nm: {} ({:.2}s)",
-                        i + 1,
-                        jobs.len(),
-                        job.scenario,
-                        job.lambda_nm,
-                        status,
-                        outcome.wall_secs
-                    );
-                }
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-                store_outcome(&slots[i], outcome);
             });
         }
     });
@@ -589,6 +639,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     spec: &ScenarioSpec,
     job: &ScenarioJob,
@@ -596,6 +647,8 @@ fn run_job(
     index: usize,
     dry_run: bool,
     tuned: Option<TuneRecord>,
+    trace: &em_obs::Recorder,
+    trace_parent: u64,
 ) -> JobOutcome {
     let t0 = std::time::Instant::now();
     let mut outcome = blank_outcome(spec, job, decl, index, dry_run, tuned);
@@ -612,6 +665,7 @@ fn run_job(
                 return Ok(());
             }
             let mut solver = spec.build_solver(job)?;
+            solver.set_recorder(trace.clone(), trace_parent);
             outcome.back_iteration_cells = solver.back_iteration_cells;
             let ConvergenceDecl { tol, max_periods } = spec.convergence;
             let report = solver.run_to_convergence(&engine, tol, max_periods)?;
@@ -854,7 +908,16 @@ mod tests {
         // panic_message directly on the payload shapes catch_unwind
         // produces, and the run_job path with a healthy spec for the
         // no-panic side.
-        let ok = run_job(&spec, &job, spec.engine, 0, true, None);
+        let ok = run_job(
+            &spec,
+            &job,
+            spec.engine,
+            0,
+            true,
+            None,
+            &em_obs::Recorder::disabled(),
+            0,
+        );
         assert!(ok.error.is_none());
         let s: Box<dyn std::any::Any + Send> = Box::new("str payload");
         assert_eq!(panic_message(s.as_ref()), "str payload");

@@ -24,6 +24,7 @@
 //! bit-identical serving.
 
 use em_json::Json;
+use em_obs::{Histogram, HistogramSnapshot};
 use em_scenarios::gen::{generate, splitmix64, Family, GenParams};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -256,12 +257,35 @@ struct RequestOutcome {
     failed: bool,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// A latency distribution as JSON: quantiles plus the cumulative log2
+/// buckets (same layout `/metrics` exposes), so the report carries the
+/// whole shape, not three points of it. Zero-delta buckets are elided —
+/// cumulative counts make them redundant.
+fn latency_doc(snap: &HistogramSnapshot) -> Json {
+    let mut buckets = Vec::new();
+    let mut cum = 0u64;
+    for (i, &c) in snap.counts.iter().enumerate() {
+        cum += c;
+        if c == 0 {
+            continue;
+        }
+        let le = match snap.bounds.get(i) {
+            Some(&b) => Json::Num(b),
+            None => Json::str("+Inf"),
+        };
+        buckets.push(Json::obj(vec![
+            ("le", le),
+            ("cum_count", Json::Int(cum as i64)),
+        ]));
     }
-    let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    Json::obj(vec![
+        ("p50", Json::Num(snap.quantile(0.50))),
+        ("p90", Json::Num(snap.quantile(0.90))),
+        ("p99", Json::Num(snap.quantile(0.99))),
+        ("count", Json::Int(snap.count() as i64)),
+        ("sum", Json::Num(snap.sum)),
+        ("buckets", Json::Arr(buckets)),
+    ])
 }
 
 fn drive_one(o: &Opts, body: &str, variant: usize) -> RequestOutcome {
@@ -481,14 +505,18 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
     let (cached, coalesced, queued) = (count("cached"), count("coalesced"), count("queued"));
     let dedupe_hits = cached + coalesced;
     let failures = outcomes.iter().filter(|r| r.failed).count();
-    let mut submit: Vec<f64> = outcomes.iter().map(|r| r.submit_ms).collect();
-    let mut total: Vec<f64> = outcomes
-        .iter()
-        .filter(|r| !r.failed)
-        .map(|r| r.total_ms)
-        .collect();
-    submit.sort_by(f64::total_cmp);
-    total.sort_by(f64::total_cmp);
+    // The shared telemetry histogram (same log2 layout the daemon's
+    // `/metrics` uses) replaces client-side sort-the-samples math.
+    let submit_hist = Histogram::latency_millis();
+    let total_hist = Histogram::latency_millis();
+    for r in &outcomes {
+        submit_hist.observe(r.submit_ms);
+        if !r.failed {
+            total_hist.observe(r.total_ms);
+        }
+    }
+    let submit = submit_hist.snapshot();
+    let total = total_hist.snapshot();
 
     let stats_doc = http(&o.addr, "GET", "/stats", None)
         .ok()
@@ -516,22 +544,8 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
             "requests_per_sec",
             Json::Num(o.requests as f64 / wall.max(1e-9)),
         ),
-        (
-            "submit_ms",
-            Json::obj(vec![
-                ("p50", Json::Num(percentile(&submit, 50.0))),
-                ("p90", Json::Num(percentile(&submit, 90.0))),
-                ("p99", Json::Num(percentile(&submit, 99.0))),
-            ]),
-        ),
-        (
-            "total_ms",
-            Json::obj(vec![
-                ("p50", Json::Num(percentile(&total, 50.0))),
-                ("p90", Json::Num(percentile(&total, 90.0))),
-                ("p99", Json::Num(percentile(&total, 99.0))),
-            ]),
-        ),
+        ("submit_ms", latency_doc(&submit)),
+        ("total_ms", latency_doc(&total)),
         ("server_stats", stats_doc),
     ];
     if !o.gen_mix.is_empty() {
@@ -587,12 +601,12 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
     );
     println!(
         "latency ms: submit p50 {:.1} / p90 {:.1} / p99 {:.1}; end-to-end p50 {:.1} / p90 {:.1} / p99 {:.1}",
-        percentile(&submit, 50.0),
-        percentile(&submit, 90.0),
-        percentile(&submit, 99.0),
-        percentile(&total, 50.0),
-        percentile(&total, 90.0),
-        percentile(&total, 99.0),
+        submit.quantile(0.50),
+        submit.quantile(0.90),
+        submit.quantile(0.99),
+        total.quantile(0.50),
+        total.quantile(0.90),
+        total.quantile(0.99),
     );
     println!("failures: {failures}, result mismatches: {mismatches}");
     println!("report: {}", o.report.display());

@@ -287,6 +287,15 @@ impl Response {
         Response::json(status, &Json::obj(vec![("error", Json::str(message))]))
     }
 
+    /// A plain-text body (the Prometheus exposition at `/metrics`).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+
     /// Pre-rendered JSON bytes (the content-addressed artifacts).
     pub fn raw_json(status: u16, body: Vec<u8>) -> Response {
         Response {

@@ -346,6 +346,11 @@ impl Scheduler {
                     .tune
                     .resolve(&key, &ropts)
                     .map_err(SubmitError::Internal)?;
+                ServiceStats::bump(if r.cache_hit {
+                    &self.stats.tune_hits
+                } else {
+                    &self.stats.tune_misses
+                });
                 let cfg = r.config;
                 Ok(EngineDecl::Mwd {
                     dw: cfg.dw,

@@ -6,8 +6,9 @@
 //! | `GET /jobs/:id`        | job status                                     |
 //! | `GET /jobs/:id/result` | the job's artifact (404/409/500 until `done`)  |
 //! | `GET /results/:key`    | artifact by content key                        |
-//! | `GET /healthz`         | liveness + capacity snapshot                   |
+//! | `GET /healthz`         | liveness + capacity + build snapshot           |
 //! | `GET /stats`           | the full counter set                           |
+//! | `GET /metrics`         | Prometheus text exposition of the same counters|
 //! | `POST /shutdown`       | request a drain (same as SIGTERM)              |
 //!
 //! Submissions answer `200 {"status": "cached"}` when the artifact
@@ -29,12 +30,13 @@ use crate::store::ResultStore;
 use crate::submit::parse_submission;
 use autotune::SharedTuneCache;
 use em_json::Json;
+use em_obs::Counter;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything `mwd serve` configures.
 #[derive(Clone, Debug)]
@@ -86,6 +88,9 @@ pub struct Server {
     limits: Limits,
     stop: Arc<AtomicBool>,
     quiet: bool,
+    started: Instant,
+    /// Resolved once at bind; `/healthz` reports it on every probe.
+    git_rev: Arc<String>,
 }
 
 impl Server {
@@ -131,6 +136,8 @@ impl Server {
             limits: cfg.limits,
             stop: Arc::new(AtomicBool::new(false)),
             quiet: cfg.quiet,
+            started: Instant::now(),
+            git_rev: Arc::new(em_obs::git_revision()),
         })
     }
 
@@ -164,6 +171,8 @@ impl Server {
                         store: self.store.clone(),
                         limits: self.limits,
                         stop: self.stop.clone(),
+                        started: self.started,
+                        git_rev: self.git_rev.clone(),
                     };
                     handles.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
                     handles.retain(|h| !h.is_finished());
@@ -194,10 +203,10 @@ impl Server {
         self.scheduler.shutdown();
         let cache_saved = self.tune.save()?;
         Ok(ServiceSummary {
-            requests: self.stats.requests.load(Ordering::Relaxed),
-            completed: self.stats.completed.load(Ordering::Relaxed),
-            failed: self.stats.failed.load(Ordering::Relaxed),
-            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            requests: self.stats.requests.get(),
+            completed: self.stats.completed.get(),
+            failed: self.stats.failed.get(),
+            cancelled: self.stats.cancelled.get(),
             store_entries: self.store.len(),
             dedupe_rate: self.stats.dedupe_rate(),
             cache_saved,
@@ -211,48 +220,98 @@ struct ConnCtx {
     store: Arc<ResultStore>,
     limits: Limits,
     stop: Arc<AtomicBool>,
+    started: Instant,
+    git_rev: Arc<String>,
+}
+
+/// One routed response plus its accounting: which latency-histogram
+/// series the exchange lands on, and the counter to bump only once the
+/// bytes actually reach the client (so error/disconnect paths don't
+/// inflate `results_served`).
+struct Routed {
+    response: Response,
+    endpoint: &'static str,
+    on_written: Option<Arc<Counter>>,
+}
+
+fn routed(endpoint: &'static str, response: Response) -> Routed {
+    Routed {
+        response,
+        endpoint,
+        on_written: None,
+    }
 }
 
 fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     // A stalled client must not pin a handler thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let t0 = Instant::now();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let response = match read_request(&mut reader, &ctx.limits) {
+    let out = match read_request(&mut reader, &ctx.limits) {
         Ok(Some(req)) => route(&req, ctx),
         Ok(None) => return,
         Err(e) => {
             ServiceStats::bump(&ctx.stats.rejected_bad);
-            Response::error(e.status(), e.message())
+            routed("other", Response::error(e.status(), e.message()))
         }
     };
     let mut stream = stream;
-    let _ = response.write_to(&mut stream);
+    if out.response.write_to(&mut stream).is_ok() {
+        if let Some(counter) = &out.on_written {
+            counter.inc();
+        }
+    }
+    ctx.stats
+        .latency(out.endpoint)
+        .observe(t0.elapsed().as_secs_f64());
 }
 
-fn route(req: &Request, ctx: &ConnCtx) -> Response {
+fn route(req: &Request, ctx: &ConnCtx) -> Routed {
     let segments: Vec<&str> = req.path().split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => healthz(ctx),
-        ("GET", ["stats"]) => stats_doc(ctx),
-        ("POST", ["jobs"]) => submit(req, ctx),
-        ("GET", ["jobs", id]) => job_status(id, ctx),
-        ("GET", ["jobs", id, "result"]) => job_result(id, ctx),
-        ("GET", ["results", key]) => result_by_key(key, ctx),
+        ("GET", ["healthz"]) => routed("/healthz", healthz(ctx)),
+        ("GET", ["stats"]) => routed("/stats", stats_doc(ctx)),
+        ("GET", ["metrics"]) => routed("/metrics", metrics(ctx)),
+        ("POST", ["jobs"]) => routed("/jobs", submit(req, ctx)),
+        ("GET", ["jobs", id]) => routed("/jobs/:id", job_status(id, ctx)),
+        ("GET", ["jobs", id, "result"]) => {
+            let (response, served) = job_result(id, ctx);
+            Routed {
+                response,
+                endpoint: "/jobs/:id/result",
+                on_written: served.then(|| ctx.stats.results_served.clone()),
+            }
+        }
+        ("GET", ["results", key]) => {
+            let (response, served) = result_by_key(key, ctx);
+            Routed {
+                response,
+                endpoint: "/results/:key",
+                on_written: served.then(|| ctx.stats.results_served.clone()),
+            }
+        }
         ("POST", ["shutdown"]) => {
             ctx.stop.store(true, Ordering::SeqCst);
-            Response::json(
-                200,
-                &Json::obj(vec![("status", Json::str("shutting-down"))]),
+            routed(
+                "/shutdown",
+                Response::json(
+                    200,
+                    &Json::obj(vec![("status", Json::str("shutting-down"))]),
+                ),
             )
         }
-        (m, ["jobs"] | ["healthz"] | ["stats"] | ["shutdown"]) => {
-            Response::error(405, &format!("method `{m}` not allowed here"))
-        }
-        _ => Response::error(404, &format!("no route for {} {}", req.method, req.path())),
+        (m, ["jobs"] | ["healthz"] | ["stats"] | ["metrics"] | ["shutdown"]) => routed(
+            "other",
+            Response::error(405, &format!("method `{m}` not allowed here")),
+        ),
+        _ => routed(
+            "other",
+            Response::error(404, &format!("no route for {} {}", req.method, req.path())),
+        ),
     }
 }
 
@@ -262,6 +321,12 @@ fn healthz(ctx: &ConnCtx) -> Response {
         200,
         &Json::obj(vec![
             ("status", Json::str("ok")),
+            (
+                "uptime_secs",
+                Json::Num(ctx.started.elapsed().as_secs_f64()),
+            ),
+            ("git_rev", Json::str(ctx.git_rev.as_str())),
+            ("isa", Json::str(em_kernels::active_isa().name())),
             ("queued", Json::Int(queued as i64)),
             ("running", Json::Int(running as i64)),
             ("records", Json::Int(records as i64)),
@@ -294,6 +359,68 @@ fn stats_doc(ctx: &ConnCtx) -> Response {
     doc.set("budget", Json::Int(ctx.scheduler.budget_total as i64));
     doc.set("fingerprint", Json::str(ctx.scheduler.fingerprint()));
     Response::json(200, &doc)
+}
+
+/// The Prometheus exposition. Counters render straight off the shared
+/// registry; point-in-time values (queue depth, leases, store size) are
+/// read from their owners at scrape time and published as gauges rather
+/// than double-booked as counters.
+fn metrics(ctx: &ConnCtx) -> Response {
+    let reg = ctx.stats.registry();
+    let (queued, running, records) = ctx.scheduler.queue_counts();
+    reg.gauge("em_queue_depth", "Jobs waiting in the queue.", &[])
+        .set(queued as f64);
+    reg.gauge("em_jobs_in_flight", "Jobs running right now.", &[])
+        .set(running as f64);
+    reg.gauge(
+        "em_job_records",
+        "Job records retained for GET /jobs/:id.",
+        &[],
+    )
+    .set(records as f64);
+    reg.gauge("em_store_entries", "Artifacts in the result store.", &[])
+        .set(ctx.store.len() as f64);
+    let (store_hits, store_misses) = ctx.store.counters();
+    reg.gauge(
+        "em_store_lookups",
+        "Result-store lookups since start, by outcome.",
+        &[("result", "hit")],
+    )
+    .set(store_hits as f64);
+    reg.gauge(
+        "em_store_lookups",
+        "Result-store lookups since start, by outcome.",
+        &[("result", "miss")],
+    )
+    .set(store_misses as f64);
+    let in_use = ctx.stats.threads_in_use.load(Ordering::SeqCst) as f64;
+    let peak = ctx.stats.peak_threads_in_use.load(Ordering::SeqCst) as f64;
+    reg.gauge(
+        "em_threads_in_use",
+        "Engine threads currently leased by running jobs.",
+        &[],
+    )
+    .set(in_use);
+    reg.gauge(
+        "em_threads_in_use_peak",
+        "High-water mark of leased engine threads.",
+        &[],
+    )
+    .set(peak);
+    let budget = ctx.scheduler.budget_total as f64;
+    reg.gauge(
+        "em_worker_utilization",
+        "Fraction of the engine-thread budget currently leased.",
+        &[],
+    )
+    .set(if budget > 0.0 { in_use / budget } else { 0.0 });
+    reg.gauge(
+        "em_uptime_seconds",
+        "Seconds since the daemon bound its listener.",
+        &[],
+    )
+    .set(ctx.started.elapsed().as_secs_f64());
+    Response::text(200, reg.render())
 }
 
 fn submit(req: &Request, ctx: &ConnCtx) -> Response {
@@ -352,15 +479,17 @@ fn job_status(name: &str, ctx: &ConnCtx) -> Response {
     }
 }
 
-fn job_result(name: &str, ctx: &ConnCtx) -> Response {
+/// The bool marks a result payload whose `results_served` increment is
+/// deferred until the bytes are confirmed written (see [`Routed`]).
+fn job_result(name: &str, ctx: &ConnCtx) -> (Response, bool) {
     let Some(id) = parse_job_name(name) else {
-        return Response::error(400, &format!("malformed job id `{name}`"));
+        return (
+            Response::error(400, &format!("malformed job id `{name}`")),
+            false,
+        );
     };
-    match ctx.scheduler.result_bytes(id) {
-        Ok(bytes) => {
-            ServiceStats::bump(&ctx.stats.results_served);
-            Response::raw_json(200, bytes.as_ref().clone())
-        }
+    let response = match ctx.scheduler.result_bytes(id) {
+        Ok(bytes) => return (Response::raw_json(200, bytes.as_ref().clone()), true),
         Err(ResultError::UnknownJob) => Response::error(404, &format!("unknown job `{name}`")),
         Err(ResultError::NotReady(state)) => Response::error(
             409,
@@ -370,18 +499,22 @@ fn job_result(name: &str, ctx: &ConnCtx) -> Response {
         Err(ResultError::Missing) => {
             Response::error(500, &format!("artifact for `{name}` is missing"))
         }
-    }
+    };
+    (response, false)
 }
 
-fn result_by_key(key: &str, ctx: &ConnCtx) -> Response {
+fn result_by_key(key: &str, ctx: &ConnCtx) -> (Response, bool) {
     if !crate::hash::is_key(key) {
-        return Response::error(400, &format!("malformed result key `{key}`"));
+        return (
+            Response::error(400, &format!("malformed result key `{key}`")),
+            false,
+        );
     }
     match ctx.store.get(key) {
-        Some(bytes) => {
-            ServiceStats::bump(&ctx.stats.results_served);
-            Response::raw_json(200, bytes.as_ref().clone())
-        }
-        None => Response::error(404, &format!("no stored result under `{key}`")),
+        Some(bytes) => (Response::raw_json(200, bytes.as_ref().clone()), true),
+        None => (
+            Response::error(404, &format!("no stored result under `{key}`")),
+            false,
+        ),
     }
 }

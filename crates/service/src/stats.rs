@@ -1,45 +1,166 @@
-//! Service-wide counters behind `GET /stats`.
+//! Service-wide counters behind `GET /stats` and `GET /metrics`.
 //!
-//! Everything is a relaxed atomic: the numbers feed dashboards and the
+//! Every counter lives on an [`em_obs::Registry`], so one increment
+//! feeds both the legacy `/stats` JSON document (field order preserved
+//! byte-for-byte from the pre-registry daemon) and the Prometheus text
+//! exposition at `/metrics`. The numbers feed dashboards and the
 //! loadgen report, not control flow (admission decisions read the real
-//! queue under its lock). One exception is `peak_threads_in_use`, which
-//! the scheduler-invariant test reads to prove the worker pool never
-//! outgrew its [`mwd_core::ThreadBudget`].
+//! queue under its lock). Thread leases stay plain atomics — the
+//! scheduler-invariant test reads `peak_threads_in_use` to prove the
+//! worker pool never outgrew its [`mwd_core::ThreadBudget`] — and
+//! `/metrics` publishes them as scrape-time gauges.
 
 use em_json::Json;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use em_obs::{Counter, Histogram, Registry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-#[derive(Default)]
+/// Family name of the per-endpoint request-latency histogram.
+pub const HTTP_LATENCY_METRIC: &str = "em_http_request_seconds";
+
+/// Endpoint labels the latency histogram is pre-registered under, so a
+/// scrape of a fresh daemon already lists the whole family. `route()`
+/// normalizes every request onto one of these.
+pub const ENDPOINTS: &[&str] = &[
+    "/healthz",
+    "/stats",
+    "/metrics",
+    "/jobs",
+    "/jobs/:id",
+    "/jobs/:id/result",
+    "/results/:key",
+    "/shutdown",
+    "other",
+];
+
 pub struct ServiceStats {
+    registry: Arc<Registry>,
     /// HTTP requests accepted (any route, any outcome).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// `POST /jobs` bodies that parsed + validated.
-    pub submitted: AtomicU64,
+    pub submitted: Arc<Counter>,
     /// Submissions answered straight from the result store (no job).
-    pub store_hits: AtomicU64,
+    pub store_hits: Arc<Counter>,
     /// Submissions coalesced onto an already queued/running job.
-    pub coalesced: AtomicU64,
+    pub coalesced: Arc<Counter>,
     /// Jobs that ran to a stored result.
-    pub completed: AtomicU64,
+    pub completed: Arc<Counter>,
     /// Jobs that errored.
-    pub failed: AtomicU64,
+    pub failed: Arc<Counter>,
     /// Jobs cancelled by shutdown before starting.
-    pub cancelled: AtomicU64,
+    pub cancelled: Arc<Counter>,
     /// Submissions rejected with 429 (queue full).
-    pub rejected_overload: AtomicU64,
+    pub rejected_overload: Arc<Counter>,
     /// Submissions rejected with 400/413.
-    pub rejected_bad: AtomicU64,
-    /// `GET .../result` responses served from the store.
-    pub results_served: AtomicU64,
+    pub rejected_bad: Arc<Counter>,
+    /// `GET .../result` responses actually written to a client.
+    pub results_served: Arc<Counter>,
+    /// `engine = "auto"` resolutions answered by the shared tune cache.
+    pub tune_hits: Arc<Counter>,
+    /// `engine = "auto"` resolutions that ran a tuning search.
+    pub tune_misses: Arc<Counter>,
     /// Engine threads currently leased by running jobs.
     pub threads_in_use: AtomicUsize,
     /// High-water mark of `threads_in_use`.
     pub peak_threads_in_use: AtomicUsize,
 }
 
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats::on_registry(Arc::new(Registry::new()))
+    }
+}
+
 impl ServiceStats {
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Register every counter family on `registry`.
+    pub fn on_registry(registry: Arc<Registry>) -> ServiceStats {
+        let stats = ServiceStats {
+            requests: registry.counter(
+                "em_http_requests_total",
+                "HTTP requests accepted (any route, any outcome).",
+                &[],
+            ),
+            submitted: registry.counter(
+                "em_jobs_submitted_total",
+                "POST /jobs bodies that parsed, validated, and queued a new job.",
+                &[],
+            ),
+            store_hits: registry.counter(
+                "em_dedupe_hits_total",
+                "Submissions answered without new work, by dedupe kind.",
+                &[("kind", "store")],
+            ),
+            coalesced: registry.counter(
+                "em_dedupe_hits_total",
+                "Submissions answered without new work, by dedupe kind.",
+                &[("kind", "coalesced")],
+            ),
+            completed: registry.counter(
+                "em_jobs_finished_total",
+                "Jobs that reached a terminal state, by outcome.",
+                &[("outcome", "completed")],
+            ),
+            failed: registry.counter(
+                "em_jobs_finished_total",
+                "Jobs that reached a terminal state, by outcome.",
+                &[("outcome", "failed")],
+            ),
+            cancelled: registry.counter(
+                "em_jobs_finished_total",
+                "Jobs that reached a terminal state, by outcome.",
+                &[("outcome", "cancelled")],
+            ),
+            rejected_overload: registry.counter(
+                "em_admission_rejected_total",
+                "Submissions turned away at admission, by reason.",
+                &[("reason", "overload")],
+            ),
+            rejected_bad: registry.counter(
+                "em_admission_rejected_total",
+                "Submissions turned away at admission, by reason.",
+                &[("reason", "bad_request")],
+            ),
+            results_served: registry.counter(
+                "em_results_served_total",
+                "Result documents successfully written to clients.",
+                &[],
+            ),
+            tune_hits: registry.counter(
+                "em_tune_cache_requests_total",
+                "auto-engine resolutions through the shared tune cache, by result.",
+                &[("result", "hit")],
+            ),
+            tune_misses: registry.counter(
+                "em_tune_cache_requests_total",
+                "auto-engine resolutions through the shared tune cache, by result.",
+                &[("result", "miss")],
+            ),
+            threads_in_use: AtomicUsize::new(0),
+            peak_threads_in_use: AtomicUsize::new(0),
+            registry,
+        };
+        for endpoint in ENDPOINTS {
+            stats.latency(endpoint);
+        }
+        stats
+    }
+
+    /// The registry all counters live on (rendered by `GET /metrics`).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    pub fn bump(counter: &Counter) {
+        counter.inc();
+    }
+
+    /// The latency histogram series for one normalized endpoint.
+    pub fn latency(&self, endpoint: &str) -> Arc<Histogram> {
+        self.registry.histogram(
+            HTTP_LATENCY_METRIC,
+            "Wall time from request read to response written, per endpoint.",
+            &[("endpoint", endpoint)],
+        )
     }
 
     /// Lease `n` engine threads (called as a job starts); maintains the
@@ -57,8 +178,8 @@ impl ServiceStats {
     /// Dedupe hit rate over everything that asked for work:
     /// `(store hits + coalesced) / (those + jobs actually submitted)`.
     pub fn dedupe_rate(&self) -> f64 {
-        let hits = self.store_hits.load(Ordering::Relaxed) + self.coalesced.load(Ordering::Relaxed);
-        let total = hits + self.submitted.load(Ordering::Relaxed);
+        let hits = self.store_hits.get() + self.coalesced.get();
+        let total = hits + self.submitted.get();
         if total == 0 {
             0.0
         } else {
@@ -67,7 +188,7 @@ impl ServiceStats {
     }
 
     pub fn to_json(&self) -> Json {
-        let u = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        let u = |c: &Counter| Json::Int(c.get() as i64);
         Json::obj(vec![
             ("requests", u(&self.requests)),
             ("submitted", u(&self.submitted)),
@@ -111,12 +232,30 @@ mod tests {
     fn dedupe_rate_counts_both_hit_kinds() {
         let s = ServiceStats::default();
         assert_eq!(s.dedupe_rate(), 0.0);
-        s.submitted.store(6, Ordering::Relaxed);
-        s.store_hits.store(3, Ordering::Relaxed);
-        s.coalesced.store(1, Ordering::Relaxed);
+        s.submitted.add(6);
+        s.store_hits.add(3);
+        s.coalesced.add(1);
         assert!((s.dedupe_rate() - 0.4).abs() < 1e-12);
         let j = s.to_json();
         assert_eq!(j.get("store_hits").unwrap().as_i64(), Some(3));
         assert_eq!(j.get("dedupe_rate").unwrap().as_f64(), Some(0.4));
+    }
+
+    #[test]
+    fn counters_render_on_the_shared_registry() {
+        let s = ServiceStats::default();
+        ServiceStats::bump(&s.requests);
+        ServiceStats::bump(&s.requests);
+        s.store_hits.inc();
+        s.latency("/stats").observe(0.001);
+        let text = s.registry().render();
+        assert!(text.contains("# TYPE em_http_requests_total counter"));
+        assert!(text.contains("em_http_requests_total 2"));
+        assert!(text.contains("em_dedupe_hits_total{kind=\"store\"} 1"));
+        assert!(text.contains("em_dedupe_hits_total{kind=\"coalesced\"} 0"));
+        assert!(text.contains("# TYPE em_http_request_seconds histogram"));
+        assert!(text.contains("em_http_request_seconds_count{endpoint=\"/stats\"} 1"));
+        // Pre-registered endpoints render even before any traffic.
+        assert!(text.contains("em_http_request_seconds_count{endpoint=\"/jobs/:id/result\"} 0"));
     }
 }

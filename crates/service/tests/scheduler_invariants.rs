@@ -173,7 +173,7 @@ fn concurrent_load_never_exceeds_the_thread_budget() {
         "peak {peak} exceeded the budget {}",
         h.scheduler.budget_total
     );
-    assert_eq!(h.stats.completed.load(Ordering::SeqCst), 6);
+    assert_eq!(h.stats.completed.get(), 6);
     h.scheduler.shutdown();
 }
 
@@ -223,7 +223,7 @@ fn full_queue_rejects_with_overload() {
         Err(SubmitError::Overloaded { queue_depth }) => assert_eq!(queue_depth, 2),
         other => panic!("expected Overloaded, got {other:?}"),
     }
-    assert_eq!(h.stats.rejected_overload.load(Ordering::SeqCst), 1);
+    assert_eq!(h.stats.rejected_overload.get(), 1);
     h.gate.open();
     assert!(h.scheduler.wait_idle(Duration::from_secs(20)));
     // Capacity is back: the same spec is admitted now.
@@ -265,8 +265,8 @@ fn identical_submissions_coalesce_then_hit_the_store() {
     let s4 = h.scheduler.submit(spec(555.0, EngineDecl::Naive)).unwrap();
     assert_eq!(s4, Submission::Cached { key: key.clone() });
     assert_eq!(h.store.len(), 2);
-    assert_eq!(h.stats.coalesced.load(Ordering::SeqCst), 1);
-    assert_eq!(h.stats.store_hits.load(Ordering::SeqCst), 1);
+    assert_eq!(h.stats.coalesced.get(), 1);
+    assert_eq!(h.stats.store_hits.get(), 1);
     // Both coalesced requesters read the same artifact.
     let bytes = h.scheduler.result_bytes(job).unwrap();
     assert_eq!(h.store.get(key).unwrap(), bytes);
@@ -324,7 +324,7 @@ fn shutdown_drains_running_work_and_cancels_the_queue() {
     assert_eq!(state_of(ids[0]), "done", "in-flight job drained");
     assert_eq!(state_of(ids[1]), "cancelled");
     assert_eq!(state_of(ids[2]), "cancelled");
-    assert_eq!(h.stats.cancelled.load(Ordering::SeqCst), 2);
+    assert_eq!(h.stats.cancelled.get(), 2);
     match h.scheduler.result_bytes(ids[1]) {
         Err(ResultError::JobFailed(e)) => assert!(e.starts_with("cancelled:"), "{e}"),
         other => panic!("{other:?}"),
@@ -378,7 +378,7 @@ fn failed_jobs_report_and_are_not_stored() {
         other => panic!("{other:?}"),
     }
     assert!(store.is_empty(), "failures are never cached");
-    assert_eq!(stats.failed.load(Ordering::SeqCst), 2);
+    assert_eq!(stats.failed.get(), 2);
     // A retry of a failed spec is admitted as a fresh job (no dedupe
     // against failures).
     assert!(matches!(

@@ -475,3 +475,137 @@ fn generated_specs_dedupe_by_content_hash() {
     assert_eq!(summary.completed, 2);
     assert_eq!(summary.store_entries, 2);
 }
+
+/// Parse a Prometheus text exposition into `series -> value`, checking
+/// the format as it goes: every comment line is `# HELP` or `# TYPE`
+/// (with a known kind), every sample line is `name[{labels}] value`
+/// with a numeric value, and every sample belongs to a declared family.
+fn parse_exposition(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut values = std::collections::HashMap::new();
+    let mut families = std::collections::HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE line names a family");
+            let kind = it.next().expect("TYPE line carries a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown metric kind in `{line}`"
+            );
+            families.insert(name.to_string());
+        } else if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "stray comment `{line}`");
+        } else {
+            let (series, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("malformed sample `{line}`"));
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric sample `{line}`"));
+            assert!(
+                values.insert(series.to_string(), value).is_none(),
+                "duplicate series `{series}`"
+            );
+        }
+    }
+    for series in values.keys() {
+        let base = series.split('{').next().unwrap();
+        let family = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .unwrap_or(base);
+        assert!(
+            families.contains(family) || families.contains(base),
+            "sample `{series}` has no `# TYPE` family"
+        );
+    }
+    values
+}
+
+#[test]
+fn metrics_exposition_parses_and_agrees_with_stats() {
+    let daemon = Daemon::start(tiny_config());
+    let addr = &daemon.addr;
+
+    // /healthz keeps its bare-200 contract and now carries the
+    // registry-sourced detail fields.
+    let (status, body) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let health = em_json::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert!(health.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(!health.get("git_rev").unwrap().as_str().unwrap().is_empty());
+    assert!(!health.get("isa").unwrap().as_str().unwrap().is_empty());
+
+    // One solve, one store hit, one served artifact: enough traffic for
+    // the exposition and /stats to disagree if the wiring is wrong.
+    let (status, body) = http(addr, "POST", "/jobs", Some(TINY_SPEC.as_bytes()));
+    assert_eq!(status, 202, "{body}");
+    let sub = em_json::parse(&body).unwrap();
+    let job = sub.get("job").unwrap().as_str().unwrap().to_string();
+    poll_done(addr, &job);
+    let (status, _) = http(addr, "GET", &format!("/jobs/{job}/result"), None);
+    assert_eq!(status, 200);
+    let (status, _) = http(addr, "POST", "/jobs", Some(TINY_SPEC.as_bytes()));
+    assert_eq!(status, 200, "duplicate spec is served from the store");
+
+    let (status, body) = http(addr, "GET", "/stats", None);
+    assert_eq!(status, 200);
+    let stats = em_json::parse(&body).unwrap();
+    let stat = |k: &str| stats.get(k).unwrap().as_i64().unwrap() as f64;
+
+    let (status, text) = http(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let m = parse_exposition(&text);
+
+    // Counters agree with the /stats snapshot taken one connection
+    // earlier. Requests are counted at accept, so the /metrics exchange
+    // itself is included in its own render: exactly one more than the
+    // snapshot saw. Connections are serviced in order, so this is
+    // deterministic.
+    assert_eq!(m["em_http_requests_total"], stat("requests") + 1.0);
+    assert_eq!(m["em_jobs_submitted_total"], stat("submitted"));
+    assert_eq!(
+        m["em_dedupe_hits_total{kind=\"store\"}"],
+        stat("store_hits")
+    );
+    assert_eq!(
+        m["em_dedupe_hits_total{kind=\"coalesced\"}"],
+        stat("coalesced")
+    );
+    assert_eq!(
+        m["em_jobs_finished_total{outcome=\"completed\"}"],
+        stat("completed")
+    );
+    assert_eq!(
+        m["em_jobs_finished_total{outcome=\"failed\"}"],
+        stat("failed")
+    );
+    assert_eq!(
+        m["em_admission_rejected_total{reason=\"overload\"}"],
+        stat("rejected_overload")
+    );
+    assert_eq!(m["em_results_served_total"], stat("results_served"));
+    assert!(
+        stat("results_served") >= 1.0,
+        "the artifact fetch was counted after the write"
+    );
+
+    // Latency histograms saw this test's traffic, per endpoint.
+    assert!(m["em_http_request_seconds_count{endpoint=\"/stats\"}"] >= 1.0);
+    assert!(m["em_http_request_seconds_count{endpoint=\"/jobs\"}"] >= 2.0);
+    assert!(m["em_http_request_seconds_count{endpoint=\"/healthz\"}"] >= 1.0);
+
+    // Scrape-time gauges are present with sane values.
+    assert_eq!(m["em_queue_depth"], 0.0);
+    assert_eq!(m["em_jobs_in_flight"], 0.0);
+    assert!(m["em_store_entries"] >= 1.0);
+    assert!(m["em_uptime_seconds"] > 0.0);
+    assert!(m["em_worker_utilization"] >= 0.0);
+
+    daemon.stop();
+}

@@ -14,7 +14,7 @@ use crate::source::SourceSpec;
 use em_field::{norms, FieldSet, GridDims, State};
 use em_kernels::boundary::{step_naive_with_boundary, Boundary};
 use em_kernels::{step_spatial_mt, SpatialConfig};
-use mwd_core::{run_mwd, MwdConfig};
+use mwd_core::MwdConfig;
 
 /// Execution engine selection.
 #[derive(Clone, Debug)]
@@ -80,6 +80,10 @@ pub struct ThiimSolver {
     /// Cells using the Eq. 5 back iteration.
     pub back_iteration_cells: usize,
     steps_done: usize,
+    /// Span recorder for the MWD engines; disabled (free) by default.
+    recorder: em_obs::Recorder,
+    /// Ambient parent span id for executor spans (0 = root).
+    trace_parent: u64,
 }
 
 impl ThiimSolver {
@@ -97,7 +101,17 @@ impl ThiimSolver {
             back_iteration_cells: back,
             config,
             steps_done: 0,
+            recorder: em_obs::Recorder::disabled(),
+            trace_parent: 0,
         }
+    }
+
+    /// Record executor phase spans into `rec`, nested under `parent`
+    /// (0 for root spans). The default disabled recorder makes every
+    /// instrumentation point a no-op.
+    pub fn set_recorder(&mut self, rec: em_obs::Recorder, parent: u64) {
+        self.recorder = rec;
+        self.trace_parent = parent;
     }
 
     /// Time steps per optical period.
@@ -128,10 +142,24 @@ impl ThiimSolver {
                 }
             }
             Engine::Mwd(cfg) => {
-                run_mwd(&mut self.state, cfg, n)?;
+                mwd_core::run_mwd_bc_rec(
+                    &mut self.state,
+                    cfg,
+                    n,
+                    mwd_core::MwdBoundary::Dirichlet,
+                    &self.recorder,
+                    self.trace_parent,
+                )?;
             }
             Engine::MwdPeriodicX(cfg) => {
-                mwd_core::run_mwd_bc(&mut self.state, cfg, n, mwd_core::MwdBoundary::PeriodicX)?;
+                mwd_core::run_mwd_bc_rec(
+                    &mut self.state,
+                    cfg,
+                    n,
+                    mwd_core::MwdBoundary::PeriodicX,
+                    &self.recorder,
+                    self.trace_parent,
+                )?;
             }
         }
         self.steps_done += n;

@@ -62,6 +62,9 @@ OPTIONS:
     --out <dir>        artifact directory (default: results/scenarios;
                        serve: the content-addressed result store,
                        default results/service_store)
+    --trace <file>     run/batch: write a Chrome trace-event JSON of the
+                       run (per-worker job spans + per-thread-group MWD
+                       phase spans); load it in Perfetto or chrome://tracing
     --quiet            suppress per-job status lines
 
 GEN (seeded scenario generators; same (family, seed) => same spec):
@@ -169,6 +172,7 @@ struct CliOpts {
     addr: Option<String>,
     queue_depth: Option<usize>,
     memory_store: bool,
+    trace: Option<PathBuf>,
 }
 
 fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
@@ -188,6 +192,7 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
         addr: None,
         queue_depth: None,
         memory_store: false,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -214,6 +219,7 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
             "--cache" => o.cache = Some(PathBuf::from(value("--cache")?)),
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
             "--addr" => o.addr = Some(value("--addr")?),
+            "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
             "--queue-depth" => o.queue_depth = Some(count("--queue-depth")?),
             "--memory-store" => o.memory_store = true,
             flag if flag.starts_with("--") => {
@@ -274,6 +280,11 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
     // summary are still written (the tuning cache is persisted before
     // any job steps).
     let stop = em_service::shutdown::hooked_flag();
+    let recorder = if o.trace.is_some() {
+        thiim_mwd::obs::Recorder::enabled()
+    } else {
+        thiim_mwd::obs::Recorder::disabled()
+    };
     let opts = BatchOptions {
         // `run` means "execute in order": a single worker; `batch` sizes
         // the pool from the shared thread budget unless overridden.
@@ -286,6 +297,7 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
         quiet: o.quiet,
         tune,
         stop: Some(stop),
+        trace: recorder.clone(),
     };
     if let Some(kind) = &o.engine {
         // Fail on typos before any validation output scrolls past.
@@ -293,6 +305,31 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
     }
 
     let report = run_batch(&specs, &opts)?;
+    if let Some(path) = &o.trace {
+        let trace = recorder.drain();
+        trace
+            .write_chrome(path)
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+        println!(
+            "trace: {} span(s) on {} thread(s) -> {}{}",
+            trace.spans.len(),
+            trace.threads.len(),
+            path.display(),
+            if trace.dropped > 0 {
+                format!(" ({} span(s) dropped by ring buffers)", trace.dropped)
+            } else {
+                String::new()
+            }
+        );
+        for p in trace.phase_totals() {
+            println!(
+                "  phase {:<16} {:>8} span(s) {:>10.3} ms total",
+                p.name,
+                p.count,
+                p.total_us / 1e3
+            );
+        }
+    }
     print_report(&report, o.dry_run);
     if report.cancelled() > 0 {
         println!(
@@ -309,9 +346,17 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
 /// `mwd serve`: the long-running HTTP job daemon.
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let o = parse_opts(args)?;
-    if !o.scenarios.is_empty() || o.all || o.engine.is_some() || o.tune || o.force || o.dry_run {
+    if !o.scenarios.is_empty()
+        || o.all
+        || o.engine.is_some()
+        || o.tune
+        || o.force
+        || o.dry_run
+        || o.trace.is_some()
+    {
         return Err(
-            "`mwd serve` takes no scenarios and no --all/--engine/--tune/--force/--dry-run"
+            "`mwd serve` takes no scenarios and no --all/--engine/--tune/--force/--dry-run/--trace \
+             (profiling a daemon is `GET /metrics`)"
                 .to_string(),
         );
     }
@@ -376,8 +421,8 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
 /// each scenario's grid, reporting cache hits and misses.
 fn cmd_tune(args: &[String]) -> Result<ExitCode, String> {
     let o = parse_opts(args)?;
-    if o.engine.is_some() || o.workers.is_some() || o.out.is_some() {
-        return Err("`mwd tune` does not take --engine/--workers/--out".to_string());
+    if o.engine.is_some() || o.workers.is_some() || o.out.is_some() || o.trace.is_some() {
+        return Err("`mwd tune` does not take --engine/--workers/--out/--trace".to_string());
     }
     let specs: Vec<ScenarioSpec> = if o.scenarios.is_empty() || o.all {
         library::builtins()

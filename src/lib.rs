@@ -23,7 +23,9 @@
 //! - [`service`]: the `mwd serve` HTTP job daemon — content-addressed
 //!   result cache, admission-controlled scheduling, graceful drain;
 //! - [`json`]: the shared JSON value type every artifact, report,
-//!   cache and API document uses.
+//!   cache and API document uses;
+//! - [`obs`]: zero-dep telemetry — structured spans (`--trace` Chrome
+//!   trace export) and the metric registry behind `GET /metrics`.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use autotune as tuner;
 pub use em_field as field;
 pub use em_json as json;
 pub use em_kernels as kernels;
+pub use em_obs as obs;
 pub use em_scenarios as scenarios;
 pub use em_service as service;
 pub use em_solver as solver;

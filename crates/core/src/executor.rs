@@ -25,6 +25,7 @@
 //! thread count, `run_mwd` must produce exactly the bits of `step_naive`.
 
 use crate::barrier::SpinBarrier;
+use crate::cancel::CancelToken;
 use crate::config::{split_range, split_range_aligned, MwdConfig};
 use crate::queue::ReadyQueue;
 use crate::tiling::{Tile, TilePlan};
@@ -117,6 +118,33 @@ pub fn run_mwd_bc_rec(
     run_mwd_with_plan_bc_rec(state, cfg, &plan, boundary, rec, parent)
 }
 
+/// [`run_mwd_bc_rec`] observing a [`CancelToken`]: group leaders check
+/// the token before every tile claim; on cancellation the queue is
+/// closed, every group winds down at its next claim, and the halt
+/// error is returned. The field state is then mid-plan and must be
+/// discarded — callers only use this path for work whose results are
+/// dropped on cancellation.
+pub fn run_mwd_bc_rec_cancel(
+    state: &mut State,
+    cfg: &MwdConfig,
+    nt: usize,
+    boundary: MwdBoundary,
+    rec: &Recorder,
+    parent: u64,
+    cancel: &CancelToken,
+) -> Result<RunStats, String> {
+    let dims = state.dims();
+    cfg.validate(dims)?;
+    if nt == 0 {
+        return Ok(RunStats {
+            threads: cfg.threads(),
+            ..RunStats::default()
+        });
+    }
+    let plan = TilePlan::build(cfg.diamond()?, dims.ny, nt);
+    run_mwd_with_plan_bc_rec_cancel(state, cfg, &plan, boundary, rec, parent, cancel)
+}
+
 /// Run a pre-built tile plan (the auto-tuner reuses plans across probes).
 pub fn run_mwd_with_plan(
     state: &mut State,
@@ -144,6 +172,29 @@ pub fn run_mwd_with_plan_bc_rec(
     boundary: MwdBoundary,
     rec: &Recorder,
     parent: u64,
+) -> Result<RunStats, String> {
+    run_mwd_with_plan_bc_rec_cancel(
+        state,
+        cfg,
+        plan,
+        boundary,
+        rec,
+        parent,
+        &CancelToken::none(),
+    )
+}
+
+/// [`run_mwd_with_plan_bc_rec`] observing a [`CancelToken`]; see
+/// [`run_mwd_bc_rec_cancel`] for the wind-down semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mwd_with_plan_bc_rec_cancel(
+    state: &mut State,
+    cfg: &MwdConfig,
+    plan: &TilePlan,
+    boundary: MwdBoundary,
+    rec: &Recorder,
+    parent: u64,
+    cancel: &CancelToken,
 ) -> Result<RunStats, String> {
     let dims = state.dims();
     cfg.validate(dims)?;
@@ -199,11 +250,20 @@ pub fn run_mwd_with_plan_bc_rec(
                         half_updates,
                         barriers,
                         tiles_run,
+                        cancel,
                     );
                 });
             }
         }
     });
+
+    // A closed queue means a leader observed the token and abandoned
+    // the plan: the field state is mid-update and must not be used.
+    if queue.is_closed() {
+        return Err(cancel
+            .halt_error()
+            .unwrap_or_else(|| "cancelled: executor queue closed".to_string()));
+    }
 
     Ok(RunStats {
         tiles: tiles_run.load(Ordering::Relaxed),
@@ -246,6 +306,7 @@ fn worker(
     half_updates: &AtomicUsize,
     barriers: &AtomicUsize,
     tiles_run: &AtomicUsize,
+    cancel: &CancelToken,
 ) {
     let leader = member == 0;
     let (ix, iz, ic) = cfg.tg.coords(member);
@@ -258,6 +319,14 @@ fn worker(
         // barrier every member parks on until the tile is announced.
         let wait = log.start("queue_wait");
         if leader {
+            // The cancellation checkpoint: one atomic load (plus an
+            // Instant read under a deadline) per tile claim. Closing
+            // the queue wakes every other leader blocked in `pop`, so
+            // all groups wind down without a straggler deadlocking on
+            // tiles that will never complete.
+            if cancel.is_halted() {
+                queue.close();
+            }
             let next = queue.pop().map(|t| t + 1).unwrap_or(SHUTDOWN);
             group.slot.store(next, Ordering::Release);
         }
@@ -567,6 +636,73 @@ mod tests {
         run_mwd_bc(&mut a, &cfg, 3, MwdBoundary::Dirichlet).unwrap();
         run_mwd_bc(&mut b, &cfg, 3, MwdBoundary::PeriodicX).unwrap();
         assert!(!a.fields.bit_eq(&b.fields));
+    }
+
+    #[test]
+    fn pre_cancelled_token_halts_without_hanging() {
+        // Multiple groups: every leader must wind down even though the
+        // first one to observe the token closes the queue.
+        let dims = GridDims::new(4, 16, 8);
+        let mut s = filled(dims, 21);
+        let cfg = MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: TgShape { x: 1, z: 1, c: 2 },
+            groups: 3,
+        };
+        let token = CancelToken::none();
+        token.cancel();
+        let err = run_mwd_bc_rec_cancel(
+            &mut s,
+            &cfg,
+            6,
+            MwdBoundary::Dirichlet,
+            &Recorder::disabled(),
+            0,
+            &token,
+        )
+        .unwrap_err();
+        assert!(err.starts_with(crate::cancel::CANCELLED_PREFIX), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout() {
+        let dims = GridDims::new(4, 8, 6);
+        let mut s = filled(dims, 22);
+        let cfg = MwdConfig::one_wd(4, 2, 2);
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        let err = run_mwd_bc_rec_cancel(
+            &mut s,
+            &cfg,
+            4,
+            MwdBoundary::Dirichlet,
+            &Recorder::disabled(),
+            0,
+            &token,
+        )
+        .unwrap_err();
+        assert!(err.starts_with(crate::cancel::TIMEOUT_PREFIX), "{err}");
+    }
+
+    #[test]
+    fn active_token_is_bit_identical_to_the_plain_path() {
+        let dims = GridDims::new(5, 9, 7);
+        let cfg = MwdConfig::one_wd(4, 2, 2);
+        let mut plain = filled(dims, 23);
+        let mut cancellable = plain.clone();
+        run_mwd(&mut plain, &cfg, 5).unwrap();
+        let stats = run_mwd_bc_rec_cancel(
+            &mut cancellable,
+            &cfg,
+            5,
+            MwdBoundary::Dirichlet,
+            &Recorder::disabled(),
+            0,
+            &CancelToken::none(),
+        )
+        .unwrap();
+        assert!(plain.fields.bit_eq(&cancellable.fields));
+        assert_eq!(stats.half_updates, 2 * dims.cells() * 5);
     }
 
     #[test]

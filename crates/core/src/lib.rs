@@ -8,6 +8,8 @@
 //!
 //! The module structure follows the system's layers:
 //!
+//! - [`cancel`]: cooperative cancellation tokens (stop flag + deadline)
+//!   observed by the executor and every layer above it;
 //! - [`diamond`]: canonical diamond geometry in (y, time) space;
 //! - [`tiling`]: tessellation of a whole run into clipped tiles plus the
 //!   two-parent dependency DAG, with an exact-level schedule validator;
@@ -21,6 +23,7 @@
 
 pub mod barrier;
 pub mod budget;
+pub mod cancel;
 pub mod config;
 pub mod diamond;
 pub mod executor;
@@ -30,11 +33,13 @@ pub mod wavefront;
 
 pub use barrier::SpinBarrier;
 pub use budget::{BudgetSplit, ThreadBudget};
+pub use cancel::{CancelState, CancelToken};
 pub use config::{split_range, split_range_aligned, MwdConfig, TgShape};
 pub use diamond::{diamond_rows, DiamondRow, DiamondWidth};
 pub use executor::{
-    run_mwd, run_mwd_bc, run_mwd_bc_rec, run_mwd_with_plan, run_mwd_with_plan_bc,
-    run_mwd_with_plan_bc_rec, MwdBoundary, RunStats,
+    run_mwd, run_mwd_bc, run_mwd_bc_rec, run_mwd_bc_rec_cancel, run_mwd_with_plan,
+    run_mwd_with_plan_bc, run_mwd_with_plan_bc_rec, run_mwd_with_plan_bc_rec_cancel, MwdBoundary,
+    RunStats,
 };
 pub use queue::ReadyQueue;
 pub use tiling::{ClippedRow, Tile, TilePlan};

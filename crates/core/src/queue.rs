@@ -24,6 +24,9 @@ struct Inner {
     remaining_parents: Vec<usize>,
     /// Tiles not yet completed (ready, running, or blocked).
     outstanding: usize,
+    /// Abandoned early (cooperative cancellation): every `pop` returns
+    /// `None` regardless of outstanding work.
+    closed: bool,
 }
 
 /// Shared ready-queue over a [`TilePlan`].
@@ -46,6 +49,7 @@ impl<'p> ReadyQueue<'p> {
                 ready,
                 remaining_parents: plan.parents.clone(),
                 outstanding: plan.tiles.len(),
+                closed: false,
             }),
             cond: Condvar::new(),
         }
@@ -56,6 +60,9 @@ impl<'p> ReadyQueue<'p> {
     pub fn pop(&self) -> Option<usize> {
         let mut g = self.lock();
         loop {
+            if g.closed {
+                return None;
+            }
             if let Some(t) = g.ready.pop_front() {
                 return Some(t);
             }
@@ -64,6 +71,20 @@ impl<'p> ReadyQueue<'p> {
             }
             g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Abandon the remaining tiles: every `pop` (including those
+    /// currently blocked on the condvar) returns `None` from now on.
+    /// Used by cooperative cancellation — the field state is left
+    /// mid-plan and must be discarded by the caller.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Whether [`Self::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
     }
 
     /// Non-blocking pop, for single-threaded draining.
@@ -163,6 +184,26 @@ mod tests {
             assert_eq!(c.load(Ordering::Relaxed), 1, "tile {i}");
         }
         assert_eq!(q.outstanding(), 0);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers_and_ends_the_drain() {
+        let p = plan(16, 10, 4);
+        let q = ReadyQueue::new(&p);
+        // Consume the roots but complete nothing, so other poppers must
+        // block; then close and require everyone to come back `None`.
+        let roots: Vec<usize> = std::iter::from_fn(|| q.try_pop()).collect();
+        assert!(!roots.is_empty());
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| assert_eq!(q.pop(), None, "closed queue pops None"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+        });
+        assert!(q.is_closed());
+        assert!(q.outstanding() > 0, "closing abandons outstanding tiles");
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! # em-faults — deterministic fault injection for the job service
+//!
+//! Chaos testing is only useful when a failure reproduces: this crate
+//! draws every fault decision from a seeded [`GenRng`] stream keyed by
+//! `(plan seed, site, ident)`, so the same plan against the same
+//! request sequence injects byte-for-byte the same faults. There is no
+//! global mutable state and no wall clock — an injector is a pure
+//! function of its plan plus per-site hit counters.
+//!
+//! A [`FaultPlan`] is parsed from a compact `key=value` string (the
+//! `mwd serve --chaos <plan>` argument and the chaos CI job use the
+//! same format):
+//!
+//! ```text
+//! seed=42,panic=0.05,slow=0.1:250,disk-error=0.05,truncate=0.05,bit-flip=0.05,conn-drop=0.1
+//! ```
+//!
+//! Sites and the seams they are injected through:
+//!
+//! - `panic` / `slow` — the scheduler's solve runner: the worker
+//!   panics (exercising `catch_unwind` → `failed`) or sleeps the given
+//!   milliseconds before solving (wedging a worker to exercise
+//!   deadlines and drain);
+//! - `disk-error` / `truncate` / `bit-flip` — the result store's write
+//!   path: the write reports an injected I/O error, or the on-disk
+//!   artifact is truncated / bit-flipped *after* the integrity footer
+//!   is computed (so a later read must quarantine it, never serve it);
+//! - `conn-drop` — the HTTP response path: the connection is closed
+//!   after a partial write (clients see a torn response and retry).
+//!
+//! Every decision is counted, so the daemon can publish how many
+//! faults actually fired (`/metrics`) and the chaos suite can assert
+//! the plan was exercised at all.
+
+use em_scenarios::gen::GenRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What to do to one solve call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveFault {
+    /// Run normally.
+    None,
+    /// Panic inside the worker (must be caught, job → `failed`).
+    Panic,
+    /// Sleep this many milliseconds before solving.
+    SlowMs(u64),
+}
+
+/// What to do to one store write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Write normally.
+    None,
+    /// Fail the write with an injected I/O error.
+    Error,
+    /// Let the write land, then truncate the on-disk file.
+    Truncate,
+    /// Let the write land, then flip one bit of the on-disk file.
+    BitFlip,
+}
+
+/// What to do to one HTTP response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Write normally.
+    None,
+    /// Close the socket after a partial write.
+    DropMid,
+}
+
+/// A parsed chaos plan: per-site probabilities plus the stream seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every decision stream; two runs of the same plan
+    /// against the same request sequence inject identical faults.
+    pub seed: u64,
+    /// Probability a solve panics.
+    pub panic_p: f64,
+    /// Probability a solve is delayed, and by how long.
+    pub slow_p: f64,
+    pub slow_ms: u64,
+    /// Probability a store write errors out.
+    pub disk_error_p: f64,
+    /// Probability a landed artifact is truncated on disk.
+    pub truncate_p: f64,
+    /// Probability a landed artifact gets one bit flipped on disk.
+    pub bit_flip_p: f64,
+    /// Probability a response write is dropped mid-stream.
+    pub conn_drop_p: f64,
+}
+
+impl Default for FaultPlan {
+    /// All probabilities zero: an injector over the default plan is a
+    /// no-op (every site draws `None`).
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_p: 0.0,
+            slow_p: 0.0,
+            slow_ms: 0,
+            disk_error_p: 0.0,
+            truncate_p: 0.0,
+            bit_flip_p: 0.0,
+            conn_drop_p: 0.0,
+        }
+    }
+}
+
+fn parse_prob(key: &str, v: &str) -> Result<f64, String> {
+    let p: f64 = v
+        .parse()
+        .map_err(|_| format!("chaos plan: `{key}={v}` is not a number"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("chaos plan: `{key}={v}` must be in [0, 1]"));
+    }
+    Ok(p)
+}
+
+impl FaultPlan {
+    /// Parse the compact `key=value,...` form. Unknown keys are
+    /// rejected — a typo silently disabling a fault would defeat the
+    /// point of a chaos gate.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos plan: `{part}` is not key=value"))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("chaos plan: `seed={value}` is not a u64"))?;
+                }
+                "panic" => plan.panic_p = parse_prob(key, value)?,
+                "slow" => {
+                    let (p, ms) = value.split_once(':').ok_or_else(|| {
+                        format!("chaos plan: `slow={value}` must be `slow=prob:millis`")
+                    })?;
+                    plan.slow_p = parse_prob(key, p)?;
+                    plan.slow_ms = ms.parse().map_err(|_| {
+                        format!("chaos plan: `slow={value}` has non-integer millis")
+                    })?;
+                }
+                "disk-error" => plan.disk_error_p = parse_prob(key, value)?,
+                "truncate" => plan.truncate_p = parse_prob(key, value)?,
+                "bit-flip" => plan.bit_flip_p = parse_prob(key, value)?,
+                "conn-drop" => plan.conn_drop_p = parse_prob(key, value)?,
+                _ => return Err(format!("chaos plan: unknown key `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Canonical compact form (round-trips through [`parse`](Self::parse)).
+    pub fn to_compact(&self) -> String {
+        format!(
+            "seed={},panic={},slow={}:{},disk-error={},truncate={},bit-flip={},conn-drop={}",
+            self.seed,
+            self.panic_p,
+            self.slow_p,
+            self.slow_ms,
+            self.disk_error_p,
+            self.truncate_p,
+            self.bit_flip_p,
+            self.conn_drop_p
+        )
+    }
+}
+
+/// How many faults each site actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    pub panics: u64,
+    pub slows: u64,
+    pub disk_errors: u64,
+    pub truncates: u64,
+    pub bit_flips: u64,
+    pub conn_drops: u64,
+}
+
+impl FaultCounts {
+    pub fn total(&self) -> u64 {
+        self.panics
+            + self.slows
+            + self.disk_errors
+            + self.truncates
+            + self.bit_flips
+            + self.conn_drops
+    }
+}
+
+/// Deterministic fault decisions over one [`FaultPlan`].
+///
+/// Each decision derives a private [`GenRng`] from
+/// `(site, ident, seed)`, so the answer depends only on the plan and
+/// the identity of the thing being faulted — the same job key always
+/// draws the same solve fault, independent of worker interleaving.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    panics: AtomicU64,
+    slows: AtomicU64,
+    disk_errors: AtomicU64,
+    truncates: AtomicU64,
+    bit_flips: AtomicU64,
+    conn_drops: AtomicU64,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            ..FaultInjector::default()
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn rng(&self, site: &str, ident: &str) -> GenRng {
+        GenRng::for_family(&format!("{site}\u{1e}{ident}"), self.plan.seed)
+    }
+
+    /// Decide the fate of one solve, keyed by the job's identity
+    /// (store key). Counts the injection when a fault fires.
+    pub fn solve_fault(&self, ident: &str) -> SolveFault {
+        let mut rng = self.rng("solve", ident);
+        // One draw per sub-site, in a fixed order, so raising one
+        // probability never re-shuffles the other's decisions.
+        let panic = rng.chance(self.plan.panic_p);
+        let slow = rng.chance(self.plan.slow_p);
+        if panic {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            SolveFault::Panic
+        } else if slow {
+            self.slows.fetch_add(1, Ordering::Relaxed);
+            SolveFault::SlowMs(self.plan.slow_ms)
+        } else {
+            SolveFault::None
+        }
+    }
+
+    /// Decide the fate of one store write, keyed by the artifact key.
+    pub fn disk_fault(&self, ident: &str) -> DiskFault {
+        let mut rng = self.rng("disk", ident);
+        let error = rng.chance(self.plan.disk_error_p);
+        let truncate = rng.chance(self.plan.truncate_p);
+        let flip = rng.chance(self.plan.bit_flip_p);
+        if error {
+            self.disk_errors.fetch_add(1, Ordering::Relaxed);
+            DiskFault::Error
+        } else if truncate {
+            self.truncates.fetch_add(1, Ordering::Relaxed);
+            DiskFault::Truncate
+        } else if flip {
+            self.bit_flips.fetch_add(1, Ordering::Relaxed);
+            DiskFault::BitFlip
+        } else {
+            DiskFault::None
+        }
+    }
+
+    /// Decide the fate of one HTTP response write. The caller supplies
+    /// the ident (typically its request ordinal), so the same request
+    /// sequence drops the same responses.
+    pub fn conn_fault(&self, ident: &str) -> ConnFault {
+        let mut rng = self.rng("conn", ident);
+        if rng.chance(self.plan.conn_drop_p) {
+            self.conn_drops.fetch_add(1, Ordering::Relaxed);
+            ConnFault::DropMid
+        } else {
+            ConnFault::None
+        }
+    }
+
+    /// Deterministic truncation point for a file of `len` bytes:
+    /// always strictly shorter (at least one byte is lost), never
+    /// empty unless the file was.
+    pub fn truncate_len(&self, len: usize, ident: &str) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut rng = self.rng("truncate-len", ident);
+        rng.range_usize(0, len - 1)
+    }
+
+    /// Flip one deterministic bit of `bytes` in place.
+    pub fn flip_bit(&self, bytes: &mut [u8], ident: &str) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut rng = self.rng("flip-bit", ident);
+        let at = rng.range_usize(0, bytes.len() - 1);
+        let bit = rng.range_usize(0, 7) as u32;
+        bytes[at] ^= 1u8 << bit;
+    }
+
+    /// Snapshot of how many faults each site injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            panics: self.panics.load(Ordering::Relaxed),
+            slows: self.slows.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            truncates: self.truncates.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            conn_drops: self.conn_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parses_the_full_compact_form() {
+        let p =
+            FaultPlan::parse("seed=42,panic=0.1,slow=0.2:1500,disk-error=0.3,truncate=0.4,bit-flip=0.5,conn-drop=0.6")
+                .unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.panic_p, 0.1);
+        assert_eq!(p.slow_p, 0.2);
+        assert_eq!(p.slow_ms, 1500);
+        assert_eq!(p.disk_error_p, 0.3);
+        assert_eq!(p.truncate_p, 0.4);
+        assert_eq!(p.bit_flip_p, 0.5);
+        assert_eq!(p.conn_drop_p, 0.6);
+        assert_eq!(FaultPlan::parse(&p.to_compact()).unwrap(), p);
+    }
+
+    #[test]
+    fn plan_rejects_malformed_input() {
+        for bad in [
+            "wat=1",
+            "panic=nope",
+            "panic=1.5",
+            "panic=-0.1",
+            "slow=0.5",
+            "slow=0.5:abc",
+            "seed=abc",
+            "panic",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        // Empty plan and stray commas are fine (all-zero probabilities).
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert_eq!(FaultPlan::parse(" , ,").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_ident() {
+        let plan =
+            FaultPlan::parse("seed=7,panic=0.3,slow=0.3:50,disk-error=0.3,conn-drop=0.5").unwrap();
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        for i in 0..200 {
+            let id = format!("job-{i}");
+            assert_eq!(a.solve_fault(&id), b.solve_fault(&id), "{id}");
+            assert_eq!(a.disk_fault(&id), b.disk_fault(&id), "{id}");
+            assert_eq!(a.conn_fault(&id), b.conn_fault(&id), "{id}");
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(
+            a.counts().total() > 0,
+            "a 30%-ish plan fires over 200 draws"
+        );
+    }
+
+    #[test]
+    fn zero_plan_never_fires_and_full_plan_always_fires() {
+        let off = FaultInjector::new(FaultPlan::default());
+        let on = FaultInjector::new(FaultPlan::parse("panic=1,disk-error=1,conn-drop=1").unwrap());
+        for i in 0..50 {
+            let id = format!("x{i}");
+            assert_eq!(off.solve_fault(&id), SolveFault::None);
+            assert_eq!(off.disk_fault(&id), DiskFault::None);
+            assert_eq!(off.conn_fault(&id), ConnFault::None);
+            assert_eq!(on.solve_fault(&id), SolveFault::Panic);
+            assert_eq!(on.disk_fault(&id), DiskFault::Error);
+            assert_eq!(on.conn_fault(&id), ConnFault::DropMid);
+        }
+        assert_eq!(off.counts().total(), 0);
+        assert_eq!(on.counts().panics, 50);
+    }
+
+    #[test]
+    fn different_seeds_draw_different_decision_sets() {
+        let a = FaultInjector::new(FaultPlan::parse("seed=1,panic=0.5").unwrap());
+        let b = FaultInjector::new(FaultPlan::parse("seed=2,panic=0.5").unwrap());
+        let mut differs = false;
+        for i in 0..100 {
+            let id = format!("k{i}");
+            if a.solve_fault(&id) != b.solve_fault(&id) {
+                differs = true;
+            }
+        }
+        assert!(differs, "two seeds should not agree on all 100 draws");
+    }
+
+    #[test]
+    fn corruption_helpers_are_deterministic_and_in_bounds() {
+        let inj = FaultInjector::new(FaultPlan::parse("seed=9").unwrap());
+        let n = inj.truncate_len(100, "k");
+        assert_eq!(n, inj.truncate_len(100, "k"));
+        assert!(n < 100, "truncation must lose at least one byte");
+        assert_eq!(inj.truncate_len(0, "k"), 0);
+
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        inj.flip_bit(&mut a, "k");
+        inj.flip_bit(&mut b, "k");
+        assert_eq!(a, b, "same ident flips the same bit");
+        assert_eq!(a.iter().map(|x| x.count_ones()).sum::<u32>(), 1);
+        let mut empty: Vec<u8> = vec![];
+        inj.flip_bit(&mut empty, "k"); // no panic on empty
+    }
+
+    #[test]
+    fn slow_fault_carries_the_plan_millis() {
+        let inj = FaultInjector::new(FaultPlan::parse("slow=1:250").unwrap());
+        assert_eq!(inj.solve_fault("any"), SolveFault::SlowMs(250));
+        assert_eq!(inj.counts().slows, 1);
+    }
+}

@@ -38,6 +38,19 @@ pub fn content_hash(parts: &[&str]) -> String {
     format!("{h:032x}")
 }
 
+/// Hash raw bytes (no part structure, no separator) into 32 lowercase
+/// hex digits. Used where the input is not guaranteed to be UTF-8 —
+/// e.g. the result store's on-disk integrity footers, which must verify
+/// whatever bytes actually landed on disk, corrupt or not.
+pub fn content_hash_bytes(bytes: &[u8]) -> String {
+    let mut h = FNV_OFFSET_128;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME_128);
+    }
+    format!("{h:032x}")
+}
+
 /// Whether a string is a well-formed content key (32 hex digits).
 pub fn is_key(s: &str) -> bool {
     s.len() == 32
@@ -71,6 +84,19 @@ mod tests {
         assert_ne!(content_hash(&["ab", "c"]), content_hash(&["a", "bc"]));
         assert_ne!(content_hash(&["abc"]), content_hash(&["ab", "c"]));
         assert_ne!(content_hash(&["x"]), content_hash(&["x", ""]));
+    }
+
+    #[test]
+    fn bytes_hash_matches_single_part_semantics_minus_separator() {
+        // Same FNV core, no separator: hashing "abc" as bytes differs
+        // from the one-part string hash (which mixes in SEP) but is
+        // deterministic and key-shaped.
+        let a = content_hash_bytes(b"abc");
+        assert_eq!(a, content_hash_bytes(b"abc"));
+        assert!(is_key(&a), "{a}");
+        assert_ne!(a, content_hash(&["abc"]));
+        assert_ne!(content_hash_bytes(b""), content_hash_bytes(b"\0"));
+        assert_eq!(content_hash_bytes(b""), format!("{FNV_OFFSET_128:032x}"));
     }
 
     #[test]

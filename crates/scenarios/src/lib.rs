@@ -50,6 +50,7 @@ pub use em_json::Json;
 pub use library::{builtin, builtin_names, builtins};
 pub use runner::{
     run_batch, BatchOptions, BatchReport, JobOutcome, TunePlan, TuneRecord, CANCELLED_PREFIX,
+    TIMEOUT_PREFIX,
 };
 pub use spec::{
     ConvergenceDecl, EngineDecl, GridSpec, LayerDecl, OutputsDecl, PhysicsSpec, PmlDecl,

@@ -18,7 +18,7 @@ use crate::json::Json;
 use crate::spec::{ConvergenceDecl, EngineDecl, ScenarioJob, ScenarioSpec};
 use autotune::{ResolveOptions, TuneCache, TuneKey};
 use em_solver::analysis;
-use mwd_core::ThreadBudget;
+use mwd_core::{CancelToken, ThreadBudget};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -54,6 +54,12 @@ pub struct BatchOptions {
     /// never-started jobs are recorded as cancelled outcomes, and the
     /// artifacts / batch summary are still written.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Cooperative cancellation token threaded into every job's
+    /// solver (deadline and/or explicit cancel). A halted token drains
+    /// the claim loop like [`stop`](Self::stop) does, and additionally
+    /// halts *running* solvers at their next checkpoint; never-started
+    /// jobs are recorded with the token's prefixed halt error.
+    pub cancel: Option<CancelToken>,
     /// Span recorder (`--trace`): per-worker job spans, tune-resolution
     /// spans, and — through each job's solver — per-thread-group MWD
     /// phase spans. Disabled by default, which makes every
@@ -86,14 +92,17 @@ impl Default for BatchOptions {
             quiet: true,
             tune: None,
             stop: None,
+            cancel: None,
             trace: em_obs::Recorder::disabled(),
         }
     }
 }
 
-/// The error message prefix cancelled outcomes carry (see
-/// [`BatchOptions::stop`] and [`BatchReport::cancelled`]).
-pub const CANCELLED_PREFIX: &str = "cancelled:";
+/// The error message prefixes cancelled / timed-out outcomes carry
+/// (see [`BatchOptions::stop`], [`BatchOptions::cancel`] and
+/// [`BatchReport::cancelled`]). Canonical definitions live in
+/// [`mwd_core::cancel`]; re-exported here for callers of the batch API.
+pub use mwd_core::cancel::{CANCELLED_PREFIX, TIMEOUT_PREFIX};
 
 /// How one job's configuration came out of the tuning cache.
 #[derive(Clone, Debug, PartialEq)]
@@ -255,6 +264,20 @@ impl BatchReport {
                 o.error
                     .as_deref()
                     .is_some_and(|e| e.starts_with(CANCELLED_PREFIX))
+            })
+            .count()
+    }
+
+    /// Jobs halted by an expired deadline — before starting or
+    /// mid-solve (a subset of [`Self::failures`], disjoint from
+    /// [`Self::cancelled`]).
+    pub fn timed_out(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                o.error
+                    .as_deref()
+                    .is_some_and(|e| e.starts_with(TIMEOUT_PREFIX))
             })
             .count()
     }
@@ -442,12 +465,21 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
     let max_in_flight = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
-    let stopped = || opts.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst));
+    let token = opts.cancel.clone().unwrap_or_else(CancelToken::none);
+    // A halted batch reports the cause: the stop flag is an explicit
+    // cancel; otherwise the token decides (cancelled beats expired).
+    let halted = || -> Option<String> {
+        if opts.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst)) {
+            return Some(format!("{CANCELLED_PREFIX} stop requested"));
+        }
+        token.halt_error()
+    };
+    let stopped = || halted().is_some();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let (next, in_flight, max_in_flight) = (&next, &in_flight, &max_in_flight);
             let (jobs, engines, tune_records, slots) = (&jobs, &engines, &tune_records, &slots);
-            let stopped = &stopped;
+            let (stopped, token) = (&stopped, &token);
             scope.spawn(move || {
                 let mut wlog = if opts.trace.is_enabled() {
                     opts.trace.thread(&format!("worker-{w}"), 0)
@@ -489,6 +521,7 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
                         tune_records[i].clone(),
                         &opts.trace,
                         jspan_id,
+                        token,
                     );
                     if jspan_id != 0 {
                         wlog.end_kv(
@@ -545,10 +578,14 @@ pub fn run_batch(specs: &[ScenarioSpec], opts: &BatchOptions) -> Result<BatchRep
                     opts.dry_run,
                     tune_records[i].clone(),
                 );
-                o.error = Some(if stopped() {
-                    format!("{CANCELLED_PREFIX} stop requested before this job started")
-                } else {
-                    "worker crashed before recording an outcome".to_string()
+                o.error = Some(match halted() {
+                    Some(h) if h.starts_with(TIMEOUT_PREFIX) => {
+                        format!("{TIMEOUT_PREFIX} deadline expired before this job started")
+                    }
+                    Some(_) => {
+                        format!("{CANCELLED_PREFIX} stop requested before this job started")
+                    }
+                    None => "worker crashed before recording an outcome".to_string(),
                 });
                 o
             })
@@ -649,6 +686,7 @@ fn run_job(
     tuned: Option<TuneRecord>,
     trace: &em_obs::Recorder,
     trace_parent: u64,
+    cancel: &CancelToken,
 ) -> JobOutcome {
     let t0 = std::time::Instant::now();
     let mut outcome = blank_outcome(spec, job, decl, index, dry_run, tuned);
@@ -668,7 +706,7 @@ fn run_job(
             solver.set_recorder(trace.clone(), trace_parent);
             outcome.back_iteration_cells = solver.back_iteration_cells;
             let ConvergenceDecl { tol, max_periods } = spec.convergence;
-            let report = solver.run_to_convergence(&engine, tol, max_periods)?;
+            let report = solver.run_to_convergence_cancel(&engine, tol, max_periods, cancel)?;
             outcome.converged = report.converged;
             outcome.periods = report.periods;
             outcome.steps = report.steps;
@@ -917,6 +955,7 @@ mod tests {
             None,
             &em_obs::Recorder::disabled(),
             0,
+            &CancelToken::none(),
         );
         assert!(ok.error.is_none());
         let s: Box<dyn std::any::Any + Send> = Box::new("str payload");
@@ -957,6 +996,31 @@ mod tests {
         assert!(dir.join("batch_summary.json").is_file());
         assert!(dir.join("batch_summary.csv").is_file());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_deadline_token_times_out_every_job() {
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        let specs = vec![tiny_spec("a"), tiny_spec("b")];
+        let report = run_batch(
+            &specs,
+            &BatchOptions {
+                workers: 2,
+                cancel: Some(token),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.timed_out(), 2, "nothing starts past the deadline");
+        assert_eq!(report.cancelled(), 0, "timeouts are not cancellations");
+        for o in &report.outcomes {
+            assert_eq!(o.steps, 0, "no solver stepped");
+            assert!(
+                o.error.as_deref().unwrap().starts_with(TIMEOUT_PREFIX),
+                "{:?}",
+                o.error
+            );
+        }
     }
 
     #[test]

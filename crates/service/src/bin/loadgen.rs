@@ -4,7 +4,8 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
 //!         [--dup-ratio R] [--scenario BUILTIN | --spec FILE | --gen-mix MIX]
-//!         [--engine KIND] [--max-periods M] [--seed S]
+//!         [--engine KIND] [--max-periods M] [--deadline-ms D] [--seed S]
+//!         [--retries K] [--allow-failures]
 //!         [--report FILE] [--min-dedupe-hits K] [--shutdown] [--quiet]
 //! ```
 //!
@@ -52,7 +53,15 @@ OPTIONS:
                            and --spec
     --engine <kind>        engine override sent with every request
     --max-periods <m>      per-request convergence cap (default 1)
+    --deadline-ms <d>      per-request job deadline sent with every
+                           submission (default: none)
     --seed <s>             workload shuffle seed (default 7)
+    --retries <k>          bounded retries per request on 429/503 or a
+                           torn connection, paced by Retry-After when
+                           present and decorrelated jitter otherwise
+                           (default 0)
+    --allow-failures       report failures/timeouts without failing the
+                           run (result mismatches still fail it)
     --report <file>        merge the report into this JSON file
                            (default results/BENCH_results.json)
     --min-dedupe-hits <k>  exit 1 if fewer requests were deduped
@@ -70,7 +79,10 @@ struct Opts {
     gen_mix: Vec<(Family, f64)>,
     engine: Option<String>,
     max_periods: usize,
+    deadline_ms: Option<u64>,
     seed: u64,
+    retries: u32,
+    allow_failures: bool,
     report: PathBuf,
     min_dedupe_hits: Option<usize>,
     shutdown: bool,
@@ -88,7 +100,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         gen_mix: Vec::new(),
         engine: None,
         max_periods: 1,
+        deadline_ms: None,
         seed: 7,
+        retries: 0,
+        allow_failures: false,
         report: PathBuf::from("results/BENCH_results.json"),
         min_dedupe_hits: None,
         shutdown: false,
@@ -121,11 +136,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--max-periods" => {
                 o.max_periods = parse_count(&value("--max-periods")?, "--max-periods")?
             }
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&d| d >= 1)
+                        .ok_or("--deadline-ms needs a positive integer")?,
+                )
+            }
             "--seed" => {
                 o.seed = value("--seed")?
                     .parse()
                     .map_err(|_| "--seed needs an integer")?
             }
+            "--retries" => {
+                o.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries needs a non-negative integer")?
+            }
+            "--allow-failures" => o.allow_failures = true,
             "--report" => o.report = PathBuf::from(value("--report")?),
             "--min-dedupe-hits" => {
                 o.min_dedupe_hits = Some(
@@ -210,13 +240,18 @@ fn pick_family(mix: &[(Family, f64)], seed: u64, variant: usize) -> Family {
     mix.last().unwrap().0
 }
 
+/// One parsed HTTP exchange: status, body, and the `Retry-After` advice
+/// (seconds) when the daemon sent one.
+struct Exchange {
+    status: u16,
+    payload: String,
+    retry_after: Option<u64>,
+}
+
 /// One blocking HTTP exchange (the daemon closes after each response).
-fn http(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&[u8]>,
-) -> Result<(u16, String), String> {
+/// A response whose declared `Content-Length` does not match the bytes
+/// actually received (a torn connection) is an error, never a payload.
+fn http(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> Result<Exchange, String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
@@ -240,11 +275,28 @@ fn http(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed response to {method} {path}: {text:.60}"))?;
-    let payload = text
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, payload))
+    let Some((header, payload)) = text.split_once("\r\n\r\n") else {
+        return Err(format!("truncated response to {method} {path}"));
+    };
+    let header_value = |name: &str| {
+        header.lines().find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+        })
+    };
+    if let Some(declared) = header_value("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        if payload.len() < declared {
+            return Err(format!(
+                "torn response to {method} {path}: {} of {declared} body bytes",
+                payload.len()
+            ));
+        }
+    }
+    Ok(Exchange {
+        status,
+        payload: payload.to_string(),
+        retry_after: header_value("retry-after").and_then(|v| v.parse().ok()),
+    })
 }
 
 struct RequestOutcome {
@@ -255,6 +307,27 @@ struct RequestOutcome {
     total_ms: f64,
     result_bytes: Option<String>,
     failed: bool,
+    /// Submit retries this request spent (torn connections, 429/503).
+    retries: u32,
+    /// The request exhausted its retries against 429/503 back-pressure.
+    shed: bool,
+    /// The job ended in the `timeout` terminal state.
+    timed_out: bool,
+}
+
+/// Decorrelated-jitter backoff (AWS-style): each sleep is drawn
+/// uniformly from `[base, prev * 3]`, capped — so concurrent clients
+/// de-synchronize instead of retrying in lockstep. An explicit
+/// `Retry-After` from the daemon overrides the draw.
+fn backoff_ms(rng_state: &mut u64, prev_ms: u64, retry_after: Option<u64>) -> u64 {
+    const BASE_MS: u64 = 25;
+    const CAP_MS: u64 = 2_000;
+    if let Some(secs) = retry_after {
+        return (secs * 1_000).clamp(BASE_MS, CAP_MS);
+    }
+    let hi = (prev_ms.max(BASE_MS) * 3).min(CAP_MS);
+    let r = (splitmix64(rng_state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    BASE_MS + (r * (hi - BASE_MS) as f64) as u64
 }
 
 /// A latency distribution as JSON: quantiles plus the cumulative log2
@@ -288,7 +361,7 @@ fn latency_doc(snap: &HistogramSnapshot) -> Json {
     ])
 }
 
-fn drive_one(o: &Opts, body: &str, variant: usize) -> RequestOutcome {
+fn drive_one(o: &Opts, body: &str, variant: usize, request_index: usize) -> RequestOutcome {
     let t0 = Instant::now();
     let mut out = RequestOutcome {
         variant,
@@ -297,23 +370,48 @@ fn drive_one(o: &Opts, body: &str, variant: usize) -> RequestOutcome {
         total_ms: 0.0,
         result_bytes: None,
         failed: false,
+        retries: 0,
+        shed: false,
+        timed_out: false,
     };
     let fail = |out: &mut RequestOutcome, msg: String| {
         out.status = msg;
         out.failed = true;
         out.total_ms = t0.elapsed().as_secs_f64() * 1e3;
     };
-    let (status, payload) = match http(&o.addr, "POST", "/jobs", Some(body.as_bytes())) {
-        Ok(r) => r,
-        Err(e) => {
-            fail(&mut out, e);
+    // Submit, with bounded retries: 429/503 are explicit back-pressure
+    // (honor Retry-After), a torn connection is worth re-asking since
+    // submissions are idempotent by content key.
+    let mut rng_state = o
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(request_index as u64);
+    let mut prev_sleep = 0u64;
+    let mut attempt = 0u32;
+    let ex = loop {
+        let (retryable, retry_after, last_err) =
+            match http(&o.addr, "POST", "/jobs", Some(body.as_bytes())) {
+                Ok(ex) if ex.status == 429 || ex.status == 503 => {
+                    (true, ex.retry_after, format!("http-{}", ex.status))
+                }
+                Ok(ex) => break ex,
+                Err(e) => (true, None, e),
+            };
+        debug_assert!(retryable);
+        if attempt >= o.retries {
+            out.shed = last_err.starts_with("http-");
+            fail(&mut out, last_err);
             return out;
         }
+        attempt += 1;
+        out.retries = attempt;
+        prev_sleep = backoff_ms(&mut rng_state, prev_sleep, retry_after);
+        std::thread::sleep(Duration::from_millis(prev_sleep));
     };
     out.submit_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let doc = em_json::parse(&payload).unwrap_or(Json::Null);
-    if status != 200 && status != 202 {
-        fail(&mut out, format!("http-{status}"));
+    let doc = em_json::parse(&ex.payload).unwrap_or(Json::Null);
+    if ex.status != 200 && ex.status != 202 {
+        fail(&mut out, format!("http-{}", ex.status));
         return out;
     }
     out.status = doc
@@ -323,7 +421,9 @@ fn drive_one(o: &Opts, body: &str, variant: usize) -> RequestOutcome {
         .to_string();
 
     // Resolve to artifact bytes: straight from the store for `cached`,
-    // else poll the job to completion.
+    // else poll the job to completion. Poll exchanges that tear or
+    // error are retried within the deadline — transient connection
+    // faults must not fail a job that is still running fine.
     let result_path = if out.status == "cached" {
         match doc.get("result").and_then(Json::as_str) {
             Some(p) => p.to_string(),
@@ -344,41 +444,50 @@ fn drive_one(o: &Opts, body: &str, variant: usize) -> RequestOutcome {
                 return out;
             }
             match http(&o.addr, "GET", &format!("/jobs/{job}"), None) {
-                Ok((200, body)) => {
-                    let state = em_json::parse(&body)
+                Ok(ex) if ex.status == 200 => {
+                    let state = em_json::parse(&ex.payload)
                         .ok()
                         .and_then(|d| d.get("state").map(|s| s.as_str().unwrap_or("").to_string()))
                         .unwrap_or_default();
                     match state.as_str() {
                         "done" => break,
-                        "failed" | "cancelled" => {
+                        "failed" | "cancelled" | "timeout" => {
+                            out.timed_out = state == "timeout";
                             fail(&mut out, format!("{job} ended {state}"));
                             return out;
                         }
                         _ => std::thread::sleep(Duration::from_millis(25)),
                     }
                 }
-                Ok((s, _)) => {
-                    fail(&mut out, format!("poll {job}: http-{s}"));
+                Ok(ex) => {
+                    fail(&mut out, format!("poll {job}: http-{}", ex.status));
                     return out;
                 }
-                Err(e) => {
-                    fail(&mut out, e);
-                    return out;
-                }
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
             }
         }
         format!("/jobs/{job}/result")
     };
-    match http(&o.addr, "GET", &result_path, None) {
-        Ok((200, body)) => out.result_bytes = Some(body),
-        Ok((s, _)) => {
-            fail(&mut out, format!("fetch {result_path}: http-{s}"));
-            return out;
-        }
-        Err(e) => {
-            fail(&mut out, e);
-            return out;
+    // The artifact fetch also retries torn connections: the result is
+    // immutable once stored, so re-reading is always safe.
+    let fetch_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match http(&o.addr, "GET", &result_path, None) {
+            Ok(ex) if ex.status == 200 => {
+                out.result_bytes = Some(ex.payload);
+                break;
+            }
+            Ok(ex) => {
+                fail(&mut out, format!("fetch {result_path}: http-{}", ex.status));
+                return out;
+            }
+            Err(e) => {
+                if Instant::now() > fetch_deadline {
+                    fail(&mut out, e);
+                    return out;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
         }
     }
     out.total_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -442,6 +551,9 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
             pairs.push(("engine", Json::str(kind)));
         }
         pairs.push(("max_periods", Json::Int(o.max_periods as i64)));
+        if let Some(d) = o.deadline_ms {
+            pairs.push(("deadline_ms", Json::Int(d as i64)));
+        }
         Ok(Json::obj(pairs).compact())
     };
     // Build one body per *variant* and share it across duplicates, so
@@ -451,8 +563,21 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
         .collect::<Result<_, _>>()?;
     let bodies: Vec<&String> = variants.iter().map(|&v| &variant_bodies[v]).collect();
 
-    // Health check before loading.
-    let (hs, _) = http(&o.addr, "GET", "/healthz", None)?;
+    // Health check before loading. The probe itself can hit an injected
+    // connection drop under `--chaos`, so it gets the same bounded
+    // retries as a submission.
+    let mut probe = 0u32;
+    let hs = loop {
+        match http(&o.addr, "GET", "/healthz", None) {
+            Ok(x) => break x.status,
+            Err(e) if probe < o.retries.max(2) => {
+                probe += 1;
+                std::thread::sleep(Duration::from_millis(50));
+                let _ = e;
+            }
+            Err(e) => return Err(format!("healthz probe: {e}")),
+        }
+    };
     if hs != 200 {
         return Err(format!("daemon at {} is unhealthy (HTTP {hs})", o.addr));
     }
@@ -467,7 +592,7 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
                 if i >= o.requests {
                     break;
                 }
-                let out = drive_one(o, bodies[i], variants[i]);
+                let out = drive_one(o, bodies[i], variants[i], i);
                 if !o.quiet {
                     println!(
                         "[{:>3}/{}] variant {:>3} {:<10} submit {:>7.1} ms total {:>8.1} ms",
@@ -505,6 +630,9 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
     let (cached, coalesced, queued) = (count("cached"), count("coalesced"), count("queued"));
     let dedupe_hits = cached + coalesced;
     let failures = outcomes.iter().filter(|r| r.failed).count();
+    let retries: u64 = outcomes.iter().map(|r| r.retries as u64).sum();
+    let shed = outcomes.iter().filter(|r| r.shed).count();
+    let timeouts = outcomes.iter().filter(|r| r.timed_out).count();
     // The shared telemetry histogram (same log2 layout the daemon's
     // `/metrics` uses) replaces client-side sort-the-samples math.
     let submit_hist = Histogram::latency_millis();
@@ -520,7 +648,11 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
 
     let stats_doc = http(&o.addr, "GET", "/stats", None)
         .ok()
-        .and_then(|(s, b)| (s == 200).then(|| em_json::parse(&b).ok()).flatten())
+        .and_then(|ex| {
+            (ex.status == 200)
+                .then(|| em_json::parse(&ex.payload).ok())
+                .flatten()
+        })
         .unwrap_or(Json::Null);
 
     let mut report_pairs = vec![
@@ -538,6 +670,9 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
             Json::Num(dedupe_hits as f64 / o.requests as f64),
         ),
         ("failures", Json::Int(failures as i64)),
+        ("retries", Json::Int(retries as i64)),
+        ("shed", Json::Int(shed as i64)),
+        ("timeouts", Json::Int(timeouts as i64)),
         ("result_mismatches", Json::Int(mismatches as i64)),
         ("wall_secs", Json::Num(wall)),
         (
@@ -608,11 +743,12 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
         total.quantile(0.90),
         total.quantile(0.99),
     );
+    println!("retries: {retries}, shed: {shed}, timeouts: {timeouts}");
     println!("failures: {failures}, result mismatches: {mismatches}");
     println!("report: {}", o.report.display());
 
     if o.shutdown {
-        let (s, _) = http(&o.addr, "POST", "/shutdown", None)?;
+        let s = http(&o.addr, "POST", "/shutdown", None)?.status;
         println!("shutdown requested (HTTP {s})");
     }
 
@@ -623,7 +759,11 @@ fn run(o: &Opts) -> Result<ExitCode, String> {
             o.min_dedupe_hits.unwrap_or(0)
         );
     }
-    if failures > 0 || mismatches > 0 || !enough_hits {
+    // Mismatches always fail the run — bit-identical serving is the
+    // contract. Failures (including timeouts) gate unless the workload
+    // expects them (`--allow-failures`, chaos/deadline runs).
+    let gating_failures = if o.allow_failures { 0 } else { failures };
+    if gating_failures > 0 || mismatches > 0 || !enough_hits {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

@@ -7,7 +7,7 @@
 //! 128 bits with a part-separator byte, so the key depends on the
 //! structure (spec, engine, fingerprint), not just concatenated text.
 
-pub use em_json::hash::{content_hash, is_key};
+pub use em_json::hash::{content_hash, content_hash_bytes, is_key};
 
 #[cfg(test)]
 mod tests {

@@ -36,6 +36,8 @@ impl Default for Limits {
 pub enum HttpError {
     /// 400: syntactically malformed request.
     BadRequest(String),
+    /// 408: the socket read timed out mid-request.
+    Timeout(String),
     /// 413: header block or body over the configured limit.
     TooLarge(String),
 }
@@ -44,14 +46,27 @@ impl HttpError {
     pub fn status(&self) -> u16 {
         match self {
             HttpError::BadRequest(_) => 400,
+            HttpError::Timeout(_) => 408,
             HttpError::TooLarge(_) => 413,
         }
     }
 
     pub fn message(&self) -> &str {
         match self {
-            HttpError::BadRequest(m) | HttpError::TooLarge(m) => m,
+            HttpError::BadRequest(m) | HttpError::Timeout(m) | HttpError::TooLarge(m) => m,
         }
+    }
+}
+
+/// Map an I/O error to the right HTTP fault: a socket timeout (either
+/// `TimedOut` or, on platforms where `SO_RCVTIMEO` surfaces as EAGAIN,
+/// `WouldBlock`) is 408; anything else is a malformed/torn request.
+fn io_fault(context: &str, e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            HttpError::Timeout(format!("{context}: socket timeout"))
+        }
+        _ => HttpError::BadRequest(format!("{context}: {e}")),
     }
 }
 
@@ -91,7 +106,7 @@ fn bad(msg: impl Into<String>) -> HttpError {
 fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
     let mut line = Vec::new();
     loop {
-        let buf = r.fill_buf().map_err(|e| bad(format!("read failed: {e}")))?;
+        let buf = r.fill_buf().map_err(|e| io_fault("read failed", e))?;
         if buf.is_empty() {
             // EOF mid-line is malformed; EOF before any byte is a
             // closed connection.
@@ -196,7 +211,7 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Requ
 }
 
 fn read_exact(r: &mut impl BufRead, buf: &mut [u8]) -> Result<(), HttpError> {
-    std::io::Read::read_exact(r, buf).map_err(|e| bad(format!("body truncated: {e}")))
+    std::io::Read::read_exact(r, buf).map_err(|e| io_fault("body truncated", e))
 }
 
 /// Decode a chunked body: `<hex-size>[;ext]\r\n<bytes>\r\n` repeated,
@@ -254,6 +269,7 @@ pub fn status_reason(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        408 => "Request Timeout",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
@@ -271,6 +287,10 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: Vec<u8>,
+    /// Extra headers rendered after the fixed set (e.g. `Retry-After`
+    /// on 429/503 so well-behaved clients back off instead of
+    /// hammering).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -279,6 +299,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: value.pretty().into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -293,6 +314,7 @@ impl Response {
             status,
             content_type: "text/plain; version=0.0.4",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -302,18 +324,34 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            headers: Vec::new(),
         }
+    }
+
+    /// Builder: attach one extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Builder: advise the client to retry after `secs` (for 429/503).
+    pub fn with_retry_after(self, secs: u64) -> Response {
+        self.with_header("Retry-After", secs.to_string())
     }
 
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Connection: close\r\n\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -420,6 +458,40 @@ mod tests {
         let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
                     1\r\na\r\nffffffffffffffff\r\n";
         assert_eq!(parse_with(raw, tight).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn extra_headers_render_between_length_and_close() {
+        let mut out = Vec::new();
+        Response::error(429, "queue full")
+            .with_retry_after(3)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 3\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n\r\n"), "{text}");
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(
+            head.find("Retry-After").unwrap() < head.find("Connection").unwrap(),
+            "extra headers precede the terminator: {head}"
+        );
+    }
+
+    #[test]
+    fn socket_timeouts_map_to_408() {
+        struct TimesOut;
+        impl std::io::Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "rcvtimeo",
+                ))
+            }
+        }
+        let mut r = std::io::BufReader::new(TimesOut);
+        let err = read_request(&mut r, &Limits::default()).unwrap_err();
+        assert_eq!(err.status(), 408, "{err:?}");
+        assert!(matches!(err, HttpError::Timeout(_)));
     }
 
     #[test]

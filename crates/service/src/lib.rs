@@ -17,17 +17,24 @@
 //!   interchangeable by construction;
 //! - [`store`]: the content-addressed result store. Artifacts are the
 //!   *canonical* (wall-clock-free) batch outcome JSON, so a cached
-//!   result is byte-identical to what a fresh solve would produce;
+//!   result is byte-identical to what a fresh solve would produce; every
+//!   disk artifact carries an integrity footer, is fsynced before its
+//!   rename, and fails verification into a `.corrupt` quarantine rather
+//!   than ever being served;
 //! - [`scheduler`]: admission control and execution. A bounded queue
 //!   (overflow → HTTP 429) feeds a worker pool that shares one
 //!   [`mwd_core::ThreadBudget`] between concurrent jobs, exactly like
 //!   the batch runner; identical in-flight submissions coalesce onto
-//!   one job, and `engine = "auto"` resolves through a process-wide
+//!   one job, `engine = "auto"` resolves through a process-wide
 //!   [`autotune::SharedTuneCache`] so the tuning cache stays warm
-//!   across requests;
+//!   across requests, and every job carries a [`mwd_core::CancelToken`]
+//!   so deadlines (`deadline_ms`) and `POST /jobs/:id/cancel` halt it
+//!   within one solver period;
 //! - [`server`]: the accept loop and the JSON API — `POST /jobs`,
-//!   `GET /jobs/:id`, `GET /jobs/:id/result`, `GET /results/:key`,
-//!   `GET /healthz`, `GET /stats`, `POST /shutdown`;
+//!   `GET /jobs/:id`, `GET /jobs/:id/result`, `POST /jobs/:id/cancel`,
+//!   `GET /results/:key`, `GET /healthz`, `GET /stats`,
+//!   `POST /shutdown`; with `--chaos`, an [`em_faults::FaultInjector`]
+//!   is threaded through the solve, store, and connection seams;
 //! - [`shutdown`]: SIGINT/SIGTERM → a cooperative stop flag, shared
 //!   with the batch runner's drain path;
 //! - [`stats`]: the service counters behind `GET /stats`.
@@ -46,8 +53,10 @@ pub mod submit;
 
 pub use hash::content_hash;
 pub use http::{Limits, Request, Response};
-pub use scheduler::{Scheduler, SchedulerConfig, Submission, SubmitError};
+pub use scheduler::{
+    CancelError, CancelOutcome, Scheduler, SchedulerConfig, Submission, SubmitError,
+};
 pub use server::{Server, ServerConfig};
 pub use stats::ServiceStats;
 pub use store::ResultStore;
-pub use submit::parse_submission;
+pub use submit::{parse_submission, SubmitRequest};

@@ -30,11 +30,12 @@ use em_json::Json;
 use em_scenarios::runner::{run_batch, BatchOptions};
 use em_scenarios::spec::EngineDecl;
 use em_scenarios::{JobOutcome, ScenarioSpec};
-use mwd_core::ThreadBudget;
+use mwd_core::cancel::{CANCELLED_PREFIX, TIMEOUT_PREFIX};
+use mwd_core::{CancelToken, ThreadBudget};
 use perf_models::MachineSpec;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Capacity and tuning knobs for [`Scheduler::start`].
 #[derive(Clone, Debug)]
@@ -77,6 +78,9 @@ pub enum JobState {
     Done,
     Failed,
     Cancelled,
+    /// The job's deadline expired — while queued (shed before
+    /// dispatch) or mid-solve (halted at the next solver checkpoint).
+    Timeout,
 }
 
 impl JobState {
@@ -87,13 +91,14 @@ impl JobState {
             JobState::Done => "done",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::Timeout => "timeout",
         }
     }
 
     fn finished(self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Failed | JobState::Cancelled
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::Timeout
         )
     }
 }
@@ -113,6 +118,10 @@ pub struct JobRecord {
     pub wait_secs: f64,
     pub run_secs: f64,
     spec: ScenarioSpec,
+    /// This job's cancellation handle: carries the admission deadline
+    /// (if any) and is tripped by `POST /jobs/:id/cancel`; the clone
+    /// handed to the runner is polled inside the solver.
+    cancel: CancelToken,
 }
 
 impl JobRecord {
@@ -194,6 +203,24 @@ pub enum ResultError {
     Missing,
 }
 
+/// What `POST /jobs/:id/cancel` achieved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: it is now terminally `cancelled`.
+    Cancelled,
+    /// The job is running: its token is tripped and the solver will
+    /// halt at its next checkpoint (within one solver period).
+    Cancelling,
+}
+
+/// Why `POST /jobs/:id/cancel` could not act.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelError {
+    UnknownJob,
+    /// Already in a terminal state (inside) — nothing left to cancel.
+    AlreadyFinished(JobState),
+}
+
 struct SchedState {
     jobs: HashMap<u64, JobRecord>,
     queue: VecDeque<u64>,
@@ -205,20 +232,27 @@ struct SchedState {
 }
 
 /// The function that actually executes one admitted spec with a thread
-/// allowance. Production uses [`solve_runner`]; tests inject stubs to
-/// control timing deterministically.
-pub type RunFn = dyn Fn(&ScenarioSpec, usize) -> Result<Vec<JobOutcome>, String> + Send + Sync;
+/// allowance and this job's cancellation token. Production uses
+/// [`solve_runner`]; tests inject stubs to control timing
+/// deterministically.
+pub type RunFn =
+    dyn Fn(&ScenarioSpec, usize, &CancelToken) -> Result<Vec<JobOutcome>, String> + Send + Sync;
 
 /// The production runner: one spec through the batch runner's code path
 /// (validation, panic isolation, deterministic outcome) on a budget of
-/// exactly `threads`.
-pub fn solve_runner(spec: &ScenarioSpec, threads: usize) -> Result<Vec<JobOutcome>, String> {
+/// exactly `threads`, observing `cancel` at every solver checkpoint.
+pub fn solve_runner(
+    spec: &ScenarioSpec,
+    threads: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<JobOutcome>, String> {
     let opts = BatchOptions {
         workers: 1,
         threads: Some(threads),
         budget: ThreadBudget::new(threads),
         quiet: true,
         out_dir: None,
+        cancel: Some(cancel.clone()),
         ..Default::default()
     };
     run_batch(std::slice::from_ref(spec), &opts).map(|r| r.outcomes)
@@ -383,9 +417,22 @@ impl Scheduler {
         }
     }
 
-    /// Admit one validated spec: dedupe against the store, coalesce
-    /// against in-flight work, or queue a new job.
+    /// [`Self::submit_with_deadline`] without a deadline.
     pub fn submit(&self, spec: ScenarioSpec) -> Result<Submission, SubmitError> {
+        self.submit_with_deadline(spec, None)
+    }
+
+    /// Admit one validated spec: dedupe against the store, coalesce
+    /// against in-flight work, or queue a new job. A deadline (already
+    /// admission-capped by the parser) starts counting *now* — queue
+    /// wait spends it, an expired queued job is shed before dispatch,
+    /// and an expired running job halts at its next solver checkpoint;
+    /// either way it lands as the `timeout` terminal state.
+    pub fn submit_with_deadline(
+        &self,
+        spec: ScenarioSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Submission, SubmitError> {
         // Fast-fail before paying engine resolution: a draining daemon
         // answers 503 immediately, and a full queue answers 429 without
         // running a tuning search on the handler thread — unless
@@ -453,6 +500,10 @@ impl Scheduler {
         }
         let id = st.next_id;
         st.next_id += 1;
+        let cancel = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::none(),
+        };
         let record = JobRecord {
             id,
             scenario: resolved.name.clone(),
@@ -465,6 +516,7 @@ impl Scheduler {
             wait_secs: 0.0,
             run_secs: 0.0,
             spec: resolved,
+            cancel,
         };
         st.jobs.insert(id, record);
         st.queue.push_back(id);
@@ -494,24 +546,78 @@ impl Scheduler {
         }
     }
 
+    /// Map an outcome / runner error to the job's terminal state by the
+    /// halt-error prefix convention.
+    fn terminal_for_error(e: String) -> (JobState, Option<String>) {
+        let state = if e.starts_with(TIMEOUT_PREFIX) {
+            JobState::Timeout
+        } else if e.starts_with(CANCELLED_PREFIX) {
+            JobState::Cancelled
+        } else {
+            JobState::Failed
+        };
+        (state, Some(e))
+    }
+
     fn worker_loop(self: Arc<Scheduler>) {
         loop {
-            let (id, spec, threads, key) = {
+            let (id, spec, threads, key, cancel) = {
                 let mut st = relock(self.state.lock());
-                let id = loop {
-                    if let Some(id) = st.queue.pop_front() {
-                        break id;
+                'claim: loop {
+                    let id = loop {
+                        if let Some(id) = st.queue.pop_front() {
+                            break id;
+                        }
+                        if st.draining {
+                            return;
+                        }
+                        st = relock(self.work.wait(st));
+                    };
+                    // A cancel or expiry can race this claim: the
+                    // record may already be finished (lazy queue
+                    // removal) or even pruned. Shed such ids instead of
+                    // dispatching (or panicking) on them.
+                    let Some(r) = st.jobs.get_mut(&id) else {
+                        continue 'claim;
+                    };
+                    if r.state.finished() {
+                        continue 'claim;
                     }
-                    if st.draining {
-                        return;
+                    // Shed expired (or just-cancelled) queued jobs
+                    // before spending a worker on them.
+                    if let Some(err) = r.cancel.halt_error() {
+                        let timeout = err.starts_with(TIMEOUT_PREFIX);
+                        r.state = if timeout {
+                            JobState::Timeout
+                        } else {
+                            JobState::Cancelled
+                        };
+                        r.error = Some(format!("{err} while queued"));
+                        r.wait_secs = r.submitted.elapsed().as_secs_f64();
+                        let key = r.key.clone();
+                        if st.active_by_key.get(&key) == Some(&id) {
+                            st.active_by_key.remove(&key);
+                        }
+                        ServiceStats::bump(if timeout {
+                            &self.stats.timeout
+                        } else {
+                            &self.stats.cancelled
+                        });
+                        self.idle.notify_all();
+                        continue 'claim;
                     }
-                    st = relock(self.work.wait(st));
-                };
-                st.running += 1;
-                let r = st.jobs.get_mut(&id).expect("queued job has a record");
-                r.state = JobState::Running;
-                r.wait_secs = r.submitted.elapsed().as_secs_f64();
-                (id, r.spec.clone(), r.threads, r.key.clone())
+                    r.state = JobState::Running;
+                    r.wait_secs = r.submitted.elapsed().as_secs_f64();
+                    let claimed = (
+                        id,
+                        r.spec.clone(),
+                        r.threads,
+                        r.key.clone(),
+                        r.cancel.clone(),
+                    );
+                    st.running += 1;
+                    break 'claim claimed;
+                }
             };
 
             self.stats.lease_threads(threads);
@@ -520,7 +626,7 @@ impl Scheduler {
             // this guard catches panics in injected test runners (and
             // any future runner) so a worker thread never dies silently.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                (self.run)(&spec, threads)
+                (self.run)(&spec, threads, &cancel)
             }))
             .unwrap_or_else(|_| Err("job runner panicked".to_string()));
             let run_secs = t0.elapsed().as_secs_f64();
@@ -534,13 +640,13 @@ impl Scheduler {
             // store recheck close the dedupe race with this completion.
             let (state, error) = match result {
                 Ok(outcomes) => match outcomes.iter().find_map(|o| o.error.clone()) {
-                    Some(e) => (JobState::Failed, Some(e)),
+                    Some(e) => Self::terminal_for_error(e),
                     None => match self.store.put(&key, artifact_bytes(&key, &outcomes)) {
                         Ok(()) => (JobState::Done, None),
                         Err(e) => (JobState::Failed, Some(e)),
                     },
                 },
-                Err(e) => (JobState::Failed, Some(e)),
+                Err(e) => Self::terminal_for_error(e),
             };
             let mut st = relock(self.state.lock());
             if let Some(r) = st.jobs.get_mut(&id) {
@@ -555,9 +661,46 @@ impl Scheduler {
             drop(st);
             ServiceStats::bump(match state {
                 JobState::Done => &self.stats.completed,
+                JobState::Cancelled => &self.stats.cancelled,
+                JobState::Timeout => &self.stats.timeout,
                 _ => &self.stats.failed,
             });
             self.idle.notify_all();
+        }
+    }
+
+    /// Cancel one specific job. A queued job flips to `cancelled` right
+    /// here (its queue slot is shed lazily by the claim loop); a
+    /// running job gets its token tripped and halts at the solver's
+    /// next checkpoint. Finished jobs are left alone.
+    pub fn cancel_job(&self, id: u64) -> Result<CancelOutcome, CancelError> {
+        let mut st = relock(self.state.lock());
+        let Some(r) = st.jobs.get_mut(&id) else {
+            return Err(CancelError::UnknownJob);
+        };
+        match r.state {
+            s if s.finished() => Err(CancelError::AlreadyFinished(s)),
+            JobState::Running => {
+                r.cancel.cancel();
+                Ok(CancelOutcome::Cancelling)
+            }
+            _ => {
+                // Trip the token too, so a claim racing this call sheds
+                // the job even if it sees the record first.
+                r.cancel.cancel();
+                r.state = JobState::Cancelled;
+                r.error = Some(format!(
+                    "{CANCELLED_PREFIX} cancelled by request while queued"
+                ));
+                r.wait_secs = r.submitted.elapsed().as_secs_f64();
+                let key = r.key.clone();
+                if st.active_by_key.get(&key) == Some(&id) {
+                    st.active_by_key.remove(&key);
+                }
+                ServiceStats::bump(&self.stats.cancelled);
+                self.idle.notify_all();
+                Ok(CancelOutcome::Cancelled)
+            }
         }
     }
 
@@ -568,7 +711,9 @@ impl Scheduler {
             let mut st = relock(self.state.lock());
             st.draining = true;
             while let Some(id) = st.queue.pop_front() {
-                if let Some(r) = st.jobs.get_mut(&id) {
+                // Skip ids whose record already finished (e.g. a
+                // targeted cancel left them for lazy queue removal).
+                if let Some(r) = st.jobs.get_mut(&id).filter(|r| !r.state.finished()) {
                     r.state = JobState::Cancelled;
                     r.error = Some("cancelled: daemon shut down before this job started".into());
                     ServiceStats::bump(&self.stats.cancelled);
@@ -610,9 +755,9 @@ impl Scheduler {
         };
         match state {
             JobState::Done => self.store.get(&key).ok_or(ResultError::Missing),
-            JobState::Failed | JobState::Cancelled => Err(ResultError::JobFailed(
-                error.unwrap_or_else(|| "job failed".to_string()),
-            )),
+            JobState::Failed | JobState::Cancelled | JobState::Timeout => Err(
+                ResultError::JobFailed(error.unwrap_or_else(|| "job failed".to_string())),
+            ),
             other => Err(ResultError::NotReady(other)),
         }
     }
@@ -680,7 +825,7 @@ mod tests {
             Arc::new(ResultStore::in_memory()),
             SharedTuneCache::in_memory(),
             Arc::new(ServiceStats::default()),
-            Box::new(|_, _| Ok(Vec::new())),
+            Box::new(|_, _, _| Ok(Vec::new())),
         );
         let err = r.err().expect("overcommitted config is rejected");
         assert!(err.contains("exceeds the budget"), "{err}");

@@ -5,6 +5,7 @@
 //! | `POST /jobs`           | submit a spec (TOML or compact JSON body)      |
 //! | `GET /jobs/:id`        | job status                                     |
 //! | `GET /jobs/:id/result` | the job's artifact (404/409/500 until `done`)  |
+//! | `POST /jobs/:id/cancel`| cancel a queued or running job                 |
 //! | `GET /results/:key`    | artifact by content key                        |
 //! | `GET /healthz`         | liveness + capacity + build snapshot           |
 //! | `GET /stats`           | the full counter set                           |
@@ -14,27 +15,29 @@
 //! Submissions answer `200 {"status": "cached"}` when the artifact
 //! already exists, `202 {"status": "queued"|"coalesced"}` otherwise;
 //! overload is `429`, a draining daemon `503`, malformed input `400`,
-//! oversized input `413`.
+//! oversized input `413`. Both back-pressure statuses (429/503) carry
+//! `Retry-After` so well-behaved clients pace their retries.
 //!
 //! Every connection handles one request (responses carry
 //! `Connection: close`), so handler threads are short-lived; the
 //! heavyweight work happens on the scheduler's worker pool.
 
-use crate::http::{read_request, Limits, Request, Response};
+use crate::http::{read_request, HttpError, Limits, Request, Response};
 use crate::scheduler::{
-    job_name, parse_job_name, solve_runner, ResultError, Scheduler, SchedulerConfig, Submission,
-    SubmitError,
+    job_name, parse_job_name, solve_runner, CancelError, CancelOutcome, ResultError, RunFn,
+    Scheduler, SchedulerConfig, Submission, SubmitError,
 };
 use crate::stats::ServiceStats;
 use crate::store::ResultStore;
 use crate::submit::parse_submission;
 use autotune::SharedTuneCache;
+use em_faults::{ConnFault, FaultInjector, FaultPlan, SolveFault};
 use em_json::Json;
 use em_obs::Counter;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +52,12 @@ pub struct ServerConfig {
     pub store_dir: Option<PathBuf>,
     /// Tuning-cache file (`None` = in-memory cache for this daemon).
     pub cache_path: Option<PathBuf>,
+    /// Socket read/write timeout per connection, seconds (a stalled
+    /// client must not pin a handler thread forever).
+    pub io_timeout_secs: u64,
+    /// Deterministic fault-injection plan (`mwd serve --chaos`); `None`
+    /// in production.
+    pub chaos: Option<FaultPlan>,
     pub quiet: bool,
 }
 
@@ -60,6 +69,8 @@ impl Default for ServerConfig {
             scheduler: SchedulerConfig::default(),
             store_dir: None,
             cache_path: None,
+            io_timeout_secs: 10,
+            chaos: None,
             quiet: false,
         }
     }
@@ -73,6 +84,7 @@ pub struct ServiceSummary {
     pub completed: u64,
     pub failed: u64,
     pub cancelled: u64,
+    pub timed_out: u64,
     pub store_entries: usize,
     pub dedupe_rate: f64,
     /// Whether the tuning cache was written on shutdown.
@@ -86,11 +98,17 @@ pub struct Server {
     store: Arc<ResultStore>,
     tune: SharedTuneCache,
     limits: Limits,
+    io_timeout: Duration,
     stop: Arc<AtomicBool>,
     quiet: bool,
     started: Instant,
     /// Resolved once at bind; `/healthz` reports it on every probe.
     git_rev: Arc<String>,
+    /// The chaos injector, when this daemon runs under a fault plan.
+    faults: Option<Arc<FaultInjector>>,
+    /// Monotonic connection ordinal — the identity the connection-level
+    /// fault site draws against, so a plan's drops are reproducible.
+    conn_seq: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -115,6 +133,17 @@ impl Server {
             Some(dir) => ResultStore::open(dir)?,
             None => ResultStore::in_memory(),
         });
+        let faults = cfg
+            .chaos
+            .as_ref()
+            .map(|plan| Arc::new(FaultInjector::new(plan.clone())));
+        let run = match &faults {
+            Some(inj) => {
+                store.set_fault_injector(inj.clone());
+                chaos_runner(inj.clone(), run)
+            }
+            None => run,
+        };
         let tune = match &cfg.cache_path {
             Some(path) => SharedTuneCache::load(path)?,
             None => SharedTuneCache::in_memory(),
@@ -134,11 +163,19 @@ impl Server {
             store,
             tune,
             limits: cfg.limits,
+            io_timeout: Duration::from_secs(cfg.io_timeout_secs.max(1)),
             stop: Arc::new(AtomicBool::new(false)),
             quiet: cfg.quiet,
             started: Instant::now(),
             git_rev: Arc::new(em_obs::git_revision()),
+            faults,
+            conn_seq: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// The chaos injector, when this daemon runs under a fault plan.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// The bound address (relevant with port 0).
@@ -170,9 +207,12 @@ impl Server {
                         stats: self.stats.clone(),
                         store: self.store.clone(),
                         limits: self.limits,
+                        io_timeout: self.io_timeout,
                         stop: self.stop.clone(),
                         started: self.started,
                         git_rev: self.git_rev.clone(),
+                        faults: self.faults.clone(),
+                        conn_ordinal: self.conn_seq.fetch_add(1, Ordering::SeqCst),
                     };
                     handles.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
                     handles.retain(|h| !h.is_finished());
@@ -207,6 +247,7 @@ impl Server {
             completed: self.stats.completed.get(),
             failed: self.stats.failed.get(),
             cancelled: self.stats.cancelled.get(),
+            timed_out: self.stats.timeout.get(),
             store_entries: self.store.len(),
             dedupe_rate: self.stats.dedupe_rate(),
             cache_saved,
@@ -214,14 +255,40 @@ impl Server {
     }
 }
 
+/// Wrap the real runner in the chaos plan's solve-site faults: an
+/// injected panic exercises the worker's panic isolation, an injected
+/// slowdown stretches the solve (checking the job's cancel token every
+/// slice, so deadlines and drains stay responsive even while wedged).
+fn chaos_runner(inj: Arc<FaultInjector>, inner: Box<RunFn>) -> Box<RunFn> {
+    Box::new(move |spec, threads, cancel| {
+        match inj.solve_fault(&spec.name) {
+            SolveFault::Panic => panic!("injected: chaos panic for `{}`", spec.name),
+            SolveFault::SlowMs(ms) => {
+                let deadline = Instant::now() + Duration::from_millis(ms);
+                while Instant::now() < deadline {
+                    if let Some(err) = cancel.halt_error() {
+                        return Err(err);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+            SolveFault::None => {}
+        }
+        inner(spec, threads, cancel)
+    })
+}
+
 struct ConnCtx {
     scheduler: Arc<Scheduler>,
     stats: Arc<ServiceStats>,
     store: Arc<ResultStore>,
     limits: Limits,
+    io_timeout: Duration,
     stop: Arc<AtomicBool>,
     started: Instant,
     git_rev: Arc<String>,
+    faults: Option<Arc<FaultInjector>>,
+    conn_ordinal: u64,
 }
 
 /// One routed response plus its accounting: which latency-histogram
@@ -243,9 +310,8 @@ fn routed(endpoint: &'static str, response: Response) -> Routed {
 }
 
 fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
-    // A stalled client must not pin a handler thread forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(ctx.io_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.io_timeout));
     let t0 = Instant::now();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -255,11 +321,31 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
         Ok(Some(req)) => route(&req, ctx),
         Ok(None) => return,
         Err(e) => {
-            ServiceStats::bump(&ctx.stats.rejected_bad);
+            ServiceStats::bump(if matches!(e, HttpError::Timeout(_)) {
+                &ctx.stats.conn_timeouts
+            } else {
+                &ctx.stats.rejected_bad
+            });
             routed("other", Response::error(e.status(), e.message()))
         }
     };
     let mut stream = stream;
+    // Connection-level chaos: render the response but deliver only a
+    // prefix, then drop the socket — the client sees a torn response
+    // and must treat it as a failed exchange.
+    if let Some(inj) = &ctx.faults {
+        if inj.conn_fault(&format!("conn-{}", ctx.conn_ordinal)) == ConnFault::DropMid {
+            let mut bytes = Vec::new();
+            if out.response.write_to(&mut bytes).is_ok() {
+                let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+                let _ = stream.flush();
+            }
+            ctx.stats
+                .latency(out.endpoint)
+                .observe(t0.elapsed().as_secs_f64());
+            return;
+        }
+    }
     if out.response.write_to(&mut stream).is_ok() {
         if let Some(counter) = &out.on_written {
             counter.inc();
@@ -278,6 +364,7 @@ fn route(req: &Request, ctx: &ConnCtx) -> Routed {
         ("GET", ["metrics"]) => routed("/metrics", metrics(ctx)),
         ("POST", ["jobs"]) => routed("/jobs", submit(req, ctx)),
         ("GET", ["jobs", id]) => routed("/jobs/:id", job_status(id, ctx)),
+        ("POST", ["jobs", id, "cancel"]) => routed("/jobs/:id/cancel", cancel_job(id, ctx)),
         ("GET", ["jobs", id, "result"]) => {
             let (response, served) = job_result(id, ctx);
             Routed {
@@ -304,7 +391,10 @@ fn route(req: &Request, ctx: &ConnCtx) -> Routed {
                 ),
             )
         }
-        (m, ["jobs"] | ["healthz"] | ["stats"] | ["metrics"] | ["shutdown"]) => routed(
+        (
+            m,
+            ["jobs"] | ["healthz"] | ["stats"] | ["metrics"] | ["shutdown"] | ["jobs", _, "cancel"],
+        ) => routed(
             "other",
             Response::error(405, &format!("method `{m}` not allowed here")),
         ),
@@ -393,6 +483,30 @@ fn metrics(ctx: &ConnCtx) -> Response {
         &[("result", "miss")],
     )
     .set(store_misses as f64);
+    reg.gauge(
+        "em_store_quarantined",
+        "Artifacts quarantined for failing integrity verification.",
+        &[],
+    )
+    .set(ctx.store.quarantined() as f64);
+    if let Some(inj) = &ctx.faults {
+        let c = inj.counts();
+        for (site, n) in [
+            ("panic", c.panics),
+            ("slow", c.slows),
+            ("disk_error", c.disk_errors),
+            ("truncate", c.truncates),
+            ("bit_flip", c.bit_flips),
+            ("conn_drop", c.conn_drops),
+        ] {
+            reg.gauge(
+                "em_injected_faults",
+                "Faults injected so far by the chaos plan, by site.",
+                &[("site", site)],
+            )
+            .set(n as f64);
+        }
+    }
     let in_use = ctx.stats.threads_in_use.load(Ordering::SeqCst) as f64;
     let peak = ctx.stats.peak_threads_in_use.load(Ordering::SeqCst) as f64;
     reg.gauge(
@@ -424,14 +538,17 @@ fn metrics(ctx: &ConnCtx) -> Response {
 }
 
 fn submit(req: &Request, ctx: &ConnCtx) -> Response {
-    let spec = match parse_submission(&req.body) {
-        Ok(spec) => spec,
+    let submission = match parse_submission(&req.body) {
+        Ok(s) => s,
         Err(e) => {
             ServiceStats::bump(&ctx.stats.rejected_bad);
             return Response::error(400, &e);
         }
     };
-    match ctx.scheduler.submit(spec) {
+    match ctx
+        .scheduler
+        .submit_with_deadline(submission.spec, submission.deadline_ms)
+    {
         Ok(Submission::Cached { key }) => Response::json(
             200,
             &Json::obj(vec![
@@ -463,9 +580,41 @@ fn submit(req: &Request, ctx: &ConnCtx) -> Response {
         Err(SubmitError::Overloaded { queue_depth }) => Response::error(
             429,
             &format!("queue is at its {queue_depth}-job capacity; retry later"),
-        ),
-        Err(SubmitError::ShuttingDown) => Response::error(503, "daemon is draining"),
+        )
+        .with_retry_after(1),
+        Err(SubmitError::ShuttingDown) => {
+            Response::error(503, "daemon is draining").with_retry_after(5)
+        }
         Err(SubmitError::Internal(e)) => Response::error(500, &e),
+    }
+}
+
+fn cancel_job(name: &str, ctx: &ConnCtx) -> Response {
+    let Some(id) = parse_job_name(name) else {
+        return Response::error(400, &format!("malformed job id `{name}`"));
+    };
+    match ctx.scheduler.cancel_job(id) {
+        Ok(outcome) => Response::json(
+            202,
+            &Json::obj(vec![
+                ("job", Json::str(job_name(id))),
+                (
+                    "status",
+                    Json::str(match outcome {
+                        CancelOutcome::Cancelled => "cancelled",
+                        CancelOutcome::Cancelling => "cancelling",
+                    }),
+                ),
+            ]),
+        ),
+        Err(CancelError::UnknownJob) => Response::error(404, &format!("unknown job `{name}`")),
+        Err(CancelError::AlreadyFinished(state)) => Response::error(
+            409,
+            &format!(
+                "job `{name}` already finished as `{}`; nothing to cancel",
+                state.as_str()
+            ),
+        ),
     }
 }
 

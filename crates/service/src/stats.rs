@@ -28,6 +28,7 @@ pub const ENDPOINTS: &[&str] = &[
     "/jobs",
     "/jobs/:id",
     "/jobs/:id/result",
+    "/jobs/:id/cancel",
     "/results/:key",
     "/shutdown",
     "other",
@@ -47,14 +48,20 @@ pub struct ServiceStats {
     pub completed: Arc<Counter>,
     /// Jobs that errored.
     pub failed: Arc<Counter>,
-    /// Jobs cancelled by shutdown before starting.
+    /// Jobs cancelled — by shutdown, `POST /jobs/:id/cancel`, or a
+    /// tripped stop flag mid-solve.
     pub cancelled: Arc<Counter>,
+    /// Jobs whose deadline expired (shed while queued or halted
+    /// mid-solve).
+    pub timeout: Arc<Counter>,
     /// Submissions rejected with 429 (queue full).
     pub rejected_overload: Arc<Counter>,
     /// Submissions rejected with 400/413.
     pub rejected_bad: Arc<Counter>,
     /// `GET .../result` responses actually written to a client.
     pub results_served: Arc<Counter>,
+    /// Connections closed for blowing the socket read/write timeout.
+    pub conn_timeouts: Arc<Counter>,
     /// `engine = "auto"` resolutions answered by the shared tune cache.
     pub tune_hits: Arc<Counter>,
     /// `engine = "auto"` resolutions that ran a tuning search.
@@ -110,6 +117,11 @@ impl ServiceStats {
                 "Jobs that reached a terminal state, by outcome.",
                 &[("outcome", "cancelled")],
             ),
+            timeout: registry.counter(
+                "em_jobs_finished_total",
+                "Jobs that reached a terminal state, by outcome.",
+                &[("outcome", "timeout")],
+            ),
             rejected_overload: registry.counter(
                 "em_admission_rejected_total",
                 "Submissions turned away at admission, by reason.",
@@ -123,6 +135,11 @@ impl ServiceStats {
             results_served: registry.counter(
                 "em_results_served_total",
                 "Result documents successfully written to clients.",
+                &[],
+            ),
+            conn_timeouts: registry.counter(
+                "em_conn_timeouts_total",
+                "Connections closed after hitting the socket read/write timeout.",
                 &[],
             ),
             tune_hits: registry.counter(
@@ -209,6 +226,11 @@ impl ServiceStats {
                 "peak_threads_in_use",
                 Json::Int(self.peak_threads_in_use.load(Ordering::SeqCst) as i64),
             ),
+            // New fields go at the end: consumers of the legacy
+            // document index by name, but its field order is pinned by
+            // the service-api tests.
+            ("timeout", u(&self.timeout)),
+            ("conn_timeouts", u(&self.conn_timeouts)),
         ])
     }
 }

@@ -9,7 +9,9 @@
 //!   that would rather not template TOML —
 //!   `{"builtin": "<catalog name>"}` or `{"toml": "<toml text>"}`,
 //!   optionally overriding `engine` (a kind from
-//!   [`EngineDecl::KINDS`]), `threads`, `lambda_nm` and `max_periods`.
+//!   [`EngineDecl::KINDS`]), `threads`, `lambda_nm`, `max_periods`,
+//!   and attaching a `deadline_ms` job deadline (admission-capped at
+//!   [`MAX_DEADLINE_MS`]).
 //!
 //! The spec is validated here, so every admission failure is a clean
 //! HTTP 400 with the validator's message instead of a queued job that
@@ -18,17 +20,28 @@
 use em_scenarios::spec::EngineDecl;
 use em_scenarios::{library, ScenarioSpec};
 
+/// One decoded `POST /jobs` body: the spec plus job-control options
+/// that are not part of the spec's content identity (a deadline does
+/// not change what is computed, only whether we wait for it).
+#[derive(Clone, Debug)]
+pub struct SubmitRequest {
+    pub spec: ScenarioSpec,
+    /// Optional deadline, milliseconds from admission; capped at
+    /// [`MAX_DEADLINE_MS`].
+    pub deadline_ms: Option<u64>,
+}
+
 /// Parse and validate one submission body.
-pub fn parse_submission(body: &[u8]) -> Result<ScenarioSpec, String> {
+pub fn parse_submission(body: &[u8]) -> Result<SubmitRequest, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let trimmed = text.trim_start();
     if trimmed.is_empty() {
         return Err("empty body (expected a scenario spec)".to_string());
     }
-    let mut spec = if trimmed.starts_with('{') {
+    let (mut spec, deadline_ms) = if trimmed.starts_with('{') {
         parse_compact(trimmed)?
     } else {
-        ScenarioSpec::from_toml_str(text)?
+        (ScenarioSpec::from_toml_str(text)?, None)
     };
     spec.validate()?;
     // Sweeps are legal TOML but (deliberately) not servable: one job id
@@ -43,14 +56,22 @@ pub fn parse_submission(body: &[u8]) -> Result<ScenarioSpec, String> {
     // Serving is bounded work by contract; convergence caps make a
     // single request's cost predictable for admission control.
     spec.convergence.max_periods = spec.convergence.max_periods.min(MAX_PERIODS_CAP);
-    Ok(spec)
+    Ok(SubmitRequest {
+        spec,
+        deadline_ms: deadline_ms.map(|ms| ms.min(MAX_DEADLINE_MS)),
+    })
 }
 
 /// Upper bound on `max_periods` for served jobs (a single request must
 /// not be able to ask for unbounded work).
 pub const MAX_PERIODS_CAP: usize = 200;
 
-fn parse_compact(text: &str) -> Result<ScenarioSpec, String> {
+/// Upper bound on a client-supplied `deadline_ms` (10 minutes): a
+/// deadline is a promise the daemon tracks per job, so it is capped the
+/// same way convergence work is.
+pub const MAX_DEADLINE_MS: u64 = 600_000;
+
+fn parse_compact(text: &str) -> Result<(ScenarioSpec, Option<u64>), String> {
     let doc = em_json::parse(text).map_err(|e| format!("compact JSON form: {e}"))?;
     let obj = doc
         .as_obj()
@@ -58,7 +79,7 @@ fn parse_compact(text: &str) -> Result<ScenarioSpec, String> {
     for (key, _) in obj {
         if !matches!(
             key.as_str(),
-            "builtin" | "toml" | "engine" | "threads" | "lambda_nm" | "max_periods"
+            "builtin" | "toml" | "engine" | "threads" | "lambda_nm" | "max_periods" | "deadline_ms"
         ) {
             return Err(format!("compact JSON form: unknown key `{key}`"));
         }
@@ -128,7 +149,16 @@ fn parse_compact(text: &str) -> Result<ScenarioSpec, String> {
             .ok_or_else(|| "`max_periods` must be a positive integer".to_string())?;
         spec.convergence.max_periods = mp as usize;
     }
-    Ok(spec)
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_i64()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| "`deadline_ms` must be a positive integer".to_string())?
+                as u64,
+        ),
+    };
+    Ok((spec, deadline_ms))
 }
 
 #[cfg(test)]
@@ -139,14 +169,15 @@ mod tests {
     #[test]
     fn toml_bodies_parse_through_the_scenario_codec() {
         let toml = library::builtin("vacuum-slab").unwrap().to_toml_string();
-        let spec = parse_submission(toml.as_bytes()).unwrap();
-        assert_eq!(spec.name, "vacuum-slab");
+        let req = parse_submission(toml.as_bytes()).unwrap();
+        assert_eq!(req.spec.name, "vacuum-slab");
+        assert_eq!(req.deadline_ms, None, "TOML bodies carry no deadline");
     }
 
     #[test]
     fn compact_builtin_with_overrides() {
         let body = br#"{"builtin": "vacuum-slab", "engine": "auto", "lambda_nm": 601.5, "max_periods": 3}"#;
-        let spec = parse_submission(body).unwrap();
+        let spec = parse_submission(body).unwrap().spec;
         assert_eq!(spec.engine, EngineDecl::Auto { threads: 0 });
         assert_eq!(spec.physics.lambda_nm, 601.5);
         assert_eq!(spec.convergence.max_periods, 3);
@@ -161,8 +192,30 @@ mod tests {
             ("threads", Json::Int(2)),
         ])
         .pretty();
-        let spec = parse_submission(body.as_bytes()).unwrap();
+        let spec = parse_submission(body.as_bytes()).unwrap().spec;
         assert_eq!(spec.engine, EngineDecl::Auto { threads: 2 });
+    }
+
+    #[test]
+    fn deadlines_parse_and_are_capped() {
+        let body = br#"{"builtin": "vacuum-slab", "deadline_ms": 1500}"#;
+        assert_eq!(parse_submission(body).unwrap().deadline_ms, Some(1500));
+
+        let body = br#"{"builtin": "vacuum-slab", "deadline_ms": 99999999999}"#;
+        assert_eq!(
+            parse_submission(body).unwrap().deadline_ms,
+            Some(MAX_DEADLINE_MS),
+            "absurd deadlines are capped at admission"
+        );
+
+        for bad in [
+            &br#"{"builtin": "vacuum-slab", "deadline_ms": 0}"#[..],
+            br#"{"builtin": "vacuum-slab", "deadline_ms": -3}"#,
+            br#"{"builtin": "vacuum-slab", "deadline_ms": "soon"}"#,
+        ] {
+            let err = parse_submission(bad).unwrap_err();
+            assert!(err.contains("deadline_ms"), "{err}");
+        }
     }
 
     #[test]
@@ -217,6 +270,6 @@ mod tests {
         let mut spec = library::builtin("vacuum-slab").unwrap();
         spec.convergence.max_periods = 10_000;
         let capped = parse_submission(spec.to_toml_string().as_bytes()).unwrap();
-        assert_eq!(capped.convergence.max_periods, MAX_PERIODS_CAP);
+        assert_eq!(capped.spec.convergence.max_periods, MAX_PERIODS_CAP);
     }
 }

@@ -10,7 +10,10 @@ use em_scenarios::spec::{
     ConvergenceDecl, EngineDecl, GridSpec, PhysicsSpec, ScenarioSpec, SceneDecl,
 };
 use em_scenarios::JobOutcome;
-use em_service::scheduler::{ResultError, Scheduler, SchedulerConfig, Submission, SubmitError};
+use em_service::scheduler::{
+    CancelError, CancelOutcome, JobState, ResultError, Scheduler, SchedulerConfig, Submission,
+    SubmitError,
+};
 use em_service::{ResultStore, ServiceStats};
 use mwd_core::ThreadBudget;
 use std::sync::atomic::Ordering;
@@ -109,8 +112,13 @@ fn start(cfg: SchedulerConfig) -> Harness {
         store.clone(),
         autotune::SharedTuneCache::in_memory(),
         stats.clone(),
-        Box::new(move |spec, _threads| {
+        Box::new(move |spec, _threads, cancel| {
             runner_gate.wait();
+            // Honor the cancellation contract the way the real solver
+            // does at a period boundary: halt with the prefixed error.
+            if let Some(e) = cancel.halt_error() {
+                return Err(e);
+            }
             Ok(ok_outcome(spec))
         }),
     )
@@ -351,7 +359,7 @@ fn failed_jobs_report_and_are_not_stored() {
         store.clone(),
         autotune::SharedTuneCache::in_memory(),
         stats.clone(),
-        Box::new(|spec, _| {
+        Box::new(|spec, _, _| {
             if spec.physics.lambda_nm < 600.0 {
                 Err("solver exploded".to_string())
             } else {
@@ -386,5 +394,145 @@ fn failed_jobs_report_and_are_not_stored() {
         Submission::Queued { .. }
     ));
     scheduler.wait_idle(Duration::from_secs(20));
+    scheduler.shutdown();
+}
+
+#[test]
+fn targeted_cancel_hits_queued_and_running_jobs() {
+    let h = start(SchedulerConfig {
+        workers: 1,
+        queue_depth: 8,
+        budget: ThreadBudget::new(1),
+        ..Default::default()
+    });
+    let a = match h.scheduler.submit(spec(610.0, EngineDecl::Naive)).unwrap() {
+        Submission::Queued { job, .. } => job,
+        other => panic!("{other:?}"),
+    };
+    wait_running(&h.scheduler, 1);
+    let b = match h.scheduler.submit(spec(611.0, EngineDecl::Naive)).unwrap() {
+        Submission::Queued { job, .. } => job,
+        other => panic!("{other:?}"),
+    };
+
+    assert_eq!(h.scheduler.cancel_job(9999), Err(CancelError::UnknownJob));
+    // Queued: terminal right away, without ever consuming the worker.
+    assert_eq!(h.scheduler.cancel_job(b), Ok(CancelOutcome::Cancelled));
+    let state_of = |id: u64| {
+        h.scheduler
+            .job_json(id)
+            .unwrap()
+            .get("state")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(state_of(b), "cancelled");
+    assert_eq!(
+        h.scheduler.cancel_job(b),
+        Err(CancelError::AlreadyFinished(JobState::Cancelled))
+    );
+    // Running: the token trips now, the job halts at its next
+    // checkpoint (here: right after the gate opens).
+    assert_eq!(h.scheduler.cancel_job(a), Ok(CancelOutcome::Cancelling));
+    h.gate.open();
+    assert!(h.scheduler.wait_idle(Duration::from_secs(20)));
+    assert_eq!(state_of(a), "cancelled");
+    match h.scheduler.result_bytes(a) {
+        Err(ResultError::JobFailed(e)) => assert!(e.starts_with("cancelled:"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(h.stats.cancelled.get(), 2);
+    assert_eq!(h.stats.completed.get(), 0, "neither job produced work");
+    assert!(h.store.is_empty());
+    // The cancelled-while-queued id is still in the queue's backlog;
+    // the claim loop must shed it silently (this used to panic).
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn expired_deadlines_shed_queued_jobs_as_timeouts() {
+    let h = start(SchedulerConfig {
+        workers: 1,
+        queue_depth: 8,
+        budget: ThreadBudget::new(1),
+        ..Default::default()
+    });
+    // Occupy the only worker, then queue a job with a deadline shorter
+    // than its queue wait.
+    h.scheduler.submit(spec(620.0, EngineDecl::Naive)).unwrap();
+    wait_running(&h.scheduler, 1);
+    let b = match h
+        .scheduler
+        .submit_with_deadline(spec(621.0, EngineDecl::Naive), Some(30))
+        .unwrap()
+    {
+        Submission::Queued { job, .. } => job,
+        other => panic!("{other:?}"),
+    };
+    std::thread::sleep(Duration::from_millis(60));
+    h.gate.open();
+    assert!(h.scheduler.wait_idle(Duration::from_secs(20)));
+    let doc = h.scheduler.job_json(b).unwrap();
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("timeout"));
+    let err = doc.get("error").unwrap().as_str().unwrap().to_string();
+    assert!(
+        err.starts_with("timeout:") && err.contains("while queued"),
+        "{err}"
+    );
+    assert_eq!(h.stats.timeout.get(), 1);
+    assert_eq!(h.stats.completed.get(), 1, "the first job still finished");
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn deadline_halts_a_running_job_as_a_timeout() {
+    let stats = Arc::new(ServiceStats::default());
+    let store = Arc::new(ResultStore::in_memory());
+    // A runner that (like the real solver loop) polls the token between
+    // work quanta and halts with its prefixed error.
+    let scheduler = Scheduler::start(
+        SchedulerConfig {
+            workers: 1,
+            budget: ThreadBudget::new(1),
+            ..Default::default()
+        },
+        store.clone(),
+        autotune::SharedTuneCache::in_memory(),
+        stats.clone(),
+        Box::new(|_, _, cancel| {
+            let give_up = Instant::now() + Duration::from_secs(20);
+            loop {
+                if let Some(e) = cancel.halt_error() {
+                    return Err(e);
+                }
+                assert!(Instant::now() < give_up, "deadline never tripped");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }),
+    )
+    .unwrap();
+    let t0 = Instant::now();
+    let id = match scheduler
+        .submit_with_deadline(spec(630.0, EngineDecl::Naive), Some(50))
+        .unwrap()
+    {
+        Submission::Queued { job, .. } => job,
+        other => panic!("{other:?}"),
+    };
+    assert!(scheduler.wait_idle(Duration::from_secs(20)));
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "halted promptly, not at the runner's give-up horizon"
+    );
+    let doc = scheduler.job_json(id).unwrap();
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("timeout"));
+    match scheduler.result_bytes(id) {
+        Err(ResultError::JobFailed(e)) => assert!(e.starts_with("timeout:"), "{e}"),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(stats.timeout.get(), 1);
+    assert!(store.is_empty(), "timeouts are never cached");
     scheduler.shutdown();
 }

@@ -299,14 +299,14 @@ fn overloaded_queue_returns_429_over_http() {
     cfg.scheduler.queue_depth = 1;
     let server = Server::bind_with_runner(
         &cfg,
-        Box::new(move |spec, threads| {
+        Box::new(move |spec, threads, cancel| {
             let (lock, cv) = &*runner_gate;
             let mut open = lock.lock().unwrap();
             while !*open {
                 open = cv.wait(open).unwrap();
             }
             drop(open);
-            em_service::scheduler::solve_runner(spec, threads)
+            em_service::scheduler::solve_runner(spec, threads, cancel)
         }),
     )
     .unwrap();

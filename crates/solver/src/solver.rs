@@ -14,7 +14,7 @@ use crate::source::SourceSpec;
 use em_field::{norms, FieldSet, GridDims, State};
 use em_kernels::boundary::{step_naive_with_boundary, Boundary};
 use em_kernels::{step_spatial_mt, SpatialConfig};
-use mwd_core::MwdConfig;
+use mwd_core::{CancelToken, MwdConfig};
 
 /// Execution engine selection.
 #[derive(Clone, Debug)]
@@ -125,40 +125,64 @@ impl ThiimSolver {
 
     /// Advance `n` time steps on the chosen engine.
     pub fn step_n(&mut self, engine: &Engine, n: usize) -> Result<(), String> {
+        self.step_n_cancel(engine, n, &CancelToken::none())
+    }
+
+    /// [`Self::step_n`] observing a [`CancelToken`]. The MWD engines
+    /// check at every tile claim; the sequential engines check once
+    /// per time step. On a halt the fields are mid-update and must be
+    /// discarded along with the returned prefixed error.
+    pub fn step_n_cancel(
+        &mut self,
+        engine: &Engine,
+        n: usize,
+        cancel: &CancelToken,
+    ) -> Result<(), String> {
         match engine {
             Engine::Naive => {
                 for _ in 0..n {
+                    if let Some(err) = cancel.halt_error() {
+                        return Err(err);
+                    }
                     step_naive_with_boundary(&mut self.state, Boundary::Dirichlet);
                 }
             }
             Engine::NaivePeriodicXY => {
                 for _ in 0..n {
+                    if let Some(err) = cancel.halt_error() {
+                        return Err(err);
+                    }
                     step_naive_with_boundary(&mut self.state, Boundary::PeriodicXY);
                 }
             }
             Engine::Spatial { cfg, threads } => {
                 for _ in 0..n {
+                    if let Some(err) = cancel.halt_error() {
+                        return Err(err);
+                    }
                     step_spatial_mt(&mut self.state, *cfg, *threads);
                 }
             }
             Engine::Mwd(cfg) => {
-                mwd_core::run_mwd_bc_rec(
+                mwd_core::run_mwd_bc_rec_cancel(
                     &mut self.state,
                     cfg,
                     n,
                     mwd_core::MwdBoundary::Dirichlet,
                     &self.recorder,
                     self.trace_parent,
+                    cancel,
                 )?;
             }
             Engine::MwdPeriodicX(cfg) => {
-                mwd_core::run_mwd_bc_rec(
+                mwd_core::run_mwd_bc_rec_cancel(
                     &mut self.state,
                     cfg,
                     n,
                     mwd_core::MwdBoundary::PeriodicX,
                     &self.recorder,
                     self.trace_parent,
+                    cancel,
                 )?;
             }
         }
@@ -174,11 +198,26 @@ impl ThiimSolver {
         tol: f64,
         max_periods: usize,
     ) -> Result<ConvergenceReport, String> {
+        self.run_to_convergence_cancel(engine, tol, max_periods, &CancelToken::none())
+    }
+
+    /// [`Self::run_to_convergence`] observing a [`CancelToken`]: the
+    /// token is checked at least once per period (and within the
+    /// period by the engines themselves), so a cancelled or expired
+    /// job halts within one solver period of the event — returning the
+    /// token's prefixed halt error instead of a report.
+    pub fn run_to_convergence_cancel(
+        &mut self,
+        engine: &Engine,
+        tol: f64,
+        max_periods: usize,
+        cancel: &CancelToken,
+    ) -> Result<ConvergenceReport, String> {
         let spp = self.steps_per_period();
         let mut prev: Option<FieldSet> = None;
         let mut rel = f64::INFINITY;
         for period in 1..=max_periods {
-            self.step_n(engine, spp)?;
+            self.step_n_cancel(engine, spp, cancel)?;
             if let Some(p) = &prev {
                 rel = norms::relative_change(&self.state.fields, p);
                 if rel < tol {
@@ -226,6 +265,40 @@ mod tests {
         let spp = s.steps_per_period();
         let period = std::f64::consts::TAU / s.omega;
         assert!((spp as f64 * s.tau - period).abs() < s.tau);
+    }
+
+    #[test]
+    fn expired_token_halts_before_stepping_with_timeout_error() {
+        let mut s = ThiimSolver::new(vacuum_wave_config(32, 12.0));
+        let token = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        let err = s
+            .run_to_convergence_cancel(&Engine::NaivePeriodicXY, 1e-2, 50, &token)
+            .unwrap_err();
+        assert!(
+            err.starts_with(mwd_core::cancel::TIMEOUT_PREFIX),
+            "want timeout prefix, got: {err}"
+        );
+        assert_eq!(s.steps_done(), 0, "expired token must not advance fields");
+    }
+
+    #[test]
+    fn cancelled_token_halts_the_mwd_engine_with_cancelled_error() {
+        let mut s = ThiimSolver::new(vacuum_wave_config(32, 12.0));
+        let token = CancelToken::none();
+        token.cancel();
+        let cfg = MwdConfig {
+            dw: 4,
+            bz: 2,
+            tg: mwd_core::TgShape { x: 1, z: 1, c: 3 },
+            groups: 2,
+        };
+        let err = s
+            .run_to_convergence_cancel(&Engine::Mwd(cfg), 1e-2, 50, &token)
+            .unwrap_err();
+        assert!(
+            err.starts_with(mwd_core::cancel::CANCELLED_PREFIX),
+            "want cancelled prefix, got: {err}"
+        );
     }
 
     #[test]

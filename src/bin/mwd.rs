@@ -96,6 +96,14 @@ SERVE OPTIONS:
     --queue-depth <n>   queued-job cap before 429 (default 32)
     --refine <k>        native probes per auto-tuning miss (default 0)
     --memory-store      keep results in memory only (no --out directory)
+    --io-timeout-secs <n>  per-connection socket read/write timeout
+                        (default 10; timed-out connections are counted
+                        in /metrics as em_conn_timeouts_total)
+    --chaos <plan>      deterministic fault injection, e.g.
+                        `seed=42,panic=0.05,slow=0.2:1500,disk-error=0.05,
+                        truncate=0.05,bit-flip=0.05,conn-drop=0.1`
+                        (testing only; injected-fault counts appear in
+                        /metrics as em_injected_faults)
 ";
 
 fn main() -> ExitCode {
@@ -173,6 +181,8 @@ struct CliOpts {
     queue_depth: Option<usize>,
     memory_store: bool,
     trace: Option<PathBuf>,
+    io_timeout_secs: Option<u64>,
+    chaos: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
@@ -193,6 +203,8 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
         queue_depth: None,
         memory_store: false,
         trace: None,
+        io_timeout_secs: None,
+        chaos: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -222,6 +234,16 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
             "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
             "--queue-depth" => o.queue_depth = Some(count("--queue-depth")?),
             "--memory-store" => o.memory_store = true,
+            "--io-timeout-secs" => {
+                o.io_timeout_secs = Some(
+                    value("--io-timeout-secs")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--io-timeout-secs needs a positive integer")?,
+                )
+            }
+            "--chaos" => o.chaos = Some(value("--chaos")?),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`; try `mwd help`"))
             }
@@ -297,6 +319,7 @@ fn cmd_run_or_batch(args: &[String], batch: bool) -> Result<ExitCode, String> {
         quiet: o.quiet,
         tune,
         stop: Some(stop),
+        cancel: None,
         trace: recorder.clone(),
     };
     if let Some(kind) = &o.engine {
@@ -382,9 +405,18 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             )
         },
         cache_path: Some(o.cache.unwrap_or_else(tuner::default_cache_path)),
+        io_timeout_secs: o.io_timeout_secs.unwrap_or(10),
+        chaos: o
+            .chaos
+            .as_deref()
+            .map(|p| em_faults::FaultPlan::parse(p).map_err(|e| format!("--chaos: {e}")))
+            .transpose()?,
         quiet: o.quiet,
         limits: Default::default(),
     };
+    if let Some(plan) = &cfg.chaos {
+        println!("chaos plan active: {}", plan.to_compact());
+    }
     let server = em_service::Server::bind(&cfg)?;
     em_service::shutdown::install(server.stop_flag());
     let sched = server.scheduler();
@@ -400,12 +432,13 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
 
     let summary = server.run()?;
     println!(
-        "served {} request(s): {} completed, {} failed, {} cancelled; \
+        "served {} request(s): {} completed, {} failed, {} cancelled, {} timed out; \
          {} stored result(s), dedupe rate {:.0}%{}",
         summary.requests,
         summary.completed,
         summary.failed,
         summary.cancelled,
+        summary.timed_out,
         summary.store_entries,
         100.0 * summary.dedupe_rate,
         if summary.cache_saved {

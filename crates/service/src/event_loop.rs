@@ -1,0 +1,817 @@
+//! The epoll connection plane: a non-blocking event loop hand-rolled
+//! on `std::os::fd` (this environment has no crates.io, so no `mio`).
+//!
+//! One thread owns every socket. Connections are edge-triggered
+//! (`EPOLLIN | EPOLLRDHUP | EPOLLET`) state machines:
+//!
+//! ```text
+//!   Reading ──complete request──▶ Routing ──response──▶ Writing
+//!      ▲                                                  │
+//!      └—————————— keep-alive (pipelined bytes kept) ——————┘
+//! ```
+//!
+//! * **Reading** — drain the socket into a per-connection buffer and
+//!   run the shared incremental parser ([`crate::http::parse_request`])
+//!   over it. Pipelined requests queue in the buffer; one request is in
+//!   flight per connection at a time, so responses come back in order.
+//! * **Routing** — cheap requests (every route but `POST /jobs`) are
+//!   routed *inline* on the loop thread: status lookups, stats, and
+//!   cached-artifact reads are O(lock + lookup), and skipping the
+//!   thread hand-off is what lets a pipelined keep-alive connection
+//!   stream responses at memory speed. `POST /jobs` — whose admission
+//!   may run a tuning search (`engine = "auto"` on a cold cache) — goes
+//!   to the small router pool instead, which calls the same [`route`]
+//!   as the blocking plane (solve work dispatches to the scheduler's
+//!   workers from there) and posts the response back through the wake
+//!   pipe.
+//! * **Writing** — the rendered bytes flush through non-blocking
+//!   writes, registering `EPOLLOUT` interest only while the socket is
+//!   full (streaming for large artifacts: no thread blocks on a slow
+//!   reader).
+//!
+//! The listener is level-triggered and *deregistered* whenever the
+//! connection count reaches the configured cap — accept backpressure
+//! without a busy loop; the kernel backlog holds new arrivals until a
+//! slot frees.
+//!
+//! Timeouts are a total per-request wall-clock budget, armed at the
+//! first byte of each request (or at accept, for a connection that has
+//! never spoken): expiry answers 408 and counts `conn_timeouts`,
+//! exactly like the blocking plane, so slowloris trickles cannot hold
+//! a slot. An *idle* keep-alive connection that has already been
+//! served closes silently instead — it owes no response.
+//!
+//! Connection-level chaos faults inject here too: the drop-site draws
+//! against `conn-{ordinal}` for the first response on a connection
+//! (identical to the blocking plane) and `conn-{ordinal}.{n}` for
+//! keep-alive follow-ups.
+
+use crate::http::{parse_request, HttpError, Response};
+use crate::server::{route, routed, Routed, ServeCtx, Server};
+use crate::stats::ServiceStats;
+use em_faults::ConnFault;
+use em_obs::Counter;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// Raw epoll/pipe syscalls through the C library, same idiom as the
+// signal hooks in `crate::shutdown` — no `libc` crate in this
+// environment. Values are the Linux ABI constants.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(pipefd: *mut i32, flags: i32) -> i32;
+}
+
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const O_NONBLOCK: i32 = 0x800;
+const O_CLOEXEC: i32 = 0x80000;
+
+/// `struct epoll_event`; packed on x86-64 (the kernel ABI there), the
+/// natural C layout everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Thin safe wrapper over one epoll instance.
+struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    fn new() -> Result<Poller, String> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(format!(
+                "epoll_create1 failed: {}",
+                std::io::Error::last_os_error()
+            ));
+        }
+        Ok(Poller {
+            epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, events: u32) -> std::io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let evp = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        if unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, evp) } < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, token: u64, events: u32) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    fn modify(&self, fd: RawFd, token: u64, events: u32) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    fn delete(&self, fd: RawFd) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness; `Ok(0)` on timeout or `EINTR`.
+    fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> std::io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.epfd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = std::io::Error::last_os_error();
+            if e.kind() == ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+}
+
+/// A non-blocking self-wake pipe: router threads write a byte to nudge
+/// the loop out of `epoll_wait` when a response is ready.
+fn wake_pipe() -> Result<(File, File), String> {
+    let mut fds = [0i32; 2];
+    if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+        return Err(format!("pipe2 failed: {}", std::io::Error::last_os_error()));
+    }
+    let read = unsafe { OwnedFd::from_raw_fd(fds[0]) };
+    let write = unsafe { OwnedFd::from_raw_fd(fds[1]) };
+    Ok((File::from(read), File::from(write)))
+}
+
+const TOKEN_WAKE: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long the loop lingers after the stop flag to flush in-flight
+/// responses before closing whatever remains.
+const DRAIN_BUDGET: Duration = Duration::from_secs(5);
+
+enum ConnState {
+    /// Accumulating bytes until the parser frames a request.
+    Reading,
+    /// A request is on the router pool; its response will arrive
+    /// through the completion queue.
+    Routing,
+    /// Flushing `write_buf`.
+    Writing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// The chaos-identity ordinal (`conn-{ordinal}`), shared numbering
+    /// with the blocking plane.
+    ordinal: u64,
+    state: ConnState,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Latency series for the response being written.
+    endpoint: &'static str,
+    /// Deferred `results_served`-style bump, fired only when the last
+    /// byte is out.
+    on_written: Option<Arc<Counter>>,
+    close_after_write: bool,
+    /// Whether a request is currently consuming its wall-clock budget
+    /// (true from accept until the first response, and from the first
+    /// byte of each follow-up request).
+    in_request: bool,
+    /// Start of the current request, for the latency histograms.
+    t0: Instant,
+    /// When the budget (or the idle keep-alive grace) expires.
+    deadline: Instant,
+    /// Responses fully delivered on this connection.
+    served: u64,
+    /// `EPOLLRDHUP`/EOF seen: the peer sends nothing further.
+    peer_closed: bool,
+    /// `EPOLLOUT` interest currently registered.
+    want_write: bool,
+    /// Reading stopped at the buffer cap with socket data pending;
+    /// resume after the in-flight response (edge-triggered epoll will
+    /// not re-announce it).
+    read_paused: bool,
+}
+
+/// A request handed to the router pool.
+struct RouteJob {
+    token: u64,
+    req: crate::http::Request,
+}
+
+/// Whether a request routes inline on the loop thread. Everything is
+/// O(lock + lookup) except `POST /jobs`, whose admission may run a
+/// tuning search (`engine = "auto"` on a cold cache) that must not
+/// stall the connection plane.
+fn routes_inline(req: &crate::http::Request) -> bool {
+    !(req.method == "POST" && req.path().split('/').filter(|s| !s.is_empty()).eq(["jobs"]))
+}
+
+/// A routed response on its way back to the loop.
+struct Completion {
+    token: u64,
+    out: Routed,
+}
+
+pub(crate) fn run(server: &Server) -> Result<(), String> {
+    let ctx = Arc::new(server.serve_ctx());
+    let poller = Poller::new()?;
+    let (wake_rx, wake_tx) = wake_pipe()?;
+    poller
+        .add(wake_rx.as_raw_fd(), TOKEN_WAKE, EPOLLIN)
+        .map_err(|e| format!("cannot register the wake pipe: {e}"))?;
+    poller
+        .add(server.listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)
+        .map_err(|e| format!("cannot register the listener: {e}"))?;
+
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let (route_tx, route_rx) = mpsc::channel::<RouteJob>();
+    let route_rx = Arc::new(Mutex::new(route_rx));
+    // Routing is cheap (parse + scheduler enqueue + JSON rendering) but
+    // can touch locks and disk, so it runs off-loop on a couple of
+    // threads; solves still run on the scheduler's worker pool.
+    let routers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 4);
+    let router_handles: Vec<_> = (0..routers)
+        .map(|_| {
+            let ctx = ctx.clone();
+            let rx = route_rx.clone();
+            let completions = completions.clone();
+            let wake = wake_tx.try_clone().map_err(|e| e.to_string())?;
+            Ok(std::thread::spawn(move || loop {
+                let job = match rx.lock().unwrap().recv() {
+                    Ok(job) => job,
+                    Err(_) => return,
+                };
+                let out = route(&job.req, &ctx);
+                completions.lock().unwrap().push(Completion {
+                    token: job.token,
+                    out,
+                });
+                // A full pipe already guarantees a pending wake-up.
+                let _ = (&wake).write(&[1u8]);
+            }))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let mut lp = Loop {
+        server,
+        ctx,
+        poller,
+        wake_rx,
+        route_tx: Some(route_tx),
+        completions,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        listener_armed: true,
+        accept_backoff_until: None,
+        draining: false,
+    };
+    let result = lp.serve();
+    // Closing the channel ends the router threads once the backlog is
+    // routed; their completions have no connections left and are
+    // dropped.
+    lp.route_tx = None;
+    for h in router_handles {
+        let _ = h.join();
+    }
+    result
+}
+
+struct Loop<'a> {
+    server: &'a Server,
+    ctx: Arc<ServeCtx>,
+    poller: Poller,
+    wake_rx: File,
+    route_tx: Option<mpsc::Sender<RouteJob>>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    listener_armed: bool,
+    /// Set after a non-transient accept error; the listener stays
+    /// disarmed until it passes so an error storm cannot spin the loop.
+    accept_backoff_until: Option<Instant>,
+    draining: bool,
+}
+
+impl Loop<'_> {
+    fn serve(&mut self) -> Result<(), String> {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 256];
+        let mut drain_deadline = Instant::now();
+        loop {
+            if !self.draining && self.ctx.stop.load(Ordering::SeqCst) {
+                self.begin_drain();
+                drain_deadline = Instant::now() + DRAIN_BUDGET;
+            }
+            if self.draining && (self.conns.is_empty() || Instant::now() >= drain_deadline) {
+                break;
+            }
+            // Bounded wait so the stop flag and the deadline sweep run
+            // at least every 100 ms.
+            let n = self
+                .poller
+                .wait(&mut events, 100)
+                .map_err(|e| format!("epoll_wait failed: {e}"))?;
+            for ev in events.iter().take(n) {
+                // Copy out of the (packed) event before touching it.
+                let (bits, token) = (ev.events, ev.data);
+                match token {
+                    TOKEN_WAKE => self.drain_wake_pipe(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_event(token, bits),
+                }
+            }
+            self.deliver_completions();
+            self.sweep_deadlines();
+            self.maybe_rearm_listener();
+        }
+        Ok(())
+    }
+
+    /// Stop accepting and give in-flight exchanges a bounded window to
+    /// finish. Connections that owe no response close immediately —
+    /// including half-parsed ones; their clients see a clean close and
+    /// retry against whatever replaces this daemon.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.disarm_listener();
+        if !self.server.quiet {
+            eprintln!("draining: waiting for in-flight responses and jobs ...");
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Reading))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+    }
+
+    fn disarm_listener(&mut self) {
+        if self.listener_armed {
+            let _ = self.poller.delete(self.server.listener.as_raw_fd());
+            self.listener_armed = false;
+        }
+    }
+
+    fn maybe_rearm_listener(&mut self) {
+        if self.draining || self.listener_armed || self.conns.len() >= self.server.max_connections {
+            return;
+        }
+        if let Some(until) = self.accept_backoff_until {
+            if Instant::now() < until {
+                return;
+            }
+            self.accept_backoff_until = None;
+        }
+        if self
+            .poller
+            .add(self.server.listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)
+            .is_ok()
+        {
+            self.listener_armed = true;
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        while !self.draining {
+            if self.conns.len() >= self.server.max_connections {
+                // At the cap: deregister and let the kernel backlog
+                // hold arrivals until a connection closes.
+                self.disarm_listener();
+                return;
+            }
+            match self.server.listener.accept() {
+                Ok((stream, _peer)) => self.register_conn(stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) => {
+                    // Same stance as the blocking plane: transient
+                    // accept failures (ECONNABORTED, EMFILE) must not
+                    // tear the daemon down. Back the listener off
+                    // briefly so an EMFILE storm cannot spin the loop.
+                    if !self.server.quiet {
+                        eprintln!("accept failed (continuing): {e}");
+                    }
+                    self.disarm_listener();
+                    self.accept_backoff_until = Some(Instant::now() + Duration::from_millis(100));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, EPOLLIN | EPOLLRDHUP | EPOLLET)
+            .is_err()
+        {
+            return;
+        }
+        let now = Instant::now();
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                ordinal: self.server.conn_seq.fetch_add(1, Ordering::SeqCst),
+                state: ConnState::Reading,
+                read_buf: Vec::new(),
+                write_buf: Vec::new(),
+                written: 0,
+                endpoint: "other",
+                on_written: None,
+                close_after_write: false,
+                // A fresh connection is inside its first request's
+                // budget from the moment it connects — a silent client
+                // earns the same 408 the blocking plane gives it.
+                in_request: true,
+                t0: now,
+                deadline: now + self.ctx.io_timeout,
+                served: 0,
+                peer_closed: false,
+                want_write: false,
+                read_paused: false,
+            },
+        );
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, bits: u32) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if bits & EPOLLRDHUP != 0 {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.peer_closed = true;
+            }
+        }
+        if bits & EPOLLIN != 0 && !self.fill_read_buf(token) {
+            return;
+        }
+        if let Some(conn) = self.conns.get(&token) {
+            if matches!(conn.state, ConnState::Reading) {
+                self.try_parse(token);
+            }
+        }
+        if bits & EPOLLOUT != 0 {
+            if let Some(conn) = self.conns.get(&token) {
+                if matches!(conn.state, ConnState::Writing) {
+                    self.continue_write(token);
+                }
+            }
+        }
+    }
+
+    /// Drain the socket into the connection's read buffer (required
+    /// under edge-triggered epoll). Returns false if the connection was
+    /// torn down.
+    fn fill_read_buf(&mut self, token: u64) -> bool {
+        // Enough for the largest legal request plus pipelined
+        // follow-ups; past this the socket stays unread until the
+        // backlog drains.
+        let cap = self.ctx.limits.max_header_bytes + self.ctx.limits.max_body_bytes + 16 * 1024;
+        let mut chunk = [0u8; 8192];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if conn.read_buf.len() >= cap {
+                conn.read_paused = true;
+                return true;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    conn.read_paused = false;
+                    return true;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    conn.read_paused = false;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    conn.read_paused = false;
+                    return true;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Try to frame one request out of the read buffer and hand it to
+    /// the router pool. Runs only in `Reading` state: one request in
+    /// flight per connection keeps responses in pipeline order.
+    fn try_parse(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.read_buf.is_empty() {
+            if conn.peer_closed {
+                // EOF between requests: a clean close, not a request.
+                self.close_conn(token);
+            }
+            return;
+        }
+        if !conn.in_request {
+            // First byte of a follow-up request arms its budget.
+            conn.in_request = true;
+            conn.t0 = Instant::now();
+            conn.deadline = conn.t0 + self.ctx.io_timeout;
+        }
+        match parse_request(&conn.read_buf, &self.ctx.limits) {
+            Ok(Some((req, consumed))) => {
+                conn.read_buf.drain(..consumed);
+                conn.state = ConnState::Routing;
+                conn.close_after_write = !req.keep_alive;
+                ServiceStats::bump(&self.ctx.stats.requests);
+                if routes_inline(&req) {
+                    let out = route(&req, &self.ctx);
+                    self.queue_response(token, out);
+                } else if let Some(tx) = &self.route_tx {
+                    let _ = tx.send(RouteJob { token, req });
+                }
+            }
+            Ok(None) => {
+                if conn.peer_closed {
+                    // Half-close mid-request: the head (or body) can
+                    // never complete. Answer 400 — the client's write
+                    // side is gone but its read side may be listening.
+                    ServiceStats::bump(&self.ctx.stats.requests);
+                    ServiceStats::bump(&self.ctx.stats.rejected_bad);
+                    conn.state = ConnState::Routing;
+                    conn.close_after_write = true;
+                    let out = routed(
+                        "other",
+                        Response::error(400, "connection closed mid-request"),
+                    );
+                    self.queue_response(token, out);
+                }
+            }
+            Err(e) => {
+                ServiceStats::bump(&self.ctx.stats.requests);
+                ServiceStats::bump(if matches!(e, HttpError::Timeout(_)) {
+                    &self.ctx.stats.conn_timeouts
+                } else {
+                    &self.ctx.stats.rejected_bad
+                });
+                conn.state = ConnState::Routing;
+                // The framing is untrustworthy after a parse error;
+                // never keep the connection.
+                conn.close_after_write = true;
+                let out = routed("other", Response::error(e.status(), e.message()));
+                self.queue_response(token, out);
+            }
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        let ready: Vec<Completion> = {
+            let mut guard = self.completions.lock().unwrap();
+            std::mem::take(&mut *guard)
+        };
+        for completion in ready {
+            // The connection may have died while its request was being
+            // routed; the response (and its deferred counters) is
+            // simply dropped, same as a failed write on the blocking
+            // plane.
+            if self.conns.contains_key(&completion.token) {
+                self.queue_response(completion.token, completion.out);
+            }
+        }
+    }
+
+    /// Render a response for this connection (applying the chaos
+    /// drop-site) and start flushing it.
+    fn queue_response(&mut self, token: u64, out: Routed) {
+        let draining = self.draining;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if draining {
+            conn.close_after_write = true;
+        }
+        let mut bytes = out.response.render(!conn.close_after_write);
+        conn.endpoint = out.endpoint;
+        conn.on_written = out.on_written;
+        if let Some(inj) = &self.ctx.faults {
+            // First response on a connection draws the same identity
+            // as the blocking plane; keep-alive follow-ups get their
+            // own draw per response ordinal.
+            let ident = if conn.served == 0 {
+                format!("conn-{}", conn.ordinal)
+            } else {
+                format!("conn-{}.{}", conn.ordinal, conn.served)
+            };
+            if inj.conn_fault(&ident) == ConnFault::DropMid {
+                bytes.truncate(bytes.len() / 2);
+                conn.close_after_write = true;
+                // A torn response never reached the client; the
+                // deferred counter must not fire.
+                conn.on_written = None;
+            }
+        }
+        conn.write_buf = bytes;
+        conn.written = 0;
+        conn.state = ConnState::Writing;
+        // The write gets its own budget (the blocking plane's write
+        // timeout); the request budget may be nearly spent by now.
+        conn.deadline = Instant::now() + self.ctx.io_timeout;
+        self.continue_write(token);
+    }
+
+    /// Flush as much of the write buffer as the socket accepts,
+    /// registering `EPOLLOUT` interest only while it is full.
+    fn continue_write(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.written >= conn.write_buf.len() {
+                self.finish_response(token);
+                return;
+            }
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self.poller.modify(
+                            conn.stream.as_raw_fd(),
+                            token,
+                            EPOLLIN | EPOLLRDHUP | EPOLLOUT | EPOLLET,
+                        );
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The last byte of a response is out: settle its accounting and
+    /// either close or return to `Reading` for the next (possibly
+    /// already-buffered) request.
+    fn finish_response(&mut self, token: u64) {
+        let draining = self.draining;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        self.ctx
+            .stats
+            .latency(conn.endpoint)
+            .observe(conn.t0.elapsed().as_secs_f64());
+        if let Some(counter) = conn.on_written.take() {
+            counter.inc();
+        }
+        conn.served += 1;
+        conn.write_buf = Vec::new();
+        conn.written = 0;
+        if conn.close_after_write || draining {
+            self.close_conn(token);
+            return;
+        }
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = self.poller.modify(
+                conn.stream.as_raw_fd(),
+                token,
+                EPOLLIN | EPOLLRDHUP | EPOLLET,
+            );
+        }
+        conn.state = ConnState::Reading;
+        conn.in_request = false;
+        // Idle keep-alive grace: a connection that owes nothing closes
+        // silently when this expires (re-armed as a request budget at
+        // the next first byte).
+        conn.deadline = Instant::now() + self.ctx.io_timeout;
+        let resume_read = conn.read_paused;
+        if resume_read && !self.fill_read_buf(token) {
+            return;
+        }
+        // Pipelined bytes may already hold the next request.
+        self.try_parse(token);
+    }
+
+    /// Enforce per-connection deadlines: 408 for an expired in-flight
+    /// request (slowloris, silent connection), silent close for an
+    /// idle keep-alive connection, teardown for a stalled writer.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| now >= c.deadline)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            match conn.state {
+                ConnState::Reading if conn.in_request => {
+                    // The request's total wall-clock budget ran out
+                    // before it framed: same 408 + `conn_timeouts`
+                    // accounting as the blocking plane.
+                    ServiceStats::bump(&self.ctx.stats.requests);
+                    ServiceStats::bump(&self.ctx.stats.conn_timeouts);
+                    conn.state = ConnState::Routing;
+                    conn.close_after_write = true;
+                    let out = routed(
+                        "other",
+                        Response::error(408, "request exceeded its wall-clock budget"),
+                    );
+                    self.queue_response(token, out);
+                }
+                ConnState::Reading => {
+                    // Idle keep-alive connection: owes no response.
+                    self.close_conn(token);
+                }
+                // A routed request is the scheduler's to finish; its
+                // response is coming. Re-check next sweep.
+                ConnState::Routing => {}
+                ConnState::Writing => {
+                    // A reader stalled longer than the budget mid-
+                    // response: drop it, like a blocking-plane write
+                    // timeout.
+                    self.close_conn(token);
+                }
+            }
+        }
+    }
+}

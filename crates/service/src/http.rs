@@ -2,16 +2,33 @@
 //!
 //! Hand-rolled on `std::io` for the same reason as the TOML and JSON
 //! codecs: this environment has no crates.io, and the service only
-//! needs a small, well-policed subset — one request per connection
-//! (every response carries `Connection: close`), `Content-Length` and
-//! `Transfer-Encoding: chunked` bodies, and hard limits on header and
-//! body size so a misbehaving client costs bounded memory.
+//! needs a small, well-policed subset — `Content-Length` and
+//! `Transfer-Encoding: chunked` bodies, HTTP/1.1 keep-alive, and hard
+//! limits on header and body size so a misbehaving client costs
+//! bounded memory.
 //!
-//! Parsing errors map onto the two client-fault status codes the API
-//! uses: 400 for malformed requests and 413 for oversized ones.
+//! The core is [`parse_request`], a pure incremental parser over a
+//! byte buffer: it either yields a complete request plus the number of
+//! bytes it consumed (so pipelined requests queued behind it survive),
+//! reports that the buffer is still incomplete, or rejects the prefix
+//! as malformed. The blocking [`read_request`] and the epoll event
+//! loop both drive this one parser, so framing decisions — including
+//! the request-smuggling rejections below — cannot drift between the
+//! two connection planes.
+//!
+//! Smuggling-relevant framing is strict: duplicate `Content-Length`
+//! headers, `Content-Length` combined with `Transfer-Encoding`, and
+//! duplicate `Transfer-Encoding` headers are all rejected with 400
+//! rather than resolved by picking one (picking the first is how
+//! request-smuggling desyncs start).
+//!
+//! Parsing errors map onto the client-fault status codes the API
+//! uses: 400 for malformed requests, 408 for timeouts, and 413 for
+//! oversized ones.
 
 use em_json::Json;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// Resource limits applied while reading one request.
 #[derive(Clone, Copy, Debug)]
@@ -79,10 +96,17 @@ pub struct Request {
     /// Header names are lower-cased; values are trimmed.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Whether the connection may carry another request after this
+    /// one: the HTTP/1.1 default unless the client sent
+    /// `Connection: close` (or spoke HTTP/1.0 without
+    /// `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
-    /// First header with this (case-insensitive) name.
+    /// First header with this (case-insensitive) name. Framing headers
+    /// (`content-length`, `transfer-encoding`) are validated to be
+    /// unique during parsing, so "first" is never ambiguous for them.
     pub fn header(&self, name: &str) -> Option<&str> {
         let name = name.to_ascii_lowercase();
         self.headers
@@ -101,48 +125,71 @@ fn bad(msg: impl Into<String>) -> HttpError {
     HttpError::BadRequest(msg.into())
 }
 
-/// Read one line (through CRLF or bare LF), enforcing a byte budget
-/// shared across the whole header block.
-fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
-    let mut line = Vec::new();
-    loop {
-        let buf = r.fill_buf().map_err(|e| io_fault("read failed", e))?;
-        if buf.is_empty() {
-            // EOF mid-line is malformed; EOF before any byte is a
-            // closed connection.
-            return if line.is_empty() {
-                Ok(None)
-            } else {
-                Err(bad("connection closed mid-line"))
-            };
-        }
-        let nl = buf.iter().position(|&b| b == b'\n');
-        let take = nl.map(|i| i + 1).unwrap_or(buf.len());
-        if take > *budget {
-            return Err(HttpError::TooLarge(
-                "header block exceeds the configured limit".to_string(),
-            ));
-        }
-        *budget -= take;
-        line.extend_from_slice(&buf[..take]);
-        r.consume(take);
-        if nl.is_some() {
-            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
-                line.pop();
+fn too_large(msg: impl Into<String>) -> HttpError {
+    HttpError::TooLarge(msg.into())
+}
+
+/// Cursor over the incremental parse buffer, enforcing a shared byte
+/// budget across the lines it extracts.
+struct Lines<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    budget: usize,
+}
+
+enum Line<'a> {
+    /// A complete line (terminator stripped, UTF-8 validated).
+    Full(&'a str),
+    /// The buffer ends before the line does; wait for more bytes.
+    Partial,
+}
+
+impl<'a> Lines<'a> {
+    fn new(buf: &'a [u8], pos: usize, budget: usize) -> Lines<'a> {
+        Lines { buf, pos, budget }
+    }
+
+    /// Extract the next line (through CRLF or bare LF). A line that
+    /// would exceed the remaining budget is 413 even before its
+    /// terminator arrives, so an unterminated flood cannot buffer
+    /// unbounded bytes.
+    fn next_line(&mut self) -> Result<Line<'a>, HttpError> {
+        let rest = &self.buf[self.pos..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            if rest.len() > self.budget {
+                return Err(too_large("header block exceeds the configured limit"));
             }
-            return String::from_utf8(line)
-                .map(Some)
-                .map_err(|_| bad("header line is not UTF-8"));
+            return Ok(Line::Partial);
+        };
+        let take = nl + 1;
+        if take > self.budget {
+            return Err(too_large("header block exceeds the configured limit"));
         }
+        self.budget -= take;
+        self.pos += take;
+        let mut line = &rest[..nl];
+        while line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        std::str::from_utf8(line)
+            .map(Line::Full)
+            .map_err(|_| bad("header line is not UTF-8"))
     }
 }
 
-/// Read and decode one full request. `Ok(None)` means the peer closed
-/// the connection before sending anything.
-pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>, HttpError> {
-    let mut budget = limits.max_header_bytes;
-    let Some(request_line) = read_line(r, &mut budget)? else {
-        return Ok(None);
+/// Incrementally parse one request from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` once a complete request is
+/// framed — `consumed` is the exact byte length of the request, so any
+/// pipelined bytes at `buf[consumed..]` belong to the next request.
+/// Returns `Ok(None)` while the buffer holds only an incomplete
+/// prefix. Malformed or oversized prefixes fail eagerly, even before
+/// the request is complete.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, HttpError> {
+    let mut lines = Lines::new(buf, 0, limits.max_header_bytes);
+    let request_line = match lines.next_line()? {
+        Line::Full(l) => l,
+        Line::Partial => return Ok(None),
     };
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -156,10 +203,11 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Requ
         return Err(bad(format!("request target `{target}` is not a path")));
     }
 
-    let mut headers = Vec::new();
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
-        let Some(line) = read_line(r, &mut budget)? else {
-            return Err(bad("connection closed inside the header block"));
+        let line = match lines.next_line()? {
+            Line::Full(l) => l,
+            Line::Partial => return Ok(None),
         };
         if line.is_empty() {
             break;
@@ -173,14 +221,34 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Requ
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    // Framing headers must be unambiguous: a duplicated Content-Length,
+    // a duplicated Transfer-Encoding, or the two combined is how a
+    // front-end and back-end come to disagree about where a request
+    // ends (request smuggling). Reject all of them outright.
+    let count = |name: &str| headers.iter().filter(|(k, _)| k == name).count();
+    let cl_count = count("content-length");
+    let te_count = count("transfer-encoding");
+    if cl_count > 1 {
+        return Err(bad("duplicate content-length headers"));
+    }
+    if te_count > 1 {
+        return Err(bad("duplicate transfer-encoding headers"));
+    }
+    if cl_count > 0 && te_count > 0 {
+        return Err(bad(
+            "content-length combined with transfer-encoding is ambiguous framing",
+        ));
+    }
+
     let req = Request {
         method: method.to_string(),
         target: target.to_string(),
         headers,
         body: Vec::new(),
+        keep_alive: false,
     };
 
-    let body = match (
+    let (body, consumed) = match (
         req.header("transfer-encoding"),
         req.header("content-length"),
     ) {
@@ -188,42 +256,76 @@ pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Requ
             if !te.eq_ignore_ascii_case("chunked") {
                 return Err(bad(format!("unsupported transfer encoding `{te}`")));
             }
-            read_chunked_body(r, limits)?
+            match parse_chunked_body(buf, lines.pos, limits)? {
+                Some(parsed) => parsed,
+                None => return Ok(None),
+            }
         }
         (None, Some(cl)) => {
             let len: usize = cl
                 .parse()
                 .map_err(|_| bad(format!("malformed content length `{cl}`")))?;
             if len > limits.max_body_bytes {
-                return Err(HttpError::TooLarge(format!(
+                return Err(too_large(format!(
                     "declared body of {len} bytes exceeds the {}-byte limit",
                     limits.max_body_bytes
                 )));
             }
-            let mut body = vec![0u8; len];
-            read_exact(r, &mut body)?;
-            body
+            let start = lines.pos;
+            if buf.len() < start + len {
+                return Ok(None);
+            }
+            (buf[start..start + len].to_vec(), start + len)
         }
-        (None, None) => Vec::new(),
+        (None, None) => (Vec::new(), lines.pos),
     };
 
-    Ok(Some(Request { body, ..req }))
+    let keep_alive = connection_keep_alive(&req, version);
+    Ok(Some((
+        Request {
+            body,
+            keep_alive,
+            ..req
+        },
+        consumed,
+    )))
 }
 
-fn read_exact(r: &mut impl BufRead, buf: &mut [u8]) -> Result<(), HttpError> {
-    std::io::Read::read_exact(r, buf).map_err(|e| io_fault("body truncated", e))
+/// Keep-alive decision: the `Connection` header wins; otherwise
+/// HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close.
+fn connection_keep_alive(req: &Request, version: &str) -> bool {
+    if let Some(conn) = req.header("connection") {
+        for token in conn.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                return false;
+            }
+            if token.eq_ignore_ascii_case("keep-alive") {
+                return true;
+            }
+        }
+    }
+    version != "HTTP/1.0"
 }
 
-/// Decode a chunked body: `<hex-size>[;ext]\r\n<bytes>\r\n` repeated,
-/// terminated by a zero-size chunk and (possibly empty) trailers.
-fn read_chunked_body(r: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>, HttpError> {
+/// Incrementally decode a chunked body starting at `start`:
+/// `<hex-size>[;ext]\r\n<bytes>\r\n` repeated, terminated by a
+/// zero-size chunk and (possibly empty) trailers. Returns the decoded
+/// body and the buffer offset just past the trailer terminator, or
+/// `None` if the buffer ends mid-body.
+fn parse_chunked_body(
+    buf: &[u8],
+    start: usize,
+    limits: &Limits,
+) -> Result<Option<(Vec<u8>, usize)>, HttpError> {
     let mut body = Vec::new();
     // Chunk-size lines and trailers share one generous budget so a
     // stream of empty extensions cannot spin forever.
-    let mut line_budget = limits.max_header_bytes;
+    let mut lines = Lines::new(buf, start, limits.max_header_bytes);
     loop {
-        let Some(size_line) = read_line(r, &mut line_budget)? else {
-            return Err(bad("connection closed inside a chunked body"));
+        let size_line = match lines.next_line()? {
+            Line::Full(l) => l,
+            Line::Partial => return Ok(None),
         };
         let size_hex = size_line.split(';').next().unwrap_or("").trim();
         let size = usize::from_str_radix(size_hex, 16)
@@ -232,7 +334,7 @@ fn read_chunked_body(r: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>, H
         // chunk size near usize::MAX would overflow the `len + size`
         // check below and panic the handler instead of answering 413.
         if size > limits.max_body_bytes {
-            return Err(HttpError::TooLarge(format!(
+            return Err(too_large(format!(
                 "declared chunk of {size} bytes exceeds the {}-byte limit",
                 limits.max_body_bytes
             )));
@@ -240,27 +342,53 @@ fn read_chunked_body(r: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>, H
         if size == 0 {
             // Trailer section: header lines until the blank terminator.
             loop {
-                match read_line(r, &mut line_budget)? {
-                    Some(l) if l.is_empty() => return Ok(body),
-                    Some(_) => continue,
-                    None => return Err(bad("connection closed inside chunk trailers")),
+                match lines.next_line()? {
+                    Line::Full("") => return Ok(Some((body, lines.pos))),
+                    Line::Full(_) => continue,
+                    Line::Partial => return Ok(None),
                 }
             }
         }
         if body.len() + size > limits.max_body_bytes {
-            return Err(HttpError::TooLarge(format!(
+            return Err(too_large(format!(
                 "chunked body exceeds the {}-byte limit",
                 limits.max_body_bytes
             )));
         }
-        let start = body.len();
-        body.resize(start + size, 0);
-        read_exact(r, &mut body[start..])?;
-        let mut crlf = [0u8; 2];
-        read_exact(r, &mut crlf)?;
-        if &crlf != b"\r\n" {
+        let data_start = lines.pos;
+        if buf.len() < data_start + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[data_start..data_start + size]);
+        if &buf[data_start + size..data_start + size + 2] != b"\r\n" {
             return Err(bad("chunk data is not CRLF-terminated"));
         }
+        lines.pos = data_start + size + 2;
+    }
+}
+
+/// Read and decode one full request from a blocking reader. `Ok(None)`
+/// means the peer closed the connection before sending anything.
+///
+/// This drives [`parse_request`] over an accumulating buffer, so the
+/// blocking path and the event loop share identical framing.
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        if let Some((req, _consumed)) = parse_request(&acc, limits)? {
+            return Ok(Some(req));
+        }
+        let chunk = r.fill_buf().map_err(|e| io_fault("read failed", e))?;
+        if chunk.is_empty() {
+            return if acc.is_empty() {
+                Ok(None)
+            } else {
+                Err(bad("connection closed mid-request"))
+            };
+        }
+        let take = chunk.len();
+        acc.extend_from_slice(chunk);
+        r.consume(take);
     }
 }
 
@@ -281,12 +409,44 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// One response, always `Connection: close`.
+/// A response body: owned bytes, or a shared reference into the
+/// content-addressed result store so large cached artifacts are served
+/// without copying them per response.
+#[derive(Clone, Debug)]
+pub enum Body {
+    Bytes(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Body {
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Bytes(b) => b,
+            Body::Shared(b) => b,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(b: Vec<u8>) -> Body {
+        Body::Bytes(b)
+    }
+}
+
+/// One response.
 #[derive(Clone, Debug)]
 pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
-    pub body: Vec<u8>,
+    pub body: Body,
     /// Extra headers rendered after the fixed set (e.g. `Retry-After`
     /// on 429/503 so well-behaved clients back off instead of
     /// hammering).
@@ -298,7 +458,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
-            body: value.pretty().into_bytes(),
+            body: Body::Bytes(value.pretty().into_bytes()),
             headers: Vec::new(),
         }
     }
@@ -313,7 +473,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; version=0.0.4",
-            body: body.into_bytes(),
+            body: Body::Bytes(body.into_bytes()),
             headers: Vec::new(),
         }
     }
@@ -323,7 +483,18 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
-            body,
+            body: Body::Bytes(body),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Pre-rendered JSON shared with the result store — no per-response
+    /// copy of the artifact bytes.
+    pub fn shared_json(status: u16, body: Arc<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: Body::Shared(body),
             headers: Vec::new(),
         }
     }
@@ -339,20 +510,31 @@ impl Response {
         self.with_header("Retry-After", secs.to_string())
     }
 
-    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
-        write!(
-            w,
+    /// Render the full wire bytes (head + body). With
+    /// `keep_alive: false` this is byte-identical to what the blocking
+    /// path has always written — the bit-identity oracle between the
+    /// two connection planes depends on that.
+    pub fn render(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len()
-        )?;
+        );
         for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        write!(w, "Connection: close\r\n\r\n")?;
-        w.write_all(&self.body)?;
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        let _ = write!(out, "Connection: {conn}\r\n\r\n");
+        out.extend_from_slice(self.body.as_slice());
+        out
+    }
+
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.render(false))?;
         w.flush()
     }
 }
@@ -380,6 +562,7 @@ mod tests {
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"), "case-insensitive lookup");
         assert!(req.body.is_empty());
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -409,6 +592,82 @@ mod tests {
     #[test]
     fn closed_connection_before_any_byte_is_none() {
         assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive);
+        let old = parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_ka = parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(old_ka.keep_alive);
+        let mixed = parse(b"GET /x HTTP/1.1\r\nConnection: close, TE\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!mixed.keep_alive, "close wins inside a token list");
+    }
+
+    #[test]
+    fn incremental_parse_reports_incomplete_then_consumed() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next";
+        let limits = Limits::default();
+        // Every strict prefix of the request itself is incomplete.
+        let full = raw.len() - b"GET /next".len();
+        for cut in 0..full {
+            assert!(
+                parse_request(&raw[..cut], &limits).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        // The complete request parses and leaves the pipelined bytes.
+        let (req, consumed) = parse_request(raw, &limits).unwrap().unwrap();
+        assert_eq!(req.body, b"hello");
+        assert_eq!(consumed, full);
+        assert_eq!(&raw[consumed..], b"GET /next");
+    }
+
+    #[test]
+    fn incremental_parse_consumes_exact_chunked_length() {
+        let raw = b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nname\r\n0\r\n\r\nleftover";
+        let (req, consumed) = parse_request(raw, &Limits::default()).unwrap().unwrap();
+        assert_eq!(req.body, b"name");
+        assert_eq!(&raw[consumed..], b"leftover");
+    }
+
+    #[test]
+    fn smuggling_framing_conflicts_are_400() {
+        for raw in [
+            // Duplicate Content-Length, even when the values agree.
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello".as_slice(),
+            // Conflicting Content-Length values.
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello".as_slice(),
+            // Content-Length combined with Transfer-Encoding.
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n\r\n\
+              0\r\n\r\n"
+                .as_slice(),
+            // Same pair, opposite header order.
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n\
+              0\r\n\r\n"
+                .as_slice(),
+            // Duplicate Transfer-Encoding headers.
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nTransfer-Encoding: chunked\r\n\r\n\
+              0\r\n\r\n"
+                .as_slice(),
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(
+                err.status(),
+                400,
+                "{err:?} for {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
     }
 
     #[test]
@@ -445,6 +704,10 @@ mod tests {
         };
         // Header block over budget.
         let raw = format!("GET /x HTTP/1.1\r\nBig: {}\r\n\r\n", "v".repeat(100));
+        assert_eq!(parse_with(raw.as_bytes(), tight).unwrap_err().status(), 413);
+        // An unterminated header flood is rejected at the same budget,
+        // not buffered while waiting for a newline that never comes.
+        let raw = format!("GET /x HTTP/1.1\r\nBig: {}", "v".repeat(100));
         assert_eq!(parse_with(raw.as_bytes(), tight).unwrap_err().status(), 413);
         // Declared body over budget (rejected before reading it).
         let raw = b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
@@ -513,5 +776,27 @@ mod tests {
             em_json::parse(body).unwrap().get("error").unwrap().as_str(),
             Some("queue full")
         );
+    }
+
+    #[test]
+    fn render_keep_alive_differs_only_in_connection_header() {
+        let resp = Response::error(404, "nope").with_header("X-Extra", "1");
+        let close = String::from_utf8(resp.render(false)).unwrap();
+        let ka = String::from_utf8(resp.render(true)).unwrap();
+        assert!(close.contains("Connection: close\r\n\r\n"), "{close}");
+        assert!(ka.contains("Connection: keep-alive\r\n\r\n"), "{ka}");
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            ka,
+            "rendering must differ only in the Connection header"
+        );
+    }
+
+    #[test]
+    fn shared_bodies_render_identically_to_owned() {
+        let bytes = br#"{"artifact": true}"#.to_vec();
+        let owned = Response::raw_json(200, bytes.clone()).render(false);
+        let shared = Response::shared_json(200, Arc::new(bytes)).render(false);
+        assert_eq!(owned, shared);
     }
 }

@@ -30,11 +30,15 @@
 //!   across requests, and every job carries a [`mwd_core::CancelToken`]
 //!   so deadlines (`deadline_ms`) and `POST /jobs/:id/cancel` halt it
 //!   within one solver period;
-//! - [`server`]: the accept loop and the JSON API — `POST /jobs`,
+//! - [`server`]: the connection planes and the JSON API — `POST /jobs`,
 //!   `GET /jobs/:id`, `GET /jobs/:id/result`, `POST /jobs/:id/cancel`,
 //!   `GET /results/:key`, `GET /healthz`, `GET /stats`,
 //!   `POST /shutdown`; with `--chaos`, an [`em_faults::FaultInjector`]
 //!   is threaded through the solve, store, and connection seams;
+//! - `event_loop` (Linux): the default connection plane — a
+//!   non-blocking epoll event loop with HTTP/1.1 keep-alive,
+//!   pipelining, and bounded connections, serving bytes identical to
+//!   the blocking plane;
 //! - [`shutdown`]: SIGINT/SIGTERM → a cooperative stop flag, shared
 //!   with the batch runner's drain path;
 //! - [`stats`]: the service counters behind `GET /stats`.
@@ -42,6 +46,8 @@
 //! The `mwd serve` subcommand and the `loadgen` load generator are thin
 //! shells over this crate.
 
+#[cfg(target_os = "linux")]
+pub(crate) mod event_loop;
 pub mod hash;
 pub mod http;
 pub mod scheduler;
@@ -52,11 +58,11 @@ pub mod store;
 pub mod submit;
 
 pub use hash::content_hash;
-pub use http::{Limits, Request, Response};
+pub use http::{Body, Limits, Request, Response};
 pub use scheduler::{
     CancelError, CancelOutcome, Scheduler, SchedulerConfig, Submission, SubmitError,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{ConnModel, Server, ServerConfig};
 pub use stats::ServiceStats;
 pub use store::ResultStore;
 pub use submit::{parse_submission, SubmitRequest};

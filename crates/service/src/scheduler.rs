@@ -362,6 +362,10 @@ impl Scheduler {
 
     /// Resolve a spec's engine to the concrete declaration it will run
     /// under (through the shared tuning cache for `auto`).
+    ///
+    /// On a cold cache this runs a synchronous tuning search, which is
+    /// why the event loop routes `POST /jobs` to its router pool while
+    /// answering every other route inline on the loop thread.
     fn resolve_engine(&self, spec: &ScenarioSpec) -> Result<EngineDecl, SubmitError> {
         match spec.engine {
             EngineDecl::Auto { threads } => {

@@ -1,4 +1,4 @@
-//! The accept loop and the JSON API.
+//! The connection planes and the JSON API.
 //!
 //! | Route                  | Meaning                                        |
 //! |------------------------|------------------------------------------------|
@@ -18,9 +18,27 @@
 //! oversized input `413`. Both back-pressure statuses (429/503) carry
 //! `Retry-After` so well-behaved clients pace their retries.
 //!
-//! Every connection handles one request (responses carry
-//! `Connection: close`), so handler threads are short-lived; the
-//! heavyweight work happens on the scheduler's worker pool.
+//! Two connection planes share this one router:
+//!
+//! * [`ConnModel::EventLoop`] (the default on Linux) — the epoll event
+//!   loop in [`crate::event_loop`]: non-blocking sockets, per-connection
+//!   state machines, HTTP/1.1 keep-alive with pipelining, and a bounded
+//!   connection count with accept backpressure.
+//! * [`ConnModel::Blocking`] — the original thread-per-connection
+//!   plane: one request per connection, every response carries
+//!   `Connection: close`.
+//!
+//! Responses are rendered by the same code on both planes, so a given
+//! request produces byte-identical bytes on either (the two-daemon
+//! bit-identity oracle in the test suite holds old-loop vs new-loop).
+//! Either way the heavyweight work happens on the scheduler's worker
+//! pool; the connection plane only parses, routes, and writes.
+//!
+//! Every request gets a total wall-clock budget (`io_timeout_secs`)
+//! from its first byte to its last: a client trickling one byte per
+//! read-timeout window (slowloris) is answered 408 and counted in
+//! `conn_timeouts` on both planes, instead of pinning a handler thread
+//! or connection slot forever.
 
 use crate::http::{read_request, HttpError, Limits, Request, Response};
 use crate::scheduler::{
@@ -34,12 +52,46 @@ use autotune::SharedTuneCache;
 use em_faults::{ConnFault, FaultInjector, FaultPlan, SolveFault};
 use em_json::Json;
 use em_obs::Counter;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which connection plane [`Server::run`] drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnModel {
+    /// Non-blocking epoll event loop with keep-alive (Linux only;
+    /// falls back to [`ConnModel::Blocking`] elsewhere).
+    EventLoop,
+    /// Thread-per-connection, one request per connection.
+    Blocking,
+}
+
+impl Default for ConnModel {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            ConnModel::EventLoop
+        } else {
+            ConnModel::Blocking
+        }
+    }
+}
+
+impl std::str::FromStr for ConnModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ConnModel, String> {
+        match s {
+            "event-loop" | "epoll" => Ok(ConnModel::EventLoop),
+            "blocking" | "threaded" => Ok(ConnModel::Blocking),
+            other => Err(format!(
+                "unknown connection model `{other}` (expected `event-loop` or `blocking`)"
+            )),
+        }
+    }
+}
 
 /// Everything `mwd serve` configures.
 #[derive(Clone, Debug)]
@@ -52,9 +104,15 @@ pub struct ServerConfig {
     pub store_dir: Option<PathBuf>,
     /// Tuning-cache file (`None` = in-memory cache for this daemon).
     pub cache_path: Option<PathBuf>,
-    /// Socket read/write timeout per connection, seconds (a stalled
-    /// client must not pin a handler thread forever).
+    /// Total wall-clock budget per request, seconds — first byte to
+    /// last byte, not per socket read (a stalled or trickling client
+    /// must not pin a handler thread or connection slot forever).
     pub io_timeout_secs: u64,
+    /// Connection plane: epoll event loop or thread-per-connection.
+    pub conn_model: ConnModel,
+    /// Concurrent-connection bound; accepts pause (backlog queues in
+    /// the kernel) while at the cap instead of growing without bound.
+    pub max_connections: usize,
     /// Deterministic fault-injection plan (`mwd serve --chaos`); `None`
     /// in production.
     pub chaos: Option<FaultPlan>,
@@ -70,6 +128,8 @@ impl Default for ServerConfig {
             store_dir: None,
             cache_path: None,
             io_timeout_secs: 10,
+            conn_model: ConnModel::default(),
+            max_connections: 1024,
             chaos: None,
             quiet: false,
         }
@@ -92,15 +152,17 @@ pub struct ServiceSummary {
 }
 
 pub struct Server {
-    listener: TcpListener,
+    pub(crate) listener: TcpListener,
     scheduler: Arc<Scheduler>,
     stats: Arc<ServiceStats>,
     store: Arc<ResultStore>,
     tune: SharedTuneCache,
     limits: Limits,
     io_timeout: Duration,
+    conn_model: ConnModel,
+    pub(crate) max_connections: usize,
     stop: Arc<AtomicBool>,
-    quiet: bool,
+    pub(crate) quiet: bool,
     started: Instant,
     /// Resolved once at bind; `/healthz` reports it on every probe.
     git_rev: Arc<String>,
@@ -108,7 +170,7 @@ pub struct Server {
     faults: Option<Arc<FaultInjector>>,
     /// Monotonic connection ordinal — the identity the connection-level
     /// fault site draws against, so a plan's drops are reproducible.
-    conn_seq: Arc<AtomicU64>,
+    pub(crate) conn_seq: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -164,6 +226,8 @@ impl Server {
             tune,
             limits: cfg.limits,
             io_timeout: Duration::from_secs(cfg.io_timeout_secs.max(1)),
+            conn_model: cfg.conn_model,
+            max_connections: cfg.max_connections.max(1),
             stop: Arc::new(AtomicBool::new(false)),
             quiet: cfg.quiet,
             started: Instant::now(),
@@ -195,27 +259,70 @@ impl Server {
         &self.scheduler
     }
 
-    /// Accept until the stop flag is set, then drain and persist.
+    /// The connection plane this daemon runs.
+    pub fn conn_model(&self) -> ConnModel {
+        self.conn_model
+    }
+
+    /// The shared routing context both connection planes hand to
+    /// [`route`].
+    pub(crate) fn serve_ctx(&self) -> ServeCtx {
+        ServeCtx {
+            scheduler: self.scheduler.clone(),
+            stats: self.stats.clone(),
+            store: self.store.clone(),
+            limits: self.limits,
+            io_timeout: self.io_timeout,
+            stop: self.stop.clone(),
+            started: self.started,
+            git_rev: self.git_rev.clone(),
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// Serve until the stop flag is set, then drain and persist.
     pub fn run(&self) -> Result<ServiceSummary, String> {
+        match self.conn_model {
+            #[cfg(target_os = "linux")]
+            ConnModel::EventLoop => crate::event_loop::run(self)?,
+            #[cfg(not(target_os = "linux"))]
+            ConnModel::EventLoop => self.run_blocking(),
+            ConnModel::Blocking => self.run_blocking(),
+        }
+        self.scheduler.shutdown();
+        let cache_saved = self.tune.save()?;
+        Ok(ServiceSummary {
+            requests: self.stats.requests.get(),
+            completed: self.stats.completed.get(),
+            failed: self.stats.failed.get(),
+            cancelled: self.stats.cancelled.get(),
+            timed_out: self.stats.timeout.get(),
+            store_entries: self.store.len(),
+            dedupe_rate: self.stats.dedupe_rate(),
+            cache_saved,
+        })
+    }
+
+    /// The thread-per-connection plane: accept until the stop flag is
+    /// set, then join the handlers.
+    fn run_blocking(&self) {
+        let ctx = Arc::new(self.serve_ctx());
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.stop.load(Ordering::SeqCst) {
+            handles.retain(|h| !h.is_finished());
+            if handles.len() >= self.max_connections {
+                // At the connection cap: let the kernel backlog hold
+                // new arrivals until a handler finishes.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    ServiceStats::bump(&self.stats.requests);
-                    let ctx = ConnCtx {
-                        scheduler: self.scheduler.clone(),
-                        stats: self.stats.clone(),
-                        store: self.store.clone(),
-                        limits: self.limits,
-                        io_timeout: self.io_timeout,
-                        stop: self.stop.clone(),
-                        started: self.started,
-                        git_rev: self.git_rev.clone(),
-                        faults: self.faults.clone(),
-                        conn_ordinal: self.conn_seq.fetch_add(1, Ordering::SeqCst),
-                    };
-                    handles.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
-                    handles.retain(|h| !h.is_finished());
+                    let ctx = ctx.clone();
+                    let ordinal = self.conn_seq.fetch_add(1, Ordering::SeqCst);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, &ctx, ordinal)
+                    }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -240,18 +347,6 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
-        self.scheduler.shutdown();
-        let cache_saved = self.tune.save()?;
-        Ok(ServiceSummary {
-            requests: self.stats.requests.get(),
-            completed: self.stats.completed.get(),
-            failed: self.stats.failed.get(),
-            cancelled: self.stats.cancelled.get(),
-            timed_out: self.stats.timeout.get(),
-            store_entries: self.store.len(),
-            dedupe_rate: self.stats.dedupe_rate(),
-            cache_saved,
-        })
     }
 }
 
@@ -278,30 +373,31 @@ fn chaos_runner(inj: Arc<FaultInjector>, inner: Box<RunFn>) -> Box<RunFn> {
     })
 }
 
-struct ConnCtx {
-    scheduler: Arc<Scheduler>,
-    stats: Arc<ServiceStats>,
-    store: Arc<ResultStore>,
-    limits: Limits,
-    io_timeout: Duration,
-    stop: Arc<AtomicBool>,
-    started: Instant,
-    git_rev: Arc<String>,
-    faults: Option<Arc<FaultInjector>>,
-    conn_ordinal: u64,
+/// The shared routing context: everything [`route`] needs, identical
+/// for the blocking plane and the event loop.
+pub(crate) struct ServeCtx {
+    pub(crate) scheduler: Arc<Scheduler>,
+    pub(crate) stats: Arc<ServiceStats>,
+    pub(crate) store: Arc<ResultStore>,
+    pub(crate) limits: Limits,
+    pub(crate) io_timeout: Duration,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) started: Instant,
+    pub(crate) git_rev: Arc<String>,
+    pub(crate) faults: Option<Arc<FaultInjector>>,
 }
 
 /// One routed response plus its accounting: which latency-histogram
 /// series the exchange lands on, and the counter to bump only once the
 /// bytes actually reach the client (so error/disconnect paths don't
 /// inflate `results_served`).
-struct Routed {
-    response: Response,
-    endpoint: &'static str,
-    on_written: Option<Arc<Counter>>,
+pub(crate) struct Routed {
+    pub(crate) response: Response,
+    pub(crate) endpoint: &'static str,
+    pub(crate) on_written: Option<Arc<Counter>>,
 }
 
-fn routed(endpoint: &'static str, response: Response) -> Routed {
+pub(crate) fn routed(endpoint: &'static str, response: Response) -> Routed {
     Routed {
         response,
         endpoint,
@@ -309,18 +405,49 @@ fn routed(endpoint: &'static str, response: Response) -> Routed {
     }
 }
 
-fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
-    let _ = stream.set_read_timeout(Some(ctx.io_timeout));
+/// A reader that enforces the total per-request wall-clock budget on
+/// the blocking plane: each read's socket timeout is clamped to the
+/// time remaining until the request deadline, so a client trickling a
+/// byte per read window still runs out of budget (the slowloris fix —
+/// `SO_RCVTIMEO` alone restarts the clock on every byte).
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining < Duration::from_millis(1) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request wall-clock budget exhausted",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ServeCtx, ordinal: u64) {
     let _ = stream.set_write_timeout(Some(ctx.io_timeout));
     let t0 = Instant::now();
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
+    let mut reader = BufReader::new(DeadlineStream {
+        stream: match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+        deadline: t0 + ctx.io_timeout,
     });
     let out = match read_request(&mut reader, &ctx.limits) {
-        Ok(Some(req)) => route(&req, ctx),
+        Ok(Some(req)) => {
+            ServiceStats::bump(&ctx.stats.requests);
+            route(&req, ctx)
+        }
+        // The peer closed without sending a byte: not a request.
         Ok(None) => return,
         Err(e) => {
+            ServiceStats::bump(&ctx.stats.requests);
             ServiceStats::bump(if matches!(e, HttpError::Timeout(_)) {
                 &ctx.stats.conn_timeouts
             } else {
@@ -334,12 +461,10 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
     // prefix, then drop the socket — the client sees a torn response
     // and must treat it as a failed exchange.
     if let Some(inj) = &ctx.faults {
-        if inj.conn_fault(&format!("conn-{}", ctx.conn_ordinal)) == ConnFault::DropMid {
-            let mut bytes = Vec::new();
-            if out.response.write_to(&mut bytes).is_ok() {
-                let _ = stream.write_all(&bytes[..bytes.len() / 2]);
-                let _ = stream.flush();
-            }
+        if inj.conn_fault(&format!("conn-{ordinal}")) == ConnFault::DropMid {
+            let bytes = out.response.render(false);
+            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+            let _ = stream.flush();
             ctx.stats
                 .latency(out.endpoint)
                 .observe(t0.elapsed().as_secs_f64());
@@ -356,7 +481,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) {
         .observe(t0.elapsed().as_secs_f64());
 }
 
-fn route(req: &Request, ctx: &ConnCtx) -> Routed {
+pub(crate) fn route(req: &Request, ctx: &ServeCtx) -> Routed {
     let segments: Vec<&str> = req.path().split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => routed("/healthz", healthz(ctx)),
@@ -405,7 +530,7 @@ fn route(req: &Request, ctx: &ConnCtx) -> Routed {
     }
 }
 
-fn healthz(ctx: &ConnCtx) -> Response {
+fn healthz(ctx: &ServeCtx) -> Response {
     let (queued, running, records) = ctx.scheduler.queue_counts();
     Response::json(
         200,
@@ -431,7 +556,7 @@ fn healthz(ctx: &ConnCtx) -> Response {
     )
 }
 
-fn stats_doc(ctx: &ConnCtx) -> Response {
+fn stats_doc(ctx: &ServeCtx) -> Response {
     let (queued, running, records) = ctx.scheduler.queue_counts();
     let (store_hits, store_misses) = ctx.store.counters();
     let mut doc = ctx.stats.to_json();
@@ -455,7 +580,7 @@ fn stats_doc(ctx: &ConnCtx) -> Response {
 /// registry; point-in-time values (queue depth, leases, store size) are
 /// read from their owners at scrape time and published as gauges rather
 /// than double-booked as counters.
-fn metrics(ctx: &ConnCtx) -> Response {
+fn metrics(ctx: &ServeCtx) -> Response {
     let reg = ctx.stats.registry();
     let (queued, running, records) = ctx.scheduler.queue_counts();
     reg.gauge("em_queue_depth", "Jobs waiting in the queue.", &[])
@@ -537,7 +662,7 @@ fn metrics(ctx: &ConnCtx) -> Response {
     Response::text(200, reg.render())
 }
 
-fn submit(req: &Request, ctx: &ConnCtx) -> Response {
+fn submit(req: &Request, ctx: &ServeCtx) -> Response {
     let submission = match parse_submission(&req.body) {
         Ok(s) => s,
         Err(e) => {
@@ -589,7 +714,7 @@ fn submit(req: &Request, ctx: &ConnCtx) -> Response {
     }
 }
 
-fn cancel_job(name: &str, ctx: &ConnCtx) -> Response {
+fn cancel_job(name: &str, ctx: &ServeCtx) -> Response {
     let Some(id) = parse_job_name(name) else {
         return Response::error(400, &format!("malformed job id `{name}`"));
     };
@@ -618,7 +743,7 @@ fn cancel_job(name: &str, ctx: &ConnCtx) -> Response {
     }
 }
 
-fn job_status(name: &str, ctx: &ConnCtx) -> Response {
+fn job_status(name: &str, ctx: &ServeCtx) -> Response {
     let Some(id) = parse_job_name(name) else {
         return Response::error(400, &format!("malformed job id `{name}`"));
     };
@@ -630,7 +755,7 @@ fn job_status(name: &str, ctx: &ConnCtx) -> Response {
 
 /// The bool marks a result payload whose `results_served` increment is
 /// deferred until the bytes are confirmed written (see [`Routed`]).
-fn job_result(name: &str, ctx: &ConnCtx) -> (Response, bool) {
+fn job_result(name: &str, ctx: &ServeCtx) -> (Response, bool) {
     let Some(id) = parse_job_name(name) else {
         return (
             Response::error(400, &format!("malformed job id `{name}`")),
@@ -638,7 +763,9 @@ fn job_result(name: &str, ctx: &ConnCtx) -> (Response, bool) {
         );
     };
     let response = match ctx.scheduler.result_bytes(id) {
-        Ok(bytes) => return (Response::raw_json(200, bytes.as_ref().clone()), true),
+        // The artifact is shared straight out of the store — no
+        // per-response copy of the bytes.
+        Ok(bytes) => return (Response::shared_json(200, bytes), true),
         Err(ResultError::UnknownJob) => Response::error(404, &format!("unknown job `{name}`")),
         Err(ResultError::NotReady(state)) => Response::error(
             409,
@@ -652,7 +779,7 @@ fn job_result(name: &str, ctx: &ConnCtx) -> (Response, bool) {
     (response, false)
 }
 
-fn result_by_key(key: &str, ctx: &ConnCtx) -> (Response, bool) {
+fn result_by_key(key: &str, ctx: &ServeCtx) -> (Response, bool) {
     if !crate::hash::is_key(key) {
         return (
             Response::error(400, &format!("malformed result key `{key}`")),
@@ -660,7 +787,7 @@ fn result_by_key(key: &str, ctx: &ConnCtx) -> (Response, bool) {
         );
     }
     match ctx.store.get(key) {
-        Some(bytes) => (Response::raw_json(200, bytes.as_ref().clone()), true),
+        Some(bytes) => (Response::shared_json(200, bytes), true),
         None => (
             Response::error(404, &format!("no stored result under `{key}`")),
             false,

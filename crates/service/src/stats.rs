@@ -36,7 +36,10 @@ pub const ENDPOINTS: &[&str] = &[
 
 pub struct ServiceStats {
     registry: Arc<Registry>,
-    /// HTTP requests accepted (any route, any outcome).
+    /// HTTP requests received (any route, any outcome): counted once a
+    /// request frames — or fails to frame — so keep-alive connections
+    /// count per request, not per connection, and a connection that
+    /// closes without sending a byte counts nothing.
     pub requests: Arc<Counter>,
     /// `POST /jobs` bodies that parsed + validated.
     pub submitted: Arc<Counter>,
@@ -60,7 +63,8 @@ pub struct ServiceStats {
     pub rejected_bad: Arc<Counter>,
     /// `GET .../result` responses actually written to a client.
     pub results_served: Arc<Counter>,
-    /// Connections closed for blowing the socket read/write timeout.
+    /// Requests answered 408 for exhausting the per-request wall-clock
+    /// budget (silent, stalled, or trickling clients — slowloris).
     pub conn_timeouts: Arc<Counter>,
     /// `engine = "auto"` resolutions answered by the shared tune cache.
     pub tune_hits: Arc<Counter>,
@@ -84,7 +88,7 @@ impl ServiceStats {
         let stats = ServiceStats {
             requests: registry.counter(
                 "em_http_requests_total",
-                "HTTP requests accepted (any route, any outcome).",
+                "HTTP requests received (any route, any outcome).",
                 &[],
             ),
             submitted: registry.counter(

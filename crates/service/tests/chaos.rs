@@ -130,8 +130,10 @@ fn http_try(
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let body = body.unwrap_or(&[]);
+    // `Connection: close` because this client reads to EOF; keep-alive
+    // exchanges live in the dedicated keepalive test suite.
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     let mut payload = head.into_bytes();

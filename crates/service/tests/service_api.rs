@@ -103,8 +103,10 @@ fn raw(addr: &str, payload: &[u8]) -> (u16, String) {
 
 fn http(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> (u16, String) {
     let body = body.unwrap_or(&[]);
+    // `Connection: close` because this client reads to EOF; keep-alive
+    // exchanges live in the dedicated keepalive test suite.
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     let mut payload = head.into_bytes();
@@ -255,7 +257,8 @@ fn transport_and_spec_errors_map_to_http_statuses() {
     let (status, _) = raw(addr, &creep);
     assert_eq!(status, 413);
     // A well-formed chunked request works end to end.
-    let mut chunked = b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+    let mut chunked =
+        b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n".to_vec();
     let body = br#"{"builtin": "no-such-scenario"}"#;
     chunked.extend_from_slice(format!("{:x}\r\n", body.len()).as_bytes());
     chunked.extend_from_slice(body);
@@ -562,10 +565,10 @@ fn metrics_exposition_parses_and_agrees_with_stats() {
     assert_eq!(status, 200);
     let m = parse_exposition(&text);
 
-    // Counters agree with the /stats snapshot taken one connection
-    // earlier. Requests are counted at accept, so the /metrics exchange
-    // itself is included in its own render: exactly one more than the
-    // snapshot saw. Connections are serviced in order, so this is
+    // Counters agree with the /stats snapshot taken one request
+    // earlier. Requests are counted as they parse, so the /metrics
+    // exchange itself is included in its own render: exactly one more
+    // than the snapshot saw. Requests are serviced in order, so this is
     // deterministic.
     assert_eq!(m["em_http_requests_total"], stat("requests") + 1.0);
     assert_eq!(m["em_jobs_submitted_total"], stat("submitted"));

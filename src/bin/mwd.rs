@@ -96,9 +96,17 @@ SERVE OPTIONS:
     --queue-depth <n>   queued-job cap before 429 (default 32)
     --refine <k>        native probes per auto-tuning miss (default 0)
     --memory-store      keep results in memory only (no --out directory)
-    --io-timeout-secs <n>  per-connection socket read/write timeout
-                        (default 10; timed-out connections are counted
-                        in /metrics as em_conn_timeouts_total)
+    --io-timeout-secs <n>  total wall-clock budget per request, first
+                        byte to last (default 10; requests that blow it
+                        are answered 408 and counted in /metrics as
+                        em_conn_timeouts_total)
+    --conn-model <m>    connection plane: `event-loop` (epoll +
+                        HTTP/1.1 keep-alive; Linux default) or
+                        `blocking` (thread per connection, one request
+                        per connection)
+    --max-connections <n>  concurrent-connection cap; accepts pause at
+                        the cap and resume as connections close
+                        (default 1024)
     --chaos <plan>      deterministic fault injection, e.g.
                         `seed=42,panic=0.05,slow=0.2:1500,disk-error=0.05,
                         truncate=0.05,bit-flip=0.05,conn-drop=0.1`
@@ -182,6 +190,8 @@ struct CliOpts {
     memory_store: bool,
     trace: Option<PathBuf>,
     io_timeout_secs: Option<u64>,
+    conn_model: Option<em_service::ConnModel>,
+    max_connections: Option<usize>,
     chaos: Option<String>,
 }
 
@@ -204,6 +214,8 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
         memory_store: false,
         trace: None,
         io_timeout_secs: None,
+        conn_model: None,
+        max_connections: None,
         chaos: None,
     };
     let mut it = args.iter();
@@ -241,6 +253,16 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
                         .ok()
                         .filter(|&n| n >= 1)
                         .ok_or("--io-timeout-secs needs a positive integer")?,
+                )
+            }
+            "--conn-model" => o.conn_model = Some(value("--conn-model")?.parse()?),
+            "--max-connections" => {
+                o.max_connections = Some(
+                    value("--max-connections")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--max-connections needs a positive integer")?,
                 )
             }
             "--chaos" => o.chaos = Some(value("--chaos")?),
@@ -406,6 +428,8 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         },
         cache_path: Some(o.cache.unwrap_or_else(tuner::default_cache_path)),
         io_timeout_secs: o.io_timeout_secs.unwrap_or(10),
+        conn_model: o.conn_model.unwrap_or_default(),
+        max_connections: o.max_connections.unwrap_or(1024),
         chaos: o
             .chaos
             .as_deref()

@@ -29,6 +29,14 @@
 //!   full (streaming for large artifacts: no thread blocks on a slow
 //!   reader).
 //!
+//! The cycle is driven by [`Loop::pump`], a flat loop that steps one
+//! connection's state machine until it blocks. Each step returns
+//! "progressed or not" instead of calling the next step directly, so a
+//! pipelined backlog of N buffered requests costs O(1) stack — the
+//! alternative (parse → route → write → parse ... as mutual recursion)
+//! would let a client that pipelines thousands of tiny requests drive
+//! stack depth to N frames and crash the single-threaded plane.
+//!
 //! The listener is level-triggered and *deregistered* whenever the
 //! connection count reaches the configured cap — accept backpressure
 //! without a busy loop; the kernel backlog holds new arrivals until a
@@ -181,6 +189,15 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// How long the loop lingers after the stop flag to flush in-flight
 /// responses before closing whatever remains.
 const DRAIN_BUDGET: Duration = Duration::from_secs(5);
+
+/// Floor on the deadline a connection gets while its request sits in
+/// `Routing`. Admission for `POST /jobs` can legitimately run a cold
+/// tuning search, so this is far above `io_timeout` — but it must be
+/// finite: if the router pool wedges, connections stuck in `Routing`
+/// would otherwise hold their slots forever, and at `max_connections`
+/// the disarmed listener would never re-arm (the daemon stops
+/// accepting with no recovery path).
+const ROUTING_BUDGET_FLOOR: Duration = Duration::from_secs(120);
 
 enum ConnState {
     /// Accumulating bytes until the parser frames a request.
@@ -434,6 +451,10 @@ impl Loop<'_> {
             match self.server.listener.accept() {
                 Ok((stream, _peer)) => self.register_conn(stream),
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                // EINTR is not an accept failure: retry immediately
+                // instead of disarming the listener and eating the
+                // 100 ms backoff on every stray signal.
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => {
                     // Same stance as the blocking plane: transient
                     // accept failures (ECONNABORTED, EMFILE) must not
@@ -512,16 +533,29 @@ impl Loop<'_> {
         if bits & EPOLLIN != 0 && !self.fill_read_buf(token) {
             return;
         }
-        if let Some(conn) = self.conns.get(&token) {
-            if matches!(conn.state, ConnState::Reading) {
-                self.try_parse(token);
-            }
-        }
-        if bits & EPOLLOUT != 0 {
-            if let Some(conn) = self.conns.get(&token) {
-                if matches!(conn.state, ConnState::Writing) {
-                    self.continue_write(token);
-                }
+        self.pump(token);
+    }
+
+    /// Step this connection's state machine until it blocks: frame and
+    /// route buffered requests, flush the staged response, repeat.
+    /// Deliberately a flat loop — each step reports progress instead of
+    /// calling the next step, so serving a pipelined backlog of N
+    /// requests costs O(1) stack rather than N mutually recursive
+    /// frames (which a hostile client could drive to a stack overflow).
+    fn pump(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get(&token) else {
+                return;
+            };
+            let progressed = match conn.state {
+                ConnState::Reading => self.try_parse(token),
+                ConnState::Writing => self.continue_write(token),
+                // The router pool owns the request; its completion
+                // re-enters through `deliver_completions`.
+                ConnState::Routing => false,
+            };
+            if !progressed {
+                return;
             }
         }
     }
@@ -530,10 +564,19 @@ impl Loop<'_> {
     /// under edge-triggered epoll). Returns false if the connection was
     /// torn down.
     fn fill_read_buf(&mut self, token: u64) -> bool {
-        // Enough for the largest legal request plus pipelined
-        // follow-ups; past this the socket stays unread until the
-        // backlog drains.
-        let cap = self.ctx.limits.max_header_bytes + self.ctx.limits.max_body_bytes + 16 * 1024;
+        // Sized so the worst-case wire form of one maximally-large
+        // legal request always fits — a request that cannot finish
+        // buffering can never frame, and would stall until its 408.
+        // The wire form is the header block (≤ max_header_bytes), the
+        // decoded body (≤ max_body_bytes), and for chunked bodies the
+        // framing overhead: chunk-size/trailer lines draw on their own
+        // `max_header_bytes` budget in the parser, and each chunk's
+        // data carries a 2-byte CRLF the budget does not see. A size
+        // line costs at least 2 budget bytes, so those CRLFs total at
+        // most the line budget again — hence 3× the header limit of
+        // slack over the body. Anything past the cap is pipelined
+        // backlog that waits in the socket until this backlog drains.
+        let cap = 3 * self.ctx.limits.max_header_bytes + self.ctx.limits.max_body_bytes;
         let mut chunk = [0u8; 8192];
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -566,19 +609,22 @@ impl Loop<'_> {
         }
     }
 
-    /// Try to frame one request out of the read buffer and hand it to
-    /// the router pool. Runs only in `Reading` state: one request in
-    /// flight per connection keeps responses in pipeline order.
-    fn try_parse(&mut self, token: u64) {
+    /// Try to frame one request out of the read buffer and route it
+    /// (inline, or via the router pool). Runs only in `Reading` state:
+    /// one request in flight per connection keeps responses in
+    /// pipeline order. Returns whether the state machine progressed —
+    /// a response was staged or the request left for the router pool —
+    /// so [`Loop::pump`] knows to take another step.
+    fn try_parse(&mut self, token: u64) -> bool {
         let Some(conn) = self.conns.get_mut(&token) else {
-            return;
+            return false;
         };
         if conn.read_buf.is_empty() {
             if conn.peer_closed {
                 // EOF between requests: a clean close, not a request.
                 self.close_conn(token);
             }
-            return;
+            return false;
         }
         if !conn.in_request {
             // First byte of a follow-up request arms its budget.
@@ -595,9 +641,18 @@ impl Loop<'_> {
                 if routes_inline(&req) {
                     let out = route(&req, &self.ctx);
                     self.queue_response(token, out);
-                } else if let Some(tx) = &self.route_tx {
-                    let _ = tx.send(RouteJob { token, req });
+                } else {
+                    // Off to the router pool. Bound the wait: admission
+                    // may run a cold tuning search, so the budget is
+                    // generous — but a wedged pool must not hold this
+                    // slot (and, at the cap, the listener) forever.
+                    conn.deadline =
+                        Instant::now() + (self.ctx.io_timeout * 6).max(ROUTING_BUDGET_FLOOR);
+                    if let Some(tx) = &self.route_tx {
+                        let _ = tx.send(RouteJob { token, req });
+                    }
                 }
+                true
             }
             Ok(None) => {
                 if conn.peer_closed {
@@ -613,7 +668,9 @@ impl Loop<'_> {
                         Response::error(400, "connection closed mid-request"),
                     );
                     self.queue_response(token, out);
+                    return true;
                 }
+                false
             }
             Err(e) => {
                 ServiceStats::bump(&self.ctx.stats.requests);
@@ -628,6 +685,7 @@ impl Loop<'_> {
                 conn.close_after_write = true;
                 let out = routed("other", Response::error(e.status(), e.message()));
                 self.queue_response(token, out);
+                true
             }
         }
     }
@@ -644,12 +702,15 @@ impl Loop<'_> {
             // plane.
             if self.conns.contains_key(&completion.token) {
                 self.queue_response(completion.token, completion.out);
+                self.pump(completion.token);
             }
         }
     }
 
     /// Render a response for this connection (applying the chaos
-    /// drop-site) and start flushing it.
+    /// drop-site) and stage it for flushing. Only stages — the caller
+    /// (always [`Loop::pump`], directly or right after) drives the
+    /// actual writes, keeping the serve cycle iterative.
     fn queue_response(&mut self, token: u64, out: Routed) {
         let draining = self.draining;
         let Some(conn) = self.conns.get_mut(&token) else {
@@ -684,24 +745,25 @@ impl Loop<'_> {
         // The write gets its own budget (the blocking plane's write
         // timeout); the request budget may be nearly spent by now.
         conn.deadline = Instant::now() + self.ctx.io_timeout;
-        self.continue_write(token);
     }
 
     /// Flush as much of the write buffer as the socket accepts,
-    /// registering `EPOLLOUT` interest only while it is full.
-    fn continue_write(&mut self, token: u64) {
+    /// registering `EPOLLOUT` interest only while it is full. Returns
+    /// whether the state machine progressed: the response finished and
+    /// the connection is back in `Reading` (possibly with pipelined
+    /// bytes already buffered), so [`Loop::pump`] should step again.
+    fn continue_write(&mut self, token: u64) -> bool {
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
-                return;
+                return false;
             };
             if conn.written >= conn.write_buf.len() {
-                self.finish_response(token);
-                return;
+                return self.finish_response(token);
             }
             match conn.stream.write(&conn.write_buf[conn.written..]) {
                 Ok(0) => {
                     self.close_conn(token);
-                    return;
+                    return false;
                 }
                 Ok(n) => conn.written += n,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -713,12 +775,12 @@ impl Loop<'_> {
                             EPOLLIN | EPOLLRDHUP | EPOLLOUT | EPOLLET,
                         );
                     }
-                    return;
+                    return false;
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(_) => {
                     self.close_conn(token);
-                    return;
+                    return false;
                 }
             }
         }
@@ -726,11 +788,13 @@ impl Loop<'_> {
 
     /// The last byte of a response is out: settle its accounting and
     /// either close or return to `Reading` for the next (possibly
-    /// already-buffered) request.
-    fn finish_response(&mut self, token: u64) {
+    /// already-buffered) request. Returns whether the connection
+    /// survives in `Reading` — the signal that lets [`Loop::pump`]
+    /// parse the next pipelined request without recursing.
+    fn finish_response(&mut self, token: u64) -> bool {
         let draining = self.draining;
         let Some(conn) = self.conns.get_mut(&token) else {
-            return;
+            return false;
         };
         self.ctx
             .stats
@@ -744,7 +808,7 @@ impl Loop<'_> {
         conn.written = 0;
         if conn.close_after_write || draining {
             self.close_conn(token);
-            return;
+            return false;
         }
         if conn.want_write {
             conn.want_write = false;
@@ -760,17 +824,21 @@ impl Loop<'_> {
         // silently when this expires (re-armed as a request budget at
         // the next first byte).
         conn.deadline = Instant::now() + self.ctx.io_timeout;
+        // A read paused at the buffer cap has no edge coming (edge-
+        // triggered epoll already announced those bytes): resume it now
+        // that the backlog shrank. Pipelined bytes may already hold the
+        // next request — the pump's next step parses them.
         let resume_read = conn.read_paused;
         if resume_read && !self.fill_read_buf(token) {
-            return;
+            return false;
         }
-        // Pipelined bytes may already hold the next request.
-        self.try_parse(token);
+        true
     }
 
     /// Enforce per-connection deadlines: 408 for an expired in-flight
     /// request (slowloris, silent connection), silent close for an
-    /// idle keep-alive connection, teardown for a stalled writer.
+    /// idle keep-alive connection, teardown for a stalled writer or
+    /// for a request wedged in the router pool past its budget.
     fn sweep_deadlines(&mut self) {
         let now = Instant::now();
         let expired: Vec<u64> = self
@@ -797,14 +865,20 @@ impl Loop<'_> {
                         Response::error(408, "request exceeded its wall-clock budget"),
                     );
                     self.queue_response(token, out);
+                    self.pump(token);
                 }
                 ConnState::Reading => {
                     // Idle keep-alive connection: owes no response.
                     self.close_conn(token);
                 }
-                // A routed request is the scheduler's to finish; its
-                // response is coming. Re-check next sweep.
-                ConnState::Routing => {}
+                ConnState::Routing => {
+                    // The router pool wedged past the generous routing
+                    // budget (armed at dispatch in `try_parse`). Free
+                    // the slot; tokens are never reused, so the late
+                    // completion is dropped in `deliver_completions`.
+                    ServiceStats::bump(&self.ctx.stats.conn_timeouts);
+                    self.close_conn(token);
+                }
                 ConnState::Writing => {
                     // A reader stalled longer than the budget mid-
                     // response: drop it, like a blocking-plane write

@@ -237,6 +237,96 @@ fn pipelined_requests_answer_in_order_on_one_connection() {
 }
 
 #[test]
+fn deep_pipeline_of_tiny_requests_is_served_in_order() {
+    // A hostile-but-legal client: thousands of pipelined requests in
+    // one burst. The serve cycle must walk the backlog iteratively —
+    // a recursive parse→route→write cycle would grow the stack by one
+    // frame set per buffered request and abort the whole loop thread.
+    // (The 3-request pipeline test above never exercises depth.)
+    const N: usize = 2000;
+    let daemon = Daemon::start(tiny_config(ConnModel::default()));
+    let mut client = KeepAliveClient::connect(&daemon.addr);
+
+    let mut burst = Vec::with_capacity(N * 32);
+    for _ in 0..N {
+        burst.extend_from_slice(&KeepAliveClient::get("/healthz"));
+    }
+    client.send(&burst);
+    for i in 0..N {
+        let (status, connection, _) = client
+            .read_response()
+            .unwrap_or_else(|e| panic!("response {i}/{N}: {e}"));
+        assert_eq!(status, 200, "response {i}");
+        assert_eq!(connection, "keep-alive", "response {i}");
+    }
+
+    // The connection is still healthy after the burst.
+    client.send(&KeepAliveClient::get("/healthz"));
+    assert_eq!(client.read_response().unwrap().0, 200);
+
+    assert_eq!(stat(&daemon.addr, "requests"), N as i64 + 2);
+    daemon.stop();
+}
+
+#[test]
+fn max_size_chunked_request_with_heavy_framing_completes() {
+    // A legal chunked request at the body limit whose *wire* form
+    // carries maximal framing overhead: thousands of 1-byte chunks
+    // (each costing a size line plus a CRLF the header budget never
+    // sees) plus a near-16K header block. The event loop's read-buffer
+    // cap must admit the whole wire form — a cap sized only
+    // `header + body + small slack` pauses the read with no response
+    // in flight to resume it, and the request stalls into a 408
+    // instead of being answered.
+    let mut cfg = tiny_config(ConnModel::EventLoop);
+    cfg.io_timeout_secs = 3;
+    let daemon = Daemon::start(cfg);
+
+    let limits = em_service::Limits::default();
+    let singles = 8000usize;
+    let big = limits.max_body_bytes - singles;
+    // Pad the header block to just under its limit.
+    let head_base =
+        "POST /jobs HTTP/1.1\r\nHost: t\r\nConnection: close\r\nTransfer-Encoding: chunked\r\nX-Pad: ";
+    let head_target = limits.max_header_bytes - 84;
+    let pad = "p".repeat(head_target - head_base.len() - 4);
+    let mut wire = format!("{head_base}{pad}\r\n\r\n").into_bytes();
+    for _ in 0..singles {
+        wire.extend_from_slice(b"1\nx\r\n");
+    }
+    wire.extend_from_slice(format!("{big:x}\n").as_bytes());
+    wire.resize(wire.len() + big, b'y');
+    wire.extend_from_slice(b"\r\n0\n\n");
+    assert!(
+        wire.len() > limits.max_header_bytes + limits.max_body_bytes + 16 * 1024,
+        "the wire form ({} bytes) must exceed the old header+body+16K cap",
+        wire.len()
+    );
+
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(&daemon.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(&wire).unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    let status: u16 = text.split(' ').nth(1).unwrap().parse().unwrap();
+    // The body is junk TOML, so submission is rejected — but the
+    // request *frames* and is answered 400, well inside the budget,
+    // instead of stalling at the buffer cap until the 408 sweep.
+    assert_eq!(status, 400, "{}", text.lines().next().unwrap_or(""));
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "the request must be answered promptly, took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(stat(&daemon.addr, "conn_timeouts"), 0);
+    daemon.stop();
+}
+
+#[test]
 fn connection_close_and_http10_end_the_connection() {
     let daemon = Daemon::start(tiny_config(ConnModel::default()));
 

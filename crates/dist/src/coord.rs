@@ -1,0 +1,592 @@
+//! The dist coordinator: launches workers, wires the halo topology,
+//! drives the period lockstep and assembles the batch-identical
+//! outcome.
+//!
+//! Bit identity with the single-process solver is the subsystem's
+//! oracle, and the order-dependent f64 reductions make it delicate:
+//! `relative_change` and `energy()` sum in component-major interior
+//! order over the *global* grid. The coordinator therefore gathers
+//! every slab's fields once per period and replicates
+//! `run_to_convergence_cancel`'s loop — same comparison, same `prev`
+//! bookkeeping, same period accounting — on the reassembled grid, and
+//! the final analysis outputs are computed by the same `em_solver`
+//! functions a local run uses.
+
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use em_faults::FaultInjector;
+use em_field::{norms, FieldSet};
+use em_obs::{Recorder, Registry, ThreadLog};
+use em_scenarios::{ConvergenceDecl, JobOutcome, ScenarioJob, ScenarioSpec};
+use em_solver::analysis;
+use mwd_core::cancel::{CancelToken, CANCELLED_PREFIX, TIMEOUT_PREFIX};
+
+use crate::decomp::split_z;
+use crate::proto::{self, FrameError, Msg};
+use crate::slab::{boundary_for, paste_fields};
+use crate::worker::{run_worker, WorkerConfig};
+
+/// Counter: halo planes received and applied, labelled per worker.
+pub const HALO_EXCHANGES_METRIC: &str = "em_halo_exchanges_total";
+/// Histogram: seconds each worker spent blocked waiting for a halo
+/// plane, labelled per worker.
+pub const HALO_WAIT_METRIC: &str = "em_halo_wait_seconds";
+
+/// Poll slice for coordinator waits (cancellation stays responsive).
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// Ceiling on worker spawn + handshake, independent of job deadline.
+const SETUP_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How workers are brought up.
+#[derive(Clone, Debug)]
+pub enum Launcher {
+    /// In-process `std::thread` workers over localhost TCP — the
+    /// service path and the test default (no re-exec needed).
+    Thread,
+    /// `mwd dist worker` child processes (the CLI path), optionally
+    /// carrying a chaos plan on their halo wire.
+    Process { chaos: Option<String> },
+}
+
+/// Options for [`run_dist`].
+pub struct DistOptions {
+    /// Worker count (z slabs). Must satisfy `1 <= workers <= nz`.
+    pub workers: usize,
+    /// Engine threads across the whole job; each worker gets
+    /// `max(1, threads / workers)`.
+    pub threads: usize,
+    pub launcher: Launcher,
+    /// Deadline / stop flag for the whole solve; aborts propagate to
+    /// every worker over the control protocol.
+    pub cancel: CancelToken,
+    /// Span recorder: one trace timeline per worker
+    /// (`dist-worker-{i}`) with a span per period.
+    pub trace: Recorder,
+    pub trace_parent: u64,
+    /// Metrics sink for [`HALO_EXCHANGES_METRIC`] / [`HALO_WAIT_METRIC`].
+    pub registry: Option<Arc<Registry>>,
+    /// Wire-fault injector handed to `Thread` workers.
+    pub faults: Option<Arc<FaultInjector>>,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            workers: 2,
+            threads: 1,
+            launcher: Launcher::Thread,
+            cancel: CancelToken::none(),
+            trace: Recorder::disabled(),
+            trace_parent: 0,
+            registry: None,
+            faults: None,
+        }
+    }
+}
+
+/// Run every job of `spec` decomposed over `opts.workers` z slabs.
+/// Outcomes are bit-identical to `run_batch` over the same spec —
+/// including error bookkeeping: per-job failures land in the outcome's
+/// `error` field, and only spec-level problems return `Err`.
+pub fn run_dist(spec: &ScenarioSpec, opts: &DistOptions) -> Result<Vec<JobOutcome>, String> {
+    spec.validate()?;
+    boundary_for(&spec.engine)?;
+    split_z(spec.dims().nz, opts.workers)?;
+    let jobs = spec.jobs();
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (index, job) in jobs.iter().enumerate() {
+        outcomes.push(run_dist_job(spec, job, index, opts));
+    }
+    Ok(outcomes)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A worker failure keeps its cooperative-halt prefix (so the service
+/// classifies drain/deadline correctly) and otherwise names the worker.
+fn worker_failure(index: usize, msg: &str) -> String {
+    if msg.starts_with(CANCELLED_PREFIX) || msg.starts_with(TIMEOUT_PREFIX) {
+        msg.to_string()
+    } else {
+        format!("dist worker {index} failed: {msg}")
+    }
+}
+
+fn run_dist_job(
+    spec: &ScenarioSpec,
+    job: &ScenarioJob,
+    index: usize,
+    opts: &DistOptions,
+) -> JobOutcome {
+    let t0 = Instant::now();
+    let decl = spec.engine;
+    // The skeleton mirrors the batch runner's `blank_outcome` so a
+    // dist artifact differs from a local one in no field but the
+    // (stripped-for-comparison) wall clock.
+    let mut outcome = JobOutcome {
+        job: index,
+        scenario: job.scenario.clone(),
+        sweep_index: job.sweep_index,
+        lambda_nm: job.lambda_nm,
+        lambda_cells: job.lambda_cells,
+        dims: format!("{}", spec.dims()),
+        spec_hash: spec.content_hash(),
+        engine: decl.label(),
+        threads: decl.threads(),
+        dry_run: false,
+        converged: false,
+        periods: 0,
+        steps: 0,
+        rel_change: f64::INFINITY,
+        energy: 0.0,
+        back_iteration_cells: 0,
+        absorption: Vec::new(),
+        intensity_profile: None,
+        wall_secs: 0.0,
+        error: None,
+        artifact: None,
+        tuned: None,
+    };
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        solve_dist(spec, job, index, opts, &mut outcome)
+    }));
+    let result =
+        caught.unwrap_or_else(|p| Err(format!("job panicked: {}", panic_message(p.as_ref()))));
+    if let Err(e) = result {
+        outcome.error = Some(e);
+    }
+    outcome.wall_secs = t0.elapsed().as_secs_f64();
+    outcome
+}
+
+enum Joiner {
+    Thread(std::thread::JoinHandle<Result<(), String>>),
+    Child(Child),
+}
+
+/// Everything live about one coordinated solve; dropping it aborts and
+/// reaps whatever is still running, so every early `return Err` leaves
+/// no worker behind.
+struct Run {
+    ctrl: Vec<TcpStream>,
+    joiners: Vec<Joiner>,
+    finished: bool,
+}
+
+impl Run {
+    fn send_all(&mut self, msg: &Msg) -> Result<(), String> {
+        for (i, w) in self.ctrl.iter_mut().enumerate() {
+            proto::send(w, msg).map_err(|e| format!("dist worker {i} unreachable: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn abort(&mut self, reason: &str) {
+        for w in self.ctrl.iter_mut() {
+            let _ = proto::send(
+                w,
+                &Msg::Abort {
+                    reason: reason.to_string(),
+                },
+            );
+        }
+    }
+}
+
+impl Drop for Run {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.abort("coordinator shutting down");
+        }
+        // Closing the control sockets unblocks any worker still
+        // reading; thread workers then exit on their own. Child
+        // processes get a short grace period, then SIGKILL.
+        self.ctrl.clear();
+        for j in self.joiners.drain(..) {
+            match j {
+                Joiner::Thread(h) => {
+                    let _ = h.join();
+                }
+                Joiner::Child(mut c) => {
+                    let t0 = Instant::now();
+                    loop {
+                        match c.try_wait() {
+                            Ok(Some(_)) => break,
+                            Ok(None) if t0.elapsed() > Duration::from_secs(5) => {
+                                let _ = c.kill();
+                                let _ = c.wait();
+                                break;
+                            }
+                            Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Receive one control message during the lockstep handshake, bounded
+/// by `deadline` via the socket read timeout.
+fn recv_setup(stream: &mut TcpStream, deadline: Instant, what: &str) -> Result<Msg, String> {
+    let left = deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| format!("timeout: dist setup expired waiting for {what}"))?;
+    stream
+        .set_read_timeout(Some(left))
+        .map_err(|e| format!("control read timeout: {e}"))?;
+    match proto::recv(stream) {
+        Ok(Msg::WorkerErr { index, message }) => Err(worker_failure(index as usize, &message)),
+        Ok(msg) => Ok(msg),
+        Err(FrameError::Eof) => Err(format!("worker hung up before {what}")),
+        Err(e) => Err(format!("waiting for {what}: {e}")),
+    }
+}
+
+fn solve_dist(
+    spec: &ScenarioSpec,
+    job: &ScenarioJob,
+    job_index: usize,
+    opts: &DistOptions,
+    outcome: &mut JobOutcome,
+) -> Result<(), String> {
+    // A job that is already halted (drain hit between jobs) must not
+    // pay for worker spawn + teardown.
+    if let Some(err) = opts.cancel.halt_error() {
+        return Err(err);
+    }
+    let workers = opts.workers;
+    let dims = spec.dims();
+    let slabs = split_z(dims.nz, workers)?;
+    boundary_for(&spec.engine)?;
+
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| format!("cannot bind the coordinator listener: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("coordinator listener addr: {e}"))?;
+    let mut setup_dl = Instant::now() + SETUP_TIMEOUT;
+    if let Some(d) = opts.cancel.deadline() {
+        setup_dl = setup_dl.min(d);
+    }
+
+    let mut run = Run {
+        ctrl: Vec::new(),
+        joiners: Vec::new(),
+        finished: false,
+    };
+    for i in 0..workers {
+        match &opts.launcher {
+            Launcher::Thread => {
+                let cfg = WorkerConfig {
+                    connect: addr.to_string(),
+                    index: i,
+                    faults: opts.faults.clone(),
+                };
+                let h = std::thread::Builder::new()
+                    .name(format!("dist-worker-{i}"))
+                    .spawn(move || run_worker(&cfg))
+                    .map_err(|e| format!("cannot spawn worker thread {i}: {e}"))?;
+                run.joiners.push(Joiner::Thread(h));
+            }
+            Launcher::Process { chaos } => {
+                let exe = std::env::current_exe()
+                    .map_err(|e| format!("cannot locate the mwd binary: {e}"))?;
+                let mut cmd = Command::new(exe);
+                cmd.args(["dist", "worker", "--connect"])
+                    .arg(addr.to_string())
+                    .arg("--index")
+                    .arg(i.to_string())
+                    .stdin(Stdio::null());
+                if let Some(plan) = chaos {
+                    cmd.args(["--chaos", plan]);
+                }
+                let child = cmd
+                    .spawn()
+                    .map_err(|e| format!("cannot spawn worker process {i}: {e}"))?;
+                run.joiners.push(Joiner::Child(child));
+            }
+        }
+    }
+
+    // Accept and identify all workers (Hello carries the index).
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("coordinator listener nonblocking: {e}"))?;
+    let mut ctrl: Vec<Option<TcpStream>> = (0..workers).map(|_| None).collect();
+    let mut connected = 0usize;
+    while connected < workers {
+        if let Some(err) = opts.cancel.halt_error() {
+            return Err(err);
+        }
+        if Instant::now() >= setup_dl {
+            return Err("timeout: dist workers never connected".to_string());
+        }
+        let mut s = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("coordinator accept failed: {e}")),
+        };
+        s.set_nodelay(true)
+            .map_err(|e| format!("control nodelay: {e}"))?;
+        s.set_nonblocking(false)
+            .map_err(|e| format!("control blocking: {e}"))?;
+        match recv_setup(&mut s, setup_dl, "Hello")? {
+            Msg::Hello { index } => {
+                let i = index as usize;
+                if i >= workers || ctrl[i].is_some() {
+                    return Err(format!("unexpected Hello from worker index {i}"));
+                }
+                ctrl[i] = Some(s);
+                connected += 1;
+            }
+            other => return Err(format!("expected Hello, got kind {}", other.kind())),
+        }
+    }
+    run.ctrl = ctrl
+        .into_iter()
+        .map(|s| s.expect("all connected"))
+        .collect();
+
+    // The full solver gives us the position-dependent coefficients
+    // (workers rebuild and crop the same thing), the gather target, and
+    // the physics constants the analysis outputs need.
+    let mut solver = spec.build_solver(job)?;
+    outcome.back_iteration_cells = solver.back_iteration_cells;
+    let spp = solver.steps_per_period();
+    let threads_per_worker = (opts.threads / workers).max(1);
+    let deadline_ms = opts
+        .cancel
+        .deadline()
+        .and_then(|d| d.checked_duration_since(Instant::now()))
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let spec_toml = spec.to_toml_string();
+
+    for (i, slab) in slabs.iter().enumerate() {
+        let msg = Msg::Assign {
+            index: i as u32,
+            workers: workers as u32,
+            z0: slab.z0 as u32,
+            nz_local: slab.nz as u32,
+            threads: threads_per_worker as u32,
+            job_index: job_index as u32,
+            deadline_ms,
+            spec_toml: spec_toml.clone(),
+        };
+        proto::send(&mut run.ctrl[i], &msg)
+            .map_err(|e| format!("cannot assign worker {i}: {e}"))?;
+    }
+
+    // Halo topology relay: worker i listens for i+1; we learn i's port
+    // and tell i+1 where to connect.
+    for i in 0..workers.saturating_sub(1) {
+        let port = match recv_setup(&mut run.ctrl[i], setup_dl, "ListenPort")? {
+            Msg::ListenPort { port } => port,
+            other => return Err(format!("expected ListenPort, got kind {}", other.kind())),
+        };
+        proto::send(&mut run.ctrl[i + 1], &Msg::ConnectDown { port })
+            .map_err(|e| format!("cannot relay the halo port to worker {}: {e}", i + 1))?;
+    }
+    for i in 0..workers {
+        match recv_setup(&mut run.ctrl[i], setup_dl, "Ready")? {
+            Msg::Ready => {}
+            other => return Err(format!("expected Ready, got kind {}", other.kind())),
+        }
+    }
+
+    // Steady state: per-worker reader threads funnel control messages
+    // into one channel so a dead worker can never wedge the gather.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<Msg, String>)>();
+    for (i, s) in run.ctrl.iter().enumerate() {
+        s.set_read_timeout(None)
+            .map_err(|e| format!("control read timeout: {e}"))?;
+        let mut r = s.try_clone().map_err(|e| format!("control clone: {e}"))?;
+        let tx = tx.clone();
+        std::thread::spawn(move || loop {
+            match proto::recv(&mut r) {
+                Ok(msg) => {
+                    if tx.send((i, Ok(msg))).is_err() {
+                        return;
+                    }
+                }
+                Err(FrameError::Eof) => {
+                    let _ = tx.send((i, Err("control stream closed".to_string())));
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send((i, Err(format!("control stream: {e}"))));
+                    return;
+                }
+            }
+        });
+    }
+    drop(tx);
+
+    let metrics: Option<Vec<_>> = opts.registry.as_ref().map(|reg| {
+        (0..workers)
+            .map(|i| {
+                let idx = i.to_string();
+                let labels = [("worker", idx.as_str())];
+                (
+                    reg.counter(
+                        HALO_EXCHANGES_METRIC,
+                        "Halo planes received and applied by dist workers",
+                        &labels,
+                    ),
+                    reg.histogram(
+                        HALO_WAIT_METRIC,
+                        "Seconds dist workers spent blocked waiting for a halo plane",
+                        &labels,
+                    ),
+                )
+            })
+            .collect()
+    });
+    let mut tlogs: Vec<ThreadLog> = (0..workers)
+        .map(|i| {
+            opts.trace
+                .thread(&format!("dist-worker-{i}"), opts.trace_parent)
+        })
+        .collect();
+
+    // The convergence loop is a line-for-line replica of
+    // `ThiimSolver::run_to_convergence_cancel`, with `step_n` replaced
+    // by the lockstep round and the fields by the gathered grid.
+    let ConvergenceDecl { tol, max_periods } = spec.convergence;
+    let mut prev: Option<FieldSet> = None;
+    let mut rel = f64::INFINITY;
+    let mut converged = false;
+    let mut periods_done = max_periods;
+    'periods: for period in 1..=max_periods {
+        if let Some(err) = opts.cancel.halt_error() {
+            run.abort(&err);
+            return Err(err);
+        }
+        let mut spans: Vec<_> = tlogs
+            .iter_mut()
+            .map(|t| Some(t.start("dist_period")))
+            .collect();
+        run.send_all(&Msg::Continue)?;
+        let mut pending = workers;
+        let mut seen = vec![false; workers];
+        while pending > 0 {
+            if let Some(err) = opts.cancel.halt_error() {
+                run.abort(&err);
+                return Err(err);
+            }
+            match rx.recv_timeout(WAIT_SLICE) {
+                Ok((
+                    i,
+                    Ok(Msg::PeriodDone {
+                        period: p,
+                        exchanges,
+                        wait_secs,
+                        fields,
+                    }),
+                )) => {
+                    if p as usize != period || seen[i] {
+                        let err = format!("worker {i} is out of lockstep at period {period}");
+                        run.abort(&err);
+                        return Err(err);
+                    }
+                    paste_fields(&mut solver.state.fields, slabs[i], &fields)?;
+                    if let Some(m) = &metrics {
+                        m[i].0.add(exchanges);
+                        for w in &wait_secs {
+                            m[i].1.observe(*w);
+                        }
+                    }
+                    if let Some(span) = spans[i].take() {
+                        let wait: f64 = wait_secs.iter().sum();
+                        tlogs[i].end_kv(
+                            span,
+                            vec![
+                                ("period", period.to_string()),
+                                ("halo_exchanges", exchanges.to_string()),
+                                ("halo_wait_s", format!("{wait:.6}")),
+                            ],
+                        );
+                    }
+                    seen[i] = true;
+                    pending -= 1;
+                }
+                Ok((i, Ok(Msg::WorkerErr { message, .. }))) => {
+                    let err = worker_failure(i, &message);
+                    run.abort(&err);
+                    return Err(err);
+                }
+                Ok((i, Ok(other))) => {
+                    let err = format!(
+                        "unexpected control message kind {} from worker {i}",
+                        other.kind()
+                    );
+                    run.abort(&err);
+                    return Err(err);
+                }
+                Ok((i, Err(e))) => {
+                    let err = worker_failure(i, &e);
+                    run.abort(&err);
+                    return Err(err);
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err("every control reader exited".to_string());
+                }
+            }
+        }
+        if let Some(p) = &prev {
+            rel = norms::relative_change(&solver.state.fields, p);
+            if rel < tol {
+                converged = true;
+                periods_done = period;
+                break 'periods;
+            }
+        }
+        prev = Some(solver.state.fields.clone());
+    }
+
+    run.send_all(&Msg::Finish)?;
+    run.finished = true;
+    drop(run); // joins workers cleanly before we measure/report
+
+    outcome.converged = converged;
+    outcome.periods = periods_done;
+    outcome.steps = periods_done * spp;
+    outcome.rel_change = rel;
+    outcome.energy = solver.fields().energy();
+    for slab in &spec.outputs.absorption {
+        let a = analysis::absorption_in_slab(
+            solver.fields(),
+            &solver.config.scene,
+            job.lambda_nm,
+            solver.omega,
+            slab.z_lo,
+            slab.z_hi,
+        );
+        outcome.absorption.push((slab.name.clone(), a));
+    }
+    if spec.outputs.intensity_profile {
+        outcome.intensity_profile = Some(analysis::intensity_profile_z(solver.fields()));
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! The z-axis domain decomposition.
+//!
+//! The THIIM stencil has radius 1 along every axis, so a slab needs
+//! exactly one halo plane per cut face — the same width the `Array3C`
+//! padding already provides. Slabs are contiguous and balanced: the
+//! first `nz % workers` slabs take one extra plane.
+
+/// One worker's contiguous share of the global z range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slab {
+    /// First global z plane of this slab.
+    pub z0: usize,
+    /// Number of z planes.
+    pub nz: usize,
+}
+
+/// Split `nz` planes over `workers` contiguous slabs.
+pub fn split_z(nz: usize, workers: usize) -> Result<Vec<Slab>, String> {
+    if workers == 0 {
+        return Err("cannot decompose over 0 workers".to_string());
+    }
+    if workers > nz {
+        return Err(format!(
+            "cannot split nz = {nz} over {workers} workers; every slab needs at least one plane"
+        ));
+    }
+    let base = nz / workers;
+    let extra = nz % workers;
+    let mut slabs = Vec::with_capacity(workers);
+    let mut z0 = 0;
+    for i in 0..workers {
+        let n = base + usize::from(i < extra);
+        slabs.push(Slab { z0, nz: n });
+        z0 += n;
+    }
+    debug_assert_eq!(z0, nz);
+    Ok(slabs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_are_contiguous_balanced_and_exhaustive() {
+        for nz in 1..40 {
+            for w in 1..=nz {
+                let slabs = split_z(nz, w).unwrap();
+                assert_eq!(slabs.len(), w);
+                let mut z = 0;
+                for s in &slabs {
+                    assert_eq!(s.z0, z);
+                    assert!(s.nz >= 1);
+                    z += s.nz;
+                }
+                assert_eq!(z, nz);
+                let min = slabs.iter().map(|s| s.nz).min().unwrap();
+                let max = slabs.iter().map(|s| s.nz).max().unwrap();
+                assert!(max - min <= 1, "unbalanced split for nz={nz} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_splits_error() {
+        assert!(split_z(4, 0).is_err());
+        assert!(split_z(4, 5).is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! The wire protocol between the dist coordinator and its workers.
+//!
+//! One frame layout serves both the control plane (assign / continue /
+//! finish / abort) and the halo plane (boundary-plane payloads):
+//!
+//! ```text
+//! [u32 LE payload length][u8 kind][payload][32 ASCII hex checksum]
+//! ```
+//!
+//! The checksum is the FNV-1a-128 content hash from `em_json` over
+//! `kind || payload` — the same hash that names result-store artifacts,
+//! so the whole system shares one integrity primitive. Every parse
+//! failure is an `Err`, never a panic: torn frames (short reads),
+//! oversized length prefixes, checksum mismatches and malformed
+//! payloads all surface as [`FrameError`] so a chaos-injected partner
+//! can never take the peer down with it.
+
+use std::io::{Read, Write};
+
+/// Hard cap on the payload length a reader will allocate for. Large
+/// enough for a gathered field slab of any realistic grid, small
+/// enough that a corrupted length prefix cannot OOM the process.
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// Bytes of frame overhead around a payload (length, kind, checksum).
+pub const FRAME_OVERHEAD: usize = 4 + 1 + 32;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF on the frame boundary — the peer closed the stream.
+    Eof,
+    /// The stream ended (or errored) mid-frame.
+    Torn(String),
+    /// The frame arrived whole but its checksum or payload is invalid.
+    Corrupt(String),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// Any other I/O failure (timeouts included).
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Torn(e) => write!(f, "torn frame: {e}"),
+            FrameError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Serialize one frame to its wire bytes.
+pub fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut hashed = Vec::with_capacity(payload.len() + 1);
+    hashed.push(kind);
+    hashed.extend_from_slice(payload);
+    let sum = em_json::hash::content_hash_bytes(&hashed);
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(sum.as_bytes());
+    out
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&frame_bytes(kind, payload))?;
+    w.flush()
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], started: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if started || filled > 0 {
+                    FrameError::Torn(format!(
+                        "stream closed after {filled} of {} bytes",
+                        buf.len()
+                    ))
+                } else {
+                    FrameError::Eof
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame, verifying length cap and checksum.
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), FrameError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_or(r, &mut len_buf, false)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut kind_buf = [0u8; 1];
+    read_exact_or(r, &mut kind_buf, true)?;
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, true)?;
+    let mut sum = [0u8; 32];
+    read_exact_or(r, &mut sum, true)?;
+
+    let mut hashed = Vec::with_capacity(len + 1);
+    hashed.push(kind_buf[0]);
+    hashed.extend_from_slice(&payload);
+    let want = em_json::hash::content_hash_bytes(&hashed);
+    if want.as_bytes() != sum {
+        return Err(FrameError::Corrupt(format!(
+            "checksum mismatch on kind {} ({len}-byte payload)",
+            kind_buf[0]
+        )));
+    }
+    Ok((kind_buf[0], payload))
+}
+
+// ------------------------------------------------------------ payloads
+
+/// Append-only little-endian encoders for message payloads.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Length-prefixed byte blob.
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+/// Bounds-checked payload reader; every accessor errors (never panics)
+/// on truncated input.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated reading {what}"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self, what: &str) -> Result<f64, String> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub fn str(&mut self, what: &str) -> Result<String, String> {
+        let n = self.u32(what)? as usize;
+        let b = self.take(n, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
+    }
+
+    pub fn bytes(&mut self, what: &str) -> Result<Vec<u8>, String> {
+        let n = self.u32(what)? as usize;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    /// Assert the payload is fully consumed (catches trailing garbage).
+    pub fn done(&self, what: &str) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{what}: {} trailing byte(s) after the payload",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------ messages
+
+/// Every message the coordinator and workers exchange, on either the
+/// control stream or a worker-to-worker halo link.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Worker -> coordinator, first frame on the control stream.
+    Hello { index: u32 },
+    /// Coordinator -> worker: the job and this worker's z-slab.
+    Assign {
+        index: u32,
+        workers: u32,
+        z0: u32,
+        nz_local: u32,
+        threads: u32,
+        job_index: u32,
+        /// Remaining deadline in ms (0 = none).
+        deadline_ms: u64,
+        spec_toml: String,
+    },
+    /// Worker -> coordinator: where this worker accepts its *upper*
+    /// neighbor's halo link.
+    ListenPort { port: u16 },
+    /// Coordinator -> worker: connect your halo link down to this port.
+    ConnectDown { port: u16 },
+    /// Worker -> coordinator: slab built, halo links wired.
+    Ready,
+    /// Halo link: the sender's top E boundary plane for `step`.
+    HaloE { step: u32, data: Vec<u8> },
+    /// Halo link: the sender's bottom H boundary plane for `step`.
+    HaloH { step: u32, data: Vec<u8> },
+    /// Worker -> coordinator: one period done; slab fields plus halo
+    /// telemetry (exchange count and per-wait seconds this period).
+    PeriodDone {
+        period: u32,
+        exchanges: u64,
+        wait_secs: Vec<f64>,
+        fields: Vec<u8>,
+    },
+    /// Coordinator -> worker: run one more period.
+    Continue,
+    /// Coordinator -> worker: converged / done; exit cleanly.
+    Finish,
+    /// Either direction: stop now (deadline, cancel, peer failure).
+    Abort { reason: String },
+    /// Worker -> coordinator: this worker failed.
+    WorkerErr { index: u32, message: String },
+}
+
+impl Msg {
+    pub fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 1,
+            Msg::Assign { .. } => 2,
+            Msg::ListenPort { .. } => 3,
+            Msg::ConnectDown { .. } => 4,
+            Msg::Ready => 5,
+            Msg::HaloE { .. } => 6,
+            Msg::HaloH { .. } => 7,
+            Msg::PeriodDone { .. } => 8,
+            Msg::Continue => 9,
+            Msg::Finish => 10,
+            Msg::Abort { .. } => 11,
+            Msg::WorkerErr { .. } => 12,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Msg::Hello { index } => put_u32(&mut b, *index),
+            Msg::Assign {
+                index,
+                workers,
+                z0,
+                nz_local,
+                threads,
+                job_index,
+                deadline_ms,
+                spec_toml,
+            } => {
+                put_u32(&mut b, *index);
+                put_u32(&mut b, *workers);
+                put_u32(&mut b, *z0);
+                put_u32(&mut b, *nz_local);
+                put_u32(&mut b, *threads);
+                put_u32(&mut b, *job_index);
+                put_u64(&mut b, *deadline_ms);
+                put_str(&mut b, spec_toml);
+            }
+            Msg::ListenPort { port } | Msg::ConnectDown { port } => put_u32(&mut b, *port as u32),
+            Msg::Ready | Msg::Continue | Msg::Finish => {}
+            Msg::HaloE { step, data } | Msg::HaloH { step, data } => {
+                put_u32(&mut b, *step);
+                put_bytes(&mut b, data);
+            }
+            Msg::PeriodDone {
+                period,
+                exchanges,
+                wait_secs,
+                fields,
+            } => {
+                put_u32(&mut b, *period);
+                put_u64(&mut b, *exchanges);
+                put_u32(&mut b, wait_secs.len() as u32);
+                for w in wait_secs {
+                    put_f64(&mut b, *w);
+                }
+                put_bytes(&mut b, fields);
+            }
+            Msg::Abort { reason } => put_str(&mut b, reason),
+            Msg::WorkerErr { index, message } => {
+                put_u32(&mut b, *index);
+                put_str(&mut b, message);
+            }
+        }
+        b
+    }
+
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Msg, String> {
+        let mut c = Cursor::new(payload);
+        let msg = match kind {
+            1 => Msg::Hello {
+                index: c.u32("Hello.index")?,
+            },
+            2 => Msg::Assign {
+                index: c.u32("Assign.index")?,
+                workers: c.u32("Assign.workers")?,
+                z0: c.u32("Assign.z0")?,
+                nz_local: c.u32("Assign.nz_local")?,
+                threads: c.u32("Assign.threads")?,
+                job_index: c.u32("Assign.job_index")?,
+                deadline_ms: c.u64("Assign.deadline_ms")?,
+                spec_toml: c.str("Assign.spec_toml")?,
+            },
+            3 => Msg::ListenPort {
+                port: port_of(c.u32("ListenPort.port")?)?,
+            },
+            4 => Msg::ConnectDown {
+                port: port_of(c.u32("ConnectDown.port")?)?,
+            },
+            5 => Msg::Ready,
+            6 => Msg::HaloE {
+                step: c.u32("HaloE.step")?,
+                data: c.bytes("HaloE.data")?,
+            },
+            7 => Msg::HaloH {
+                step: c.u32("HaloH.step")?,
+                data: c.bytes("HaloH.data")?,
+            },
+            8 => {
+                let period = c.u32("PeriodDone.period")?;
+                let exchanges = c.u64("PeriodDone.exchanges")?;
+                let n = c.u32("PeriodDone.waits")? as usize;
+                if n > MAX_FRAME / 8 {
+                    return Err(format!("PeriodDone claims {n} wait samples"));
+                }
+                let mut wait_secs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    wait_secs.push(c.f64("PeriodDone.wait")?);
+                }
+                Msg::PeriodDone {
+                    period,
+                    exchanges,
+                    wait_secs,
+                    fields: c.bytes("PeriodDone.fields")?,
+                }
+            }
+            9 => Msg::Continue,
+            10 => Msg::Finish,
+            11 => Msg::Abort {
+                reason: c.str("Abort.reason")?,
+            },
+            12 => Msg::WorkerErr {
+                index: c.u32("WorkerErr.index")?,
+                message: c.str("WorkerErr.message")?,
+            },
+            other => return Err(format!("unknown frame kind {other}")),
+        };
+        c.done("message payload")?;
+        Ok(msg)
+    }
+}
+
+fn port_of(v: u32) -> Result<u16, String> {
+    u16::try_from(v).map_err(|_| format!("port {v} out of range"))
+}
+
+/// Send one message as a frame.
+pub fn send(w: &mut impl Write, msg: &Msg) -> Result<(), String> {
+    write_frame(w, msg.kind(), &msg.encode()).map_err(|e| format!("send failed: {e}"))
+}
+
+/// Receive and decode one message.
+pub fn recv(r: &mut impl Read) -> Result<Msg, FrameError> {
+    let (kind, payload) = read_frame(r)?;
+    Msg::decode(kind, &payload).map_err(FrameError::Corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let bytes = frame_bytes(6, b"hello halo");
+        let (kind, payload) = read_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(kind, 6);
+        assert_eq!(payload, b"hello halo");
+    }
+
+    #[test]
+    fn clean_eof_is_distinguished_from_torn() {
+        let empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut &*empty), Err(FrameError::Eof)));
+        let bytes = frame_bytes(5, &[]);
+        let torn = &bytes[..bytes.len() - 1];
+        assert!(matches!(read_frame(&mut &*torn), Err(FrameError::Torn(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut bytes = frame_bytes(5, &[]);
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let msgs = vec![
+            Msg::Hello { index: 3 },
+            Msg::Assign {
+                index: 1,
+                workers: 2,
+                z0: 12,
+                nz_local: 12,
+                threads: 4,
+                job_index: 0,
+                deadline_ms: 1500,
+                spec_toml: "name = \"x\"".to_string(),
+            },
+            Msg::ListenPort { port: 40123 },
+            Msg::ConnectDown { port: 40123 },
+            Msg::Ready,
+            Msg::HaloE {
+                step: 7,
+                data: vec![1, 2, 3],
+            },
+            Msg::HaloH {
+                step: 8,
+                data: vec![],
+            },
+            Msg::PeriodDone {
+                period: 2,
+                exchanges: 44,
+                wait_secs: vec![0.25, 1e-6],
+                fields: vec![9; 17],
+            },
+            Msg::Continue,
+            Msg::Finish,
+            Msg::Abort {
+                reason: "deadline".to_string(),
+            },
+            Msg::WorkerErr {
+                index: 0,
+                message: "boom".to_string(),
+            },
+        ];
+        for m in msgs {
+            let decoded = Msg::decode(m.kind(), &m.encode()).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut p = Msg::Ready.encode();
+        p.push(0);
+        assert!(Msg::decode(5, &p).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The dist oracle: a decomposed solve must be **bit-identical** to
+//! the single-process solve — same converged flag, same period count,
+//! same `rel_change` and `energy` down to the last bit, same analysis
+//! outputs — for every builtin scenario and a band of generated fuzz
+//! specs, at both 2 and 3 workers.
+//!
+//! Comparison is on `JobOutcome::to_json_canonical()` (the artifact
+//! JSON minus the wall clock), so any drift in any reported field
+//! fails loudly with the scenario name attached.
+
+use em_dist::{run_dist, DistOptions};
+use em_scenarios::gen::{generate, Family, GenParams};
+use em_scenarios::{builtins, run_batch, BatchOptions, ScenarioSpec};
+
+/// Cap the convergence loop so the suite stays test-sized; both sides
+/// solve the same capped spec, so identity is still fully exercised
+/// (including the `prev`/`rel_change` bookkeeping across periods).
+fn capped(spec: &ScenarioSpec) -> ScenarioSpec {
+    let mut s = spec.clone();
+    s.convergence.max_periods = s.convergence.max_periods.min(2);
+    s
+}
+
+fn single_process(spec: &ScenarioSpec) -> Vec<String> {
+    let report = run_batch(
+        std::slice::from_ref(spec),
+        &BatchOptions {
+            workers: 1,
+            ..BatchOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("[{}] single-process batch failed: {e}", spec.name));
+    report
+        .outcomes
+        .iter()
+        .map(|o| {
+            assert!(
+                o.error.is_none(),
+                "[{}] single-process job {} errored: {:?}",
+                spec.name,
+                o.job,
+                o.error
+            );
+            o.to_json_canonical().pretty()
+        })
+        .collect()
+}
+
+fn distributed(spec: &ScenarioSpec, workers: usize) -> Vec<String> {
+    let outcomes = run_dist(
+        spec,
+        &DistOptions {
+            workers,
+            threads: 2,
+            ..DistOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("[{}] dist run failed: {e}", spec.name));
+    outcomes
+        .iter()
+        .map(|o| {
+            assert!(
+                o.error.is_none(),
+                "[{}] dist job {} ({workers} workers) errored: {:?}",
+                spec.name,
+                o.job,
+                o.error
+            );
+            o.to_json_canonical().pretty()
+        })
+        .collect()
+}
+
+fn assert_identical(spec: &ScenarioSpec, worker_counts: &[usize]) {
+    let want = single_process(spec);
+    for &workers in worker_counts {
+        let got = distributed(spec, workers);
+        assert_eq!(
+            want.len(),
+            got.len(),
+            "[{}] job count diverged at {workers} workers",
+            spec.name
+        );
+        for (j, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                w, g,
+                "[{}] job {j} diverged from the single-process artifact at {workers} workers",
+                spec.name
+            );
+        }
+    }
+}
+
+fn fuzz_specs() -> Vec<ScenarioSpec> {
+    let params = GenParams::tiny();
+    let mut specs = Vec::new();
+    for family in Family::ALL {
+        for seed in [7u64, 19] {
+            specs.push(
+                generate(family, seed, &params)
+                    .unwrap_or_else(|e| panic!("generate({family:?}, {seed}) failed: {e}")),
+            );
+        }
+    }
+    specs
+}
+
+#[test]
+fn builtins_decompose_bit_identically_over_2_and_3_workers() {
+    for spec in builtins() {
+        assert_identical(&capped(&spec), &[2, 3]);
+    }
+}
+
+#[test]
+fn fuzz_specs_decompose_bit_identically_over_2_and_3_workers() {
+    for spec in fuzz_specs() {
+        assert_identical(&capped(&spec), &[2, 3]);
+    }
+}
+
+/// Degenerate and invalid decompositions fail fast with a message, and
+/// a 1-worker "decomposition" (no halo links at all) still matches.
+#[test]
+fn dist_validates_its_inputs() {
+    let spec = capped(&em_scenarios::builtin("vacuum-slab").unwrap());
+    assert_identical(&spec, &[1]);
+
+    let err = run_dist(
+        &spec,
+        &DistOptions {
+            workers: 0,
+            ..DistOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("0 workers"), "{err}");
+
+    let err = run_dist(
+        &spec,
+        &DistOptions {
+            workers: 10_000,
+            ..DistOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("workers"), "{err}");
+
+    let mut auto = spec.clone();
+    auto.engine = em_scenarios::EngineDecl::auto("auto", 1).unwrap();
+    let err = run_dist(
+        &auto,
+        &DistOptions {
+            workers: 2,
+            ..DistOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("concrete engine"), "{err}");
+}

@@ -279,6 +279,7 @@ impl ScenarioSpec {
                 "convergence",
                 "sweep",
                 "outputs",
+                "workers",
             ],
         )?;
         let name = get_str(root, "name", "the scenario root")?;
@@ -416,6 +417,11 @@ impl ScenarioSpec {
             }
         };
 
+        let workers = match root.get("workers") {
+            None => 1,
+            Some(_) => get_usize(root, "workers", "the scenario root")?,
+        };
+
         Ok(ScenarioSpec {
             name,
             description,
@@ -428,6 +434,7 @@ impl ScenarioSpec {
             convergence,
             sweep,
             outputs,
+            workers,
         })
     }
 
@@ -441,6 +448,11 @@ impl ScenarioSpec {
         let mut root = Table::new();
         root.set_value("name", Value::Str(self.name.clone()));
         root.set_value("description", Value::Str(self.description.clone()));
+        // Omitted at the default so pre-dist canonical documents (and
+        // every derived content hash) are byte-for-byte unchanged.
+        if self.workers != 1 {
+            root.set_value("workers", Value::Int(self.workers as i64));
+        }
 
         let mut grid = Table::new();
         grid.set_value("nx", Value::Int(self.grid.nx as i64));

@@ -232,6 +232,7 @@ fn build(family: Family, seed: u64, p: &GenParams, rng: &mut GenRng) -> Scenario
             max_periods: p.max_periods,
         },
         sweep: None,
+        workers: 1,
         outputs: OutputsDecl::default(),
     }
 }

@@ -49,8 +49,8 @@ pub use em_json as json;
 pub use em_json::Json;
 pub use library::{builtin, builtin_names, builtins};
 pub use runner::{
-    run_batch, BatchOptions, BatchReport, JobOutcome, TunePlan, TuneRecord, CANCELLED_PREFIX,
-    TIMEOUT_PREFIX,
+    run_batch, write_artifacts, BatchOptions, BatchReport, JobOutcome, TunePlan, TuneRecord,
+    CANCELLED_PREFIX, TIMEOUT_PREFIX,
 };
 pub use spec::{
     ConvergenceDecl, EngineDecl, GridSpec, LayerDecl, OutputsDecl, PhysicsSpec, PmlDecl,

@@ -60,6 +60,7 @@ pub fn solar_cell() -> ScenarioSpec {
                 },
             ],
         }),
+        workers: 1,
         outputs: OutputsDecl {
             intensity_profile: false,
             absorption: vec![
@@ -123,6 +124,7 @@ pub fn silver_nanowire() -> ScenarioSpec {
             max_periods: 8,
         },
         sweep: None,
+        workers: 1,
         outputs: OutputsDecl {
             intensity_profile: false,
             absorption: vec![SlabDecl {
@@ -182,6 +184,7 @@ pub fn bragg_mirror() -> ScenarioSpec {
             max_periods: 40,
         },
         sweep: None,
+        workers: 1,
         outputs: OutputsDecl {
             intensity_profile: true,
             absorption: vec![SlabDecl {
@@ -218,6 +221,7 @@ pub fn vacuum_slab() -> ScenarioSpec {
             max_periods: 150,
         },
         sweep: None,
+        workers: 1,
         outputs: OutputsDecl {
             intensity_profile: true,
             absorption: Vec::new(),
@@ -274,6 +278,7 @@ pub fn photonic_grating() -> ScenarioSpec {
             max_periods: 40,
         },
         sweep: None,
+        workers: 1,
         outputs: OutputsDecl {
             intensity_profile: false,
             absorption: vec![SlabDecl {
@@ -343,6 +348,7 @@ pub fn thin_absorber() -> ScenarioSpec {
                 },
             ],
         }),
+        workers: 1,
         outputs: OutputsDecl {
             intensity_profile: false,
             absorption: vec![SlabDecl {

@@ -737,7 +737,11 @@ fn run_job(
     outcome
 }
 
-fn write_artifacts(dir: &Path, outcomes: &mut [JobOutcome]) -> Result<(), String> {
+/// Write one JSON artifact per outcome plus the batch summary
+/// JSON/CSV pair into `dir`, recording each artifact path back into
+/// its outcome. Shared by the batch runner and `mwd dist run` so a
+/// distributed solve lays down byte-comparable artifacts.
+pub fn write_artifacts(dir: &Path, outcomes: &mut [JobOutcome]) -> Result<(), String> {
     std::fs::create_dir_all(dir)
         .map_err(|e| format!("cannot create output directory {}: {e}", dir.display()))?;
     // Filenames carry the spec content hash (first 12 of 32 hex digits)
@@ -827,6 +831,7 @@ mod tests {
                 max_periods: 2,
             },
             sweep: None,
+            workers: 1,
             outputs: Default::default(),
         }
     }

@@ -531,6 +531,11 @@ pub struct ScenarioSpec {
     pub convergence: ConvergenceDecl,
     pub sweep: Option<SweepDecl>,
     pub outputs: OutputsDecl,
+    /// Worker processes to decompose each solve across (z-axis domain
+    /// decomposition via `em_dist`). 1 — the default — solves in
+    /// process; the canonical TOML omits the key at 1, so adding this
+    /// knob changed no existing content hash.
+    pub workers: usize,
 }
 
 /// One executable unit expanded from a spec (a single wavelength point).
@@ -718,6 +723,16 @@ impl ScenarioSpec {
             self.engine
                 .to_engine(dims)
                 .map_err(|e| format!("[engine] {e}"))?;
+        }
+
+        if self.workers == 0 {
+            return Err("workers must be at least 1".to_string());
+        }
+        if self.workers > g.nz {
+            return Err(format!(
+                "workers = {} exceeds nz = {}; every z-slab needs at least one plane",
+                self.workers, g.nz
+            ));
         }
 
         let c = self.convergence;

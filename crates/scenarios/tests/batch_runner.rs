@@ -36,6 +36,7 @@ fn work_spec(name: &str) -> ScenarioSpec {
             max_periods: 4,
         },
         sweep: None,
+        workers: 1,
         outputs: Default::default(),
     }
 }

@@ -124,6 +124,7 @@ fn build_spec(
                 })
                 .collect(),
         }),
+        workers: 1,
         outputs: OutputsDecl {
             intensity_profile: slabs_n.is_multiple_of(2),
             absorption: (0..slabs_n)

@@ -456,11 +456,15 @@ impl Scheduler {
             }
         }
         let decl = self.resolve_engine(&spec)?;
-        if decl.threads() > self.threads_per_job {
+        // A multi-process job (workers > 1) leases threads for *every*
+        // worker slab at once, so admission budgets the product.
+        let demand = decl.threads().saturating_mul(spec.workers.max(1));
+        if demand > self.threads_per_job {
             return Err(SubmitError::Invalid(format!(
-                "engine `{}` demands {} thread(s); this server grants at most {} per job",
+                "engine `{}` across {} worker(s) demands {} thread(s); this server grants at most {} per job",
                 decl.label(),
-                decl.threads(),
+                spec.workers.max(1),
+                demand,
                 self.threads_per_job
             )));
         }
@@ -513,7 +517,7 @@ impl Scheduler {
             scenario: resolved.name.clone(),
             key: key.clone(),
             engine_label: decl.label(),
-            threads: decl.threads(),
+            threads: demand,
             state: JobState::Queued,
             error: None,
             submitted: Instant::now(),

@@ -199,6 +199,12 @@ impl Server {
             .chaos
             .as_ref()
             .map(|plan| Arc::new(FaultInjector::new(plan.clone())));
+        let stats = Arc::new(ServiceStats::default());
+        // Innermost → outermost: dist routing first (so a multi-worker
+        // spec runs decomposed), then the chaos plan's solve-site
+        // faults on top (so injected panics/slowdowns hit dist jobs
+        // exactly like single-process ones).
+        let run = dist_runner(stats.registry().clone(), faults.clone(), run);
         let run = match &faults {
             Some(inj) => {
                 store.set_fault_injector(inj.clone());
@@ -210,7 +216,6 @@ impl Server {
             Some(path) => SharedTuneCache::load(path)?,
             None => SharedTuneCache::in_memory(),
         };
-        let stats = Arc::new(ServiceStats::default());
         let scheduler = Scheduler::start(
             cfg.scheduler.clone(),
             store.clone(),
@@ -348,6 +353,34 @@ impl Server {
             let _ = h.join();
         }
     }
+}
+
+/// Route multi-process specs (`workers > 1`) through the z-slab dist
+/// coordinator with in-process thread workers sharing this daemon's
+/// metric registry (per-worker halo series on `GET /metrics`) and its
+/// chaos injector (wire faults on the halo links). Single-worker specs
+/// fall through to the wrapped runner untouched.
+fn dist_runner(
+    registry: Arc<em_obs::Registry>,
+    faults: Option<Arc<FaultInjector>>,
+    inner: Box<RunFn>,
+) -> Box<RunFn> {
+    Box::new(move |spec, threads, cancel| {
+        if spec.workers > 1 {
+            let opts = em_dist::DistOptions {
+                workers: spec.workers,
+                threads,
+                launcher: em_dist::Launcher::Thread,
+                cancel: cancel.clone(),
+                registry: Some(registry.clone()),
+                faults: faults.clone(),
+                ..Default::default()
+            };
+            em_dist::run_dist(spec, &opts)
+        } else {
+            inner(spec, threads, cancel)
+        }
+    })
 }
 
 /// Wrap the real runner in the chaos plan's solve-site faults: an

@@ -163,6 +163,20 @@ impl ServiceStats {
         for endpoint in ENDPOINTS {
             stats.latency(endpoint);
         }
+        // Pre-register the dist halo families (a zero-valued
+        // `worker="0"` series each) so a scrape of a fresh daemon
+        // already lists them; multi-worker jobs add their own
+        // per-worker series on the same names.
+        stats.registry.counter(
+            em_dist::HALO_EXCHANGES_METRIC,
+            "Halo planes received and applied by dist workers",
+            &[("worker", "0")],
+        );
+        stats.registry.histogram(
+            em_dist::HALO_WAIT_METRIC,
+            "Seconds dist workers spent blocked waiting for a halo plane",
+            &[("worker", "0")],
+        );
         stats
     }
 

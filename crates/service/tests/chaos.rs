@@ -415,6 +415,124 @@ fn cancel_endpoint_cancels_queued_and_running_jobs() {
     assert_eq!(summary.completed, 0);
 }
 
+/// The chaos seam reaches the dist halo wire directly: a plan that
+/// severs every halo link kills the exchange on the first plane, and
+/// the decomposed solve must land as a clean per-job failure — bounded
+/// by its own protocol, far inside the deadline, never a hang or a
+/// drain-shaped outcome.
+#[test]
+fn dist_worker_link_cut_mid_solve_fails_cleanly_within_the_deadline() {
+    use mwd_core::cancel::CancelToken;
+    use std::sync::Arc;
+    let spec = em_scenarios::ScenarioSpec::from_toml_str(&spec_toml(5)).unwrap();
+    let inj = Arc::new(em_faults::FaultInjector::new(
+        FaultPlan::parse("seed=31,conn-drop=1").unwrap(),
+    ));
+    let opts = em_dist::DistOptions {
+        workers: 2,
+        threads: 2,
+        cancel: CancelToken::with_deadline(Duration::from_secs(30)),
+        faults: Some(inj),
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let outcomes = em_dist::run_dist(&spec, &opts).unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(outcomes.len(), 1);
+    let err = outcomes[0]
+        .error
+        .as_deref()
+        .expect("the cut link must fail the job");
+    assert!(err.contains("dist worker"), "{err}");
+    assert!(
+        !err.starts_with("cancelled:") && !err.starts_with("timeout:"),
+        "a wire fault is a failure, not a drain: {err}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "failed in {elapsed:?} — via the protocol, not by burning the deadline"
+    );
+}
+
+/// A `workers = 2` spec submitted to the daemon runs decomposed (the
+/// dist-runner seam in `bind_with_runner`), produces the same physics
+/// as the single-process solve of the same scenario, and leaves live
+/// per-worker halo series on `GET /metrics`.
+#[test]
+fn daemon_decomposes_multi_worker_specs_and_exposes_halo_metrics() {
+    let mut cfg = config(None, None);
+    cfg.scheduler.budget = ThreadBudget::new(2);
+    let daemon = Daemon::start(cfg);
+
+    // Fresh daemon: the halo families are pre-registered at zero.
+    let (s, body) = http(&daemon.addr, "GET", "/metrics", None);
+    assert_eq!(s, 200);
+    assert!(
+        body.contains("em_halo_exchanges_total{worker=\"0\"} 0"),
+        "{body}"
+    );
+    assert!(
+        body.contains("em_halo_wait_seconds_count{worker=\"0\"} 0"),
+        "{body}"
+    );
+
+    let submit = |toml: String| {
+        let (status, payload) = http(&daemon.addr, "POST", "/jobs", Some(toml.as_bytes()));
+        assert!(status == 200 || status == 202, "{payload}");
+        let doc = em_json::parse(&payload).unwrap();
+        let key = doc.get("key").unwrap().as_str().unwrap().to_string();
+        if doc.get("status").unwrap().as_str() != Some("cached") {
+            let job = doc.get("job").unwrap().as_str().unwrap().to_string();
+            let (state, d) = poll_terminal(&daemon.addr, &job);
+            assert_eq!(state, "done", "{}", d.pretty());
+        }
+        let (s, artifact) = http(&daemon.addr, "GET", &format!("/results/{key}"), None);
+        assert_eq!(s, 200, "{artifact}");
+        em_json::parse(&artifact).unwrap()
+    };
+    let single = submit(spec_toml(0));
+    let dist = submit(format!("workers = 2\n{}", spec_toml(0)));
+
+    // The artifacts legitimately differ in key/spec_hash (`workers` is
+    // part of the spec identity); every physics field must not.
+    let outcome = |doc: &Json| doc.get("outcomes").unwrap().as_arr().unwrap()[0].clone();
+    let (a, b) = (outcome(&single), outcome(&dist));
+    for field in [
+        "converged",
+        "periods",
+        "steps",
+        "rel_change",
+        "energy",
+        "back_iteration_cells",
+        "absorption",
+        "intensity_profile",
+    ] {
+        assert_eq!(
+            a.get(field).map(Json::compact),
+            b.get(field).map(Json::compact),
+            "field `{field}` drifted under decomposition"
+        );
+    }
+
+    // Both workers' halo series are live now.
+    let (s, body) = http(&daemon.addr, "GET", "/metrics", None);
+    assert_eq!(s, 200);
+    for w in 0..2 {
+        let needle = format!("em_halo_exchanges_total{{worker=\"{w}\"}}");
+        let line = body
+            .lines()
+            .find(|l| l.starts_with(&needle))
+            .unwrap_or_else(|| panic!("missing series {needle}"));
+        let count: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count > 0.0, "worker {w} exchanged no halos: {line}");
+    }
+    assert!(
+        body.contains("em_halo_wait_seconds_count{worker=\"1\"}"),
+        "{body}"
+    );
+    daemon.stop();
+}
+
 #[test]
 fn sigterm_during_a_chaos_wedge_drains_within_the_deadline() {
     // SIGTERM lands while the only worker is wedged in an injected slow

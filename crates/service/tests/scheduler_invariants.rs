@@ -43,6 +43,7 @@ fn spec(lambda_nm: f64, engine: EngineDecl) -> ScenarioSpec {
             max_periods: 1,
         },
         sweep: None,
+        workers: 1,
         outputs: Default::default(),
     }
 }
@@ -204,6 +205,48 @@ fn engines_demanding_more_than_the_share_are_rejected() {
         other => panic!("expected Invalid, got {other:?}"),
     }
     h.gate.open();
+    h.scheduler.shutdown();
+}
+
+#[test]
+fn multi_process_jobs_are_admitted_on_the_worker_thread_product() {
+    // Budget 4 with one pool worker: each job may lease up to 4
+    // threads. A 2-thread engine over 3 dist workers demands 6 — over
+    // the share; the same engine over 2 workers demands exactly 4 —
+    // admitted, and the lease accounts for the whole product.
+    let h = start(SchedulerConfig {
+        workers: 1,
+        budget: ThreadBudget::new(4),
+        ..Default::default()
+    });
+    assert_eq!(h.scheduler.threads_per_job, 4);
+    let engine = EngineDecl::Spatial {
+        by: 2,
+        bz: 2,
+        threads: 2,
+    };
+    let mut greedy = spec(600.0, engine);
+    greedy.workers = 3;
+    match h.scheduler.submit(greedy) {
+        Err(SubmitError::Invalid(e)) => {
+            assert!(e.contains("3 worker(s)") && e.contains("demands 6"), "{e}");
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    let mut fits = spec(601.0, engine);
+    fits.workers = 2;
+    assert!(matches!(
+        h.scheduler.submit(fits),
+        Ok(Submission::Queued { .. })
+    ));
+    wait_running(&h.scheduler, 1);
+    assert_eq!(
+        h.stats.threads_in_use.load(Ordering::SeqCst),
+        4,
+        "a 2-worker x 2-thread job leases the full product"
+    );
+    h.gate.open();
+    assert!(h.scheduler.wait_idle(Duration::from_secs(20)));
     h.scheduler.shutdown();
 }
 

@@ -41,6 +41,7 @@ USAGE:
     mwd tune [<scenario>...] [options]  fill the per-host tuning cache
     mwd serve [options]                 run the HTTP job daemon
     mwd gen <list|emit|run|fuzz>        seeded scenario generators
+    mwd dist run <scenario>... [options] distributed solve (z-slab workers)
     mwd help                            this text
 
 SCENARIOS:
@@ -87,6 +88,24 @@ GEN (seeded scenario generators; same (family, seed) => same spec):
                          require every case to be flagged
     --out <dir>          fuzz: write failing spec TOML here
                          run: artifact directory
+
+DIST (z-axis domain decomposition; artifacts are bit-identical to a
+     single-process `mwd run` of the same spec):
+    mwd dist run <scenario>...          solve each scenario across worker
+                                        processes, one contiguous z slab
+                                        each, halo planes exchanged over
+                                        local sockets
+    --workers <n>        worker processes (default: the spec's `workers`
+                         key; the flag overrides without changing the
+                         spec hash)
+    --threads <n>        engine threads across the job (default: host
+                         budget), split evenly over workers
+    --deadline-secs <n>  wall-clock budget; on expiry workers drain and
+                         the job reports `timeout:`
+    --out/--trace/--quiet/--chaos       as for `mwd run` (--chaos injects
+                                        faults into the halo wire)
+    (`mwd dist worker` is the internal worker entry point, spawned by
+    the coordinator; it is not meant to be invoked by hand)
 
 SERVE OPTIONS:
     --addr <host:port>  bind address (default 127.0.0.1:7171; port 0
@@ -138,6 +157,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "tune" => cmd_tune(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
+        "dist" => cmd_dist(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -193,6 +213,7 @@ struct CliOpts {
     conn_model: Option<em_service::ConnModel>,
     max_connections: Option<usize>,
     chaos: Option<String>,
+    deadline_secs: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
@@ -217,6 +238,7 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
         conn_model: None,
         max_connections: None,
         chaos: None,
+        deadline_secs: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -266,6 +288,15 @@ fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
                 )
             }
             "--chaos" => o.chaos = Some(value("--chaos")?),
+            "--deadline-secs" => {
+                o.deadline_secs = Some(
+                    value("--deadline-secs")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--deadline-secs needs a positive integer")?,
+                )
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option `{flag}`; try `mwd help`"))
             }
@@ -725,6 +756,164 @@ fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
         other => Err(format!(
             "unknown `mwd gen` subcommand `{other}`; try `mwd help`"
         )),
+    }
+}
+
+/// `mwd dist`: distributed solves (and the internal worker entry).
+fn cmd_dist(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_dist_run(&args[1..]),
+        Some("worker") => cmd_dist_worker(&args[1..]),
+        _ => Err("usage: mwd dist run <scenario>... [options]; try `mwd help`".to_string()),
+    }
+}
+
+fn cmd_dist_run(args: &[String]) -> Result<ExitCode, String> {
+    use thiim_mwd::dist::{run_dist, DistOptions, Launcher};
+
+    let o = parse_opts(args)?;
+    if o.all || o.engine.is_some() || o.tune || o.force || o.dry_run || o.cache.is_some() {
+        return Err(
+            "`mwd dist run` does not take --all/--engine/--tune/--force/--dry-run/--cache"
+                .to_string(),
+        );
+    }
+    if o.scenarios.is_empty() {
+        return Err("usage: mwd dist run <scenario>... [options]".to_string());
+    }
+    let specs: Vec<ScenarioSpec> = o
+        .scenarios
+        .iter()
+        .map(|n| resolve_scenario(n))
+        .collect::<Result<_, _>>()?;
+
+    // SIGINT/SIGTERM drain: the coordinator aborts every worker over
+    // the control protocol, workers exit cleanly, and whatever
+    // completed is still written. An optional wall-clock deadline
+    // rides the same token.
+    let stop = em_service::shutdown::hooked_flag();
+    let deadline = o
+        .deadline_secs
+        .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s));
+    let cancel = mwd_core::CancelToken::with_flag(stop, deadline);
+    let recorder = if o.trace.is_some() {
+        thiim_mwd::obs::Recorder::enabled()
+    } else {
+        thiim_mwd::obs::Recorder::disabled()
+    };
+
+    let t0 = std::time::Instant::now();
+    let mut outcomes = Vec::new();
+    let mut workers_used = 1;
+    for spec in &specs {
+        // The flag overrides the spec's `workers` knob without
+        // mutating the spec, so the artifact's spec hash matches a
+        // single-process run byte for byte.
+        let workers = o.workers.unwrap_or_else(|| spec.workers.max(1));
+        workers_used = workers_used.max(workers);
+        let opts = DistOptions {
+            workers,
+            threads: o
+                .threads
+                .unwrap_or_else(|| mwd_core::ThreadBudget::host().total()),
+            launcher: Launcher::Process {
+                chaos: o.chaos.clone(),
+            },
+            cancel: cancel.clone(),
+            trace: recorder.clone(),
+            trace_parent: 0,
+            registry: None,
+            faults: None,
+        };
+        outcomes.extend(run_dist(spec, &opts)?);
+    }
+    // Renumber into one flat batch, mirroring `run_batch`'s
+    // deterministic job order across specs.
+    for (i, out) in outcomes.iter_mut().enumerate() {
+        out.job = i;
+    }
+    let mut report = BatchReport {
+        outcomes,
+        workers: workers_used,
+        threads_per_job: o
+            .threads
+            .unwrap_or_else(|| mwd_core::ThreadBudget::host().total()),
+        max_in_flight: 1,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    };
+    let dir = o.out.unwrap_or_else(|| PathBuf::from("results/scenarios"));
+    thiim_mwd::scenarios::write_artifacts(&dir, &mut report.outcomes)?;
+
+    if let Some(path) = &o.trace {
+        let trace = recorder.drain();
+        trace
+            .write_chrome(path)
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+        println!(
+            "trace: {} span(s) on {} thread(s) -> {}",
+            trace.spans.len(),
+            trace.threads.len(),
+            path.display()
+        );
+    }
+    print_report(&report, false);
+    if report.cancelled() > 0 {
+        println!(
+            "interrupted: {} job(s) drained cleanly (completed work was kept)",
+            report.cancelled()
+        );
+    }
+    // A SIGTERM drain is a clean exit; anything else with an error —
+    // including a deadline expiry — is a failure.
+    if report.failures() > report.cancelled() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The worker side of `mwd dist run` — spawned by the coordinator,
+/// never by hand.
+fn cmd_dist_worker(args: &[String]) -> Result<ExitCode, String> {
+    use thiim_mwd::dist::{run_worker, WorkerConfig};
+
+    let mut connect: Option<String> = None;
+    let mut index: Option<usize> = None;
+    let mut chaos: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--index" => {
+                index = Some(
+                    value("--index")?
+                        .parse()
+                        .map_err(|_| "--index needs a non-negative integer".to_string())?,
+                )
+            }
+            "--chaos" => chaos = Some(value("--chaos")?),
+            other => return Err(format!("unknown `mwd dist worker` option `{other}`")),
+        }
+    }
+    let cfg = WorkerConfig {
+        connect: connect.ok_or("mwd dist worker needs --connect <addr>")?,
+        index: index.ok_or("mwd dist worker needs --index <n>")?,
+        faults: chaos
+            .as_deref()
+            .map(|p| em_faults::FaultPlan::parse(p).map_err(|e| format!("--chaos: {e}")))
+            .transpose()?
+            .map(|plan| std::sync::Arc::new(em_faults::FaultInjector::new(plan))),
+    };
+    match run_worker(&cfg) {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("dist worker {}: {e}", cfg.index);
+            Ok(ExitCode::FAILURE)
+        }
     }
 }
 

@@ -20,6 +20,9 @@
 //!   back iteration, plane-wave source);
 //! - [`scenarios`]: declarative workload specs, the built-in scenario
 //!   catalog and the concurrent batch runner behind the `mwd` CLI;
+//! - [`dist`]: distributed solves — z-axis domain decomposition over
+//!   worker processes with overlapped halo exchange, bit-identical to
+//!   the single-process solver;
 //! - [`service`]: the `mwd serve` HTTP job daemon — content-addressed
 //!   result cache, admission-controlled scheduling, graceful drain;
 //! - [`json`]: the shared JSON value type every artifact, report,
@@ -46,6 +49,7 @@
 //! ```
 
 pub use autotune as tuner;
+pub use em_dist as dist;
 pub use em_field as field;
 pub use em_json as json;
 pub use em_kernels as kernels;
